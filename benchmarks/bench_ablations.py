@@ -1,0 +1,198 @@
+"""Ablation benches for HashFlow's design choices (DESIGN.md section 3).
+
+Not paper figures; they quantify the contribution of each mechanism the
+paper argues for:
+
+* record promotion on/off — promotion is what keeps late-blooming
+  elephants accurate (Section II, design choice 1);
+* ancillary digest width — 8 bits trades a 1/256 mix-up chance for
+  memory (Section III-A);
+* clearing promoted ancillary cells — the literal Algorithm 1 leaves
+  them stale; measure whether it matters;
+* ancillary/main size split — the paper uses equal cell counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.analysis.heavy_hitters import evaluate_heavy_hitters
+from repro.analysis.metrics import average_relative_error, flow_set_coverage
+from repro.core.hashflow import HashFlow
+from repro.experiments.runner import ExperimentResult, make_workload
+from repro.experiments.report import render_table, save_result
+from repro.traces.profiles import CAMPUS
+
+MAIN_CELLS = 4096
+N_FLOWS = 3 * MAIN_CELLS  # heavy overload: promotion pressure is real
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload(CAMPUS, N_FLOWS, seed=11)
+
+
+def _evaluate(collector, workload):
+    collector.process_all(workload.keys)
+    truth = workload.true_sizes
+    hh = evaluate_heavy_hitters(collector, truth, threshold=50)
+    return {
+        "fsc": round(flow_set_coverage(collector.records(), truth), 4),
+        "are": round(average_relative_error(collector.query, truth), 4),
+        "hh_f1": round(hh.f1, 4),
+        "promotions": collector.promotions,
+    }
+
+
+def test_ablation_promotion(benchmark):
+    """Promotion exists for *late-blooming elephants*: flows that start
+    after the main table has filled.  Without promotion they are stuck
+    in the ancillary table forever (no reportable ID, capped 8-bit
+    count); with it they displace a small sentinel.  Note that under a
+    uniform interleave promotion barely matters — elephants win main
+    slots on their first packets — which is why this ablation feeds all
+    mice *first*."""
+    result = ExperimentResult(
+        experiment_id="ablation_promotion",
+        title="Ablation: promotion on/off, elephants arriving after table fill",
+        columns=["config", "hh_f1", "hh_recall", "promotions"],
+    )
+    from repro.analysis.metrics import precision_recall_f1
+    from repro.flow.stats import heavy_hitters as true_hh
+
+    # 3x overload of mice, then 50 elephants of 120 packets each,
+    # interleaved with more mice so ancillary churn is realistic.
+    import random
+
+    rng = random.Random(7)
+    mice_first = [1_000_000 + i for i in range(3 * MAIN_CELLS)]
+    elephants = list(range(1, 51))
+    late = elephants * 120 + [2_000_000 + i for i in range(2 * MAIN_CELLS)]
+    rng.shuffle(late)
+    stream = mice_first + late
+    truth = {}
+    for key in stream:
+        truth[key] = truth.get(key, 0) + 1
+    actual_hh = true_hh(truth, 100)
+
+    rows = {}
+
+    def run():
+        for promote in (True, False):
+            collector = HashFlow(main_cells=MAIN_CELLS, promote=promote, seed=5)
+            collector.process_all(stream)
+            reported = collector.heavy_hitters(100)
+            precision, recall, f1 = precision_recall_f1(reported, actual_hh)
+            rows[promote] = recall
+            result.add_row(
+                config=f"promote={promote}",
+                hh_f1=round(f1, 4),
+                hh_recall=round(recall, 4),
+                promotions=collector.promotions,
+            )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(result))
+    save_result(result, RESULTS_DIR)
+    on = result.filter_rows(config="promote=True")[0]
+    off = result.filter_rows(config="promote=False")[0]
+    assert on["promotions"] > 0
+    assert off["promotions"] == 0
+    # The design claim: promotion rescues the late elephants.
+    assert on["hh_recall"] > 0.9
+    assert on["hh_recall"] > off["hh_recall"] + 0.3
+
+
+def test_ablation_digest_width(benchmark, workload):
+    """Wider digests reduce ancillary mix-ups; 8 bits is already close to
+    the 16-bit ceiling, which is why the paper stops there."""
+    result = ExperimentResult(
+        experiment_id="ablation_digest_width",
+        title="Ablation: ancillary digest width",
+        columns=["digest_bits", "are", "fsc"],
+    )
+
+    def run():
+        for bits in (2, 4, 8, 16):
+            collector = HashFlow(main_cells=MAIN_CELLS, digest_bits=bits, seed=5)
+            metrics = _evaluate(collector, workload)
+            result.add_row(digest_bits=bits, are=metrics["are"], fsc=metrics["fsc"])
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(result))
+    save_result(result, RESULTS_DIR)
+    by_bits = {r["digest_bits"]: r["are"] for r in result.rows}
+    assert by_bits[8] <= by_bits[2] + 0.02  # narrow digests mix flows up
+
+
+def test_ablation_clear_promoted(benchmark, workload):
+    """Clearing promoted cells vs the literal (stale) Algorithm 1 —
+    the difference should be digest-collision noise only."""
+    result = ExperimentResult(
+        experiment_id="ablation_clear_promoted",
+        title="Ablation: clear ancillary cell on promotion",
+        columns=["config", "fsc", "are", "hh_f1", "promotions"],
+    )
+
+    def run():
+        for clear in (False, True):
+            collector = HashFlow(
+                main_cells=MAIN_CELLS, clear_promoted=clear, seed=5
+            )
+            metrics = _evaluate(collector, workload)
+            result.add_row(config=f"clear={clear}", **metrics)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(result))
+    save_result(result, RESULTS_DIR)
+    stale = result.filter_rows(config="clear=False")[0]
+    clear = result.filter_rows(config="clear=True")[0]
+    assert abs(stale["are"] - clear["are"]) < 0.05
+
+
+def test_ablation_ancillary_ratio(benchmark, workload):
+    """Splitting memory between main and ancillary tables: the paper's
+    equal-cells choice against smaller/larger ancillary tables at a
+    fixed total memory budget."""
+    result = ExperimentResult(
+        experiment_id="ablation_ancillary_ratio",
+        title="Ablation: ancillary/main cell ratio at fixed memory",
+        columns=["ratio", "main_cells", "anc_cells", "fsc", "are", "hh_f1"],
+    )
+    total_bits = MAIN_CELLS * (136 + 16)  # the equal-cells baseline budget
+
+    def run():
+        for ratio in (0.25, 0.5, 1.0, 2.0, 4.0):
+            # main*136 + main*ratio*16 = total
+            main = int(total_bits / (136 + 16 * ratio))
+            anc = max(1, int(main * ratio))
+            collector = HashFlow(main_cells=main, ancillary_cells=anc, seed=5)
+            metrics = _evaluate(collector, workload)
+            result.add_row(
+                ratio=ratio,
+                main_cells=main,
+                anc_cells=anc,
+                fsc=metrics["fsc"],
+                are=metrics["are"],
+                hh_f1=metrics["hh_f1"],
+            )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(result))
+    save_result(result, RESULTS_DIR)
+    # The split is a clean tradeoff: more ancillary cells buy lower ARE
+    # (mice summarized better) at the cost of FSC (fewer main cells).
+    ordered = sorted(result.rows, key=lambda r: r["ratio"])
+    fscs = [r["fsc"] for r in ordered]
+    ares = [r["are"] for r in ordered]
+    assert fscs == sorted(fscs, reverse=True)
+    assert ares == sorted(ares, reverse=True)
+    # The paper's 1:1 point sits strictly inside the Pareto frontier.
+    mid = next(r for r in ordered if r["ratio"] == 1.0)
+    assert ordered[0]["fsc"] > mid["fsc"] > ordered[-1]["fsc"]
+    assert ordered[0]["are"] > mid["are"] > ordered[-1]["are"]

@@ -1,0 +1,73 @@
+"""Cuckoo hashing vs HashFlow's bounded collision resolution.
+
+Section II of the paper rules out classic schemes ("in the worst case,
+they need unbounded time for insertion or lookup, thus are not adequate
+for our purpose").  This bench measures that claim: a cuckoo flow cache
+and HashFlow at the same memory, same workload — comparing worst-case
+per-packet work and what each gives up.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.core.hashflow import HashFlow
+from repro.experiments.report import render_table, save_result
+from repro.experiments.runner import ExperimentResult, make_workload
+from repro.sketches.cuckoo import CuckooFlowCache
+from repro.traces.profiles import CAIDA
+
+CELLS = 8192
+
+
+def test_cuckoo_vs_hashflow(benchmark, emit):
+    result = ExperimentResult(
+        experiment_id="cuckoo_comparison",
+        title="Cuckoo flow cache vs HashFlow at equal cells (Section II claim)",
+        columns=[
+            "load",
+            "algorithm",
+            "records",
+            "worst_case_ops",
+            "avg_hashes",
+            "drops",
+        ],
+    )
+
+    def run():
+        for load in (0.4, 0.8, 1.5):
+            n_flows = int(load * CELLS)
+            workload = make_workload(CAIDA, n_flows, seed=31)
+            cuckoo = CuckooFlowCache(n_cells=CELLS, max_kicks=500, seed=7)
+            hashflow = HashFlow(main_cells=CELLS, seed=7)
+            workload.feed(cuckoo)
+            workload.feed(hashflow)
+            result.add_row(
+                load=load,
+                algorithm="Cuckoo",
+                records=len(cuckoo.records()),
+                worst_case_ops=cuckoo.max_chain,
+                avg_hashes=round(cuckoo.meter.per_packet()["hashes"], 3),
+                drops=cuckoo.insert_failures,
+            )
+            result.add_row(
+                load=load,
+                algorithm="HashFlow",
+                records=len(hashflow.records()),
+                worst_case_ops=hashflow.main.depth + 2,  # fixed by design
+                avg_hashes=round(hashflow.meter.per_packet()["hashes"], 3),
+                drops=0,
+            )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result)
+
+    # HashFlow's worst case is constant; cuckoo's grows with load.
+    cuckoo_rows = sorted(
+        result.filter_rows(algorithm="Cuckoo"), key=lambda r: r["load"]
+    )
+    assert cuckoo_rows[-1]["worst_case_ops"] > cuckoo_rows[0]["worst_case_ops"]
+    assert cuckoo_rows[-1]["worst_case_ops"] > 20
+    for row in result.filter_rows(algorithm="HashFlow"):
+        assert row["worst_case_ops"] == 5
+    # Above capacity, cuckoo drops flows outright.
+    assert cuckoo_rows[-1]["drops"] > 0

@@ -1,0 +1,37 @@
+"""Fig. 10: ARE of heavy-hitter size estimation vs threshold.
+
+Paper: HashFlow makes near-perfect size estimates for detected heavy
+hitters (ARE ~ 0), while HashPipe sits around 0.15-0.2 and
+ElasticSketch around 0.2-0.25.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import fig10
+from repro.experiments.report import pivot
+
+
+def test_fig10(benchmark, emit):
+    result = run_once(benchmark, fig10)
+    emit(result)
+    for trace in ("caida", "campus", "isp1"):
+        rows = [r for r in result.rows if r["trace"] == trace]
+        series = pivot(
+            type(result)(
+                experiment_id="x", title="", columns=result.columns, rows=rows
+            ),
+            index="threshold",
+            series="algorithm",
+            value="are",
+        )
+        top = max(series["HashFlow"])
+        hashflow_are = series["HashFlow"][top]
+        # Near-perfect size estimates for the heavy hitters HashFlow reports.
+        assert math.isfinite(hashflow_are) and hashflow_are < 0.06, trace
+        for algo in ("HashPipe", "ElasticSketch"):
+            other = series[algo][top]
+            if math.isfinite(other):
+                assert hashflow_are <= other + 0.02, (trace, algo)

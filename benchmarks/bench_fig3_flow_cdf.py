@@ -1,0 +1,26 @@
+"""Fig. 3: cumulative flow-size distribution of the four traces.
+
+All traces must exhibit the paper's skewness pattern — most flows are
+mice, most packets come from a few elephants — with ISP2 the most
+extreme (>99% of flows shorter than 5 packets).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import fig3
+
+
+def test_fig3(benchmark, emit):
+    result = run_once(benchmark, fig3)
+    emit(result)
+    rows = {r["trace"]: r for r in result.rows}
+    for name, row in rows.items():
+        # Skewed: the bulk of flows are small in every trace.
+        assert row["cdf@10"] > 0.75, name
+        # CDF reaches 1 at the largest probe.
+        assert row["cdf@100000"] == 1.0, name
+    # ISP2's sampled shape: >99% of flows below 5 packets.
+    assert rows["isp2"]["cdf@5"] > 0.99
+    # Campus has the heaviest tail (lowest mass at small sizes).
+    assert rows["campus"]["cdf@2"] == min(r["cdf@2"] for r in rows.values())

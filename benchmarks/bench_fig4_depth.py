@@ -1,0 +1,24 @@
+"""Fig. 4: flow-size estimation ARE vs main-table pipeline depth.
+
+Paper: increasing d from 1 to 3 cuts the ARE by ~3x; 3 -> 4 adds only a
+minor improvement, so d = 3 is the default.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import fig4
+from repro.experiments.report import pivot
+
+
+def test_fig4(benchmark, emit):
+    result = run_once(benchmark, fig4)
+    emit(result)
+    series = pivot(result, index="depth", series="trace", value="are")
+    for trace, by_depth in series.items():
+        # Deeper probing reduces estimation error.
+        assert by_depth[3] < by_depth[1], trace
+        # Diminishing returns: the d 1->3 gain dwarfs the 3->4 gain.
+        gain_13 = by_depth[1] - by_depth[3]
+        gain_34 = by_depth[3] - by_depth[4]
+        assert gain_13 >= gain_34, trace

@@ -1,0 +1,30 @@
+"""Fig. 5: multi-hash vs pipelined main tables on the Campus trace.
+
+5a — Flow Set Coverage; 5b — size-estimation ARE, for a multi-hash main
+table and pipelined tables with α in {0.6, 0.7, 0.8}, as the number of
+concurrent flows grows.  Paper: pipelined with α ~ 0.7 is best.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import fig5
+from repro.experiments.report import pivot
+
+
+def test_fig5(benchmark, emit):
+    result = run_once(benchmark, fig5)
+    emit(result)
+    fsc = pivot(result, index="n_flows", series="config", value="fsc")
+    are = pivot(result, index="n_flows", series="config", value="are")
+    heaviest = max(fsc["multihash"])
+
+    # FSC decreases with load for every configuration.
+    for config, by_n in fsc.items():
+        ns = sorted(by_n)
+        assert by_n[ns[0]] >= by_n[ns[-1]] - 0.02, config
+
+    # At the heaviest load, α = 0.7 pipelining does not lose to multi-hash
+    # (paper: it improves FSC by ~3% and ARE by ~37%).
+    assert fsc["alpha=0.7"][heaviest] >= fsc["multihash"][heaviest] - 0.01
+    assert are["alpha=0.7"][heaviest] <= are["multihash"][heaviest] + 0.01

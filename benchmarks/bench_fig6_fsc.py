@@ -1,0 +1,49 @@
+"""Fig. 6: Flow Set Coverage for flow record report.
+
+Four traces x four algorithms under an equal memory budget, sweeping
+the number of flows to 250K (scaled).  Paper: HashFlow nearly always
+wins; FlowRadar leads only while underloaded, then collapses.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import fig6
+from repro.experiments.report import pivot
+
+
+def test_fig6(benchmark, emit):
+    result = run_once(benchmark, fig6)
+    emit(result)
+    for trace in ("caida", "campus", "isp1", "isp2"):
+        rows = [r for r in result.rows if r["trace"] == trace]
+        series = pivot(
+            type(result)(
+                experiment_id="x", title="", columns=result.columns, rows=rows
+            ),
+            index="n_flows",
+            series="algorithm",
+            value="fsc",
+        )
+        heaviest = max(series["HashFlow"])
+        # HashFlow beats ElasticSketch and FlowRadar everywhere.
+        for algo in ("ElasticSketch", "FlowRadar"):
+            assert series["HashFlow"][heaviest] >= series[algo][heaviest], (
+                trace,
+                algo,
+            )
+        # ... and HashPipe on every trace with elephants.  On the
+        # all-mice ISP2 trace HashPipe's ~10% extra cells (it pays for
+        # no ancillary table) can edge ahead on raw coverage — the one
+        # regime where the paper's "nearly always" hedge applies.
+        if trace == "isp2":
+            assert (
+                series["HashFlow"][heaviest] >= 0.85 * series["HashPipe"][heaviest]
+            ), trace
+        else:
+            assert series["HashFlow"][heaviest] >= series["HashPipe"][heaviest], trace
+        # FlowRadar's decode cliff: its FSC collapses under heavy load.
+        assert series["FlowRadar"][heaviest] < 0.2, trace
+        # Coverage shrinks with flow count for HashFlow (fixed table).
+        lightest = min(series["HashFlow"])
+        assert series["HashFlow"][lightest] >= series["HashFlow"][heaviest]

@@ -1,0 +1,39 @@
+"""Fig. 7: Relative Error of flow cardinality estimation.
+
+Paper: HashFlow, ElasticSketch and FlowRadar achieve similar accuracy
+(FlowRadar slightly better — its Bloom filter ignores flow sizes);
+HashPipe, with no compensation for dropped flows, performs badly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import fig7
+from repro.experiments.report import pivot
+
+
+def test_fig7(benchmark, emit):
+    result = run_once(benchmark, fig7)
+    emit(result)
+    for trace in ("caida", "campus", "isp1", "isp2"):
+        rows = [r for r in result.rows if r["trace"] == trace]
+        series = pivot(
+            type(result)(
+                experiment_id="x", title="", columns=result.columns, rows=rows
+            ),
+            index="n_flows",
+            series="algorithm",
+            value="cardinality_re",
+        )
+        heaviest = max(series["HashFlow"])
+        # The three estimator-equipped algorithms stay accurate.
+        for algo in ("HashFlow", "ElasticSketch", "FlowRadar"):
+            re = series[algo][heaviest]
+            assert math.isfinite(re) and re < 0.4, (trace, algo, re)
+        # HashPipe underestimates badly under load.
+        assert series["HashPipe"][heaviest] > 0.5, trace
+        assert (
+            series["HashPipe"][heaviest] > series["HashFlow"][heaviest]
+        ), trace

@@ -1,0 +1,61 @@
+"""Memory/accuracy tradeoff sweep (extension; not a paper figure).
+
+Fixes the workload and sweeps the memory budget across a factor of 16,
+reporting FSC and size-ARE for all four algorithms.  Complements the
+paper's fixed-1MB evaluation: it shows *where* each algorithm's
+accuracy budget goes as memory shrinks, and that HashFlow's advantage
+holds across budgets, not just at the paper's operating point.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.analysis.metrics import average_relative_error, flow_set_coverage
+from repro.experiments.config import build_all
+from repro.experiments.report import render_table, save_result
+from repro.experiments.runner import ExperimentResult, make_workload
+from repro.traces.profiles import CAIDA
+
+N_FLOWS = 20_000
+BUDGETS = [16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024]
+
+
+def test_memory_sweep(benchmark, emit):
+    workload = make_workload(CAIDA, N_FLOWS, seed=21)
+    result = ExperimentResult(
+        experiment_id="memory_sweep",
+        title="FSC and ARE vs memory budget (CAIDA workload, 20K flows)",
+        columns=["memory_kb", "algorithm", "fsc", "are"],
+        params={"n_flows": N_FLOWS},
+    )
+
+    def run():
+        for budget in BUDGETS:
+            for name, collector in build_all(budget, seed=3).items():
+                workload.feed(collector)
+                result.add_row(
+                    memory_kb=budget // 1024,
+                    algorithm=name,
+                    fsc=round(
+                        flow_set_coverage(collector.records(), workload.true_sizes), 4
+                    ),
+                    are=round(
+                        average_relative_error(collector.query, workload.true_sizes), 4
+                    ),
+                )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result)
+
+    # More memory never hurts any algorithm's coverage...
+    for algo in ("HashFlow", "HashPipe", "ElasticSketch", "FlowRadar"):
+        fscs = [r["fsc"] for r in result.rows if r["algorithm"] == algo]
+        assert fscs == sorted(fscs), algo
+    # ...and HashFlow leads or ties the field at every budget on ARE.
+    for budget in BUDGETS:
+        kb = budget // 1024
+        rows = {r["algorithm"]: r for r in result.rows if r["memory_kb"] == kb}
+        best_other = min(
+            rows[a]["are"] for a in ("HashPipe", "ElasticSketch", "FlowRadar")
+        )
+        assert rows["HashFlow"]["are"] <= best_other + 0.02, kb

@@ -1,0 +1,85 @@
+"""Network-wide measurement benches (extension; the paper's future work).
+
+Two deployment models over the same overloaded workload:
+
+* *redundant* — every switch on a flow's path measures it; the central
+  collector max-merges (recovers flows any one switch dropped);
+* *sharded* — each flow has one owner switch; capacity sums.
+
+Both must beat a single switch with the same per-switch memory.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.analysis.metrics import flow_set_coverage
+from repro.core.hashflow import HashFlow
+from repro.experiments.report import render_table, save_result
+from repro.experiments.runner import ExperimentResult, make_workload
+from repro.netwide.deployment import NetworkDeployment
+from repro.netwide.sharding import ShardedCollector
+from repro.netwide.topology import FlowRouter, fat_tree_core
+from repro.traces.profiles import CAIDA
+
+CELLS_PER_SWITCH = 2048
+N_FLOWS = 4 * 2048  # 4x one switch's capacity
+
+
+def test_network_wide_coverage(benchmark, emit):
+    workload = make_workload(CAIDA, N_FLOWS, seed=23)
+    truth = workload.true_sizes
+    result = ExperimentResult(
+        experiment_id="netwide_coverage",
+        title="Single switch vs redundant vs sharded deployments",
+        columns=["deployment", "switches", "fsc", "records"],
+        params={"cells_per_switch": CELLS_PER_SWITCH, "n_flows": N_FLOWS},
+    )
+
+    def run():
+        # Single switch baseline.
+        single = HashFlow(main_cells=CELLS_PER_SWITCH, seed=7)
+        single.process_all(workload.keys)
+        result.add_row(
+            deployment="single",
+            switches=1,
+            fsc=round(flow_set_coverage(single.records(), truth), 4),
+            records=len(single.records()),
+        )
+        # Redundant path-based deployment over a 4+2 fabric.
+        router = FlowRouter(fat_tree_core(4, 2), seed=23)
+        deployment = NetworkDeployment(
+            router,
+            lambda name: HashFlow(
+                main_cells=CELLS_PER_SWITCH, seed=hash(name) & 0xFFFF
+            ),
+        )
+        report = deployment.run(workload.trace)
+        result.add_row(
+            deployment="redundant",
+            switches=len(report.per_switch_records),
+            fsc=round(report.coverage(set(truth)), 4),
+            records=len(report.merged_records),
+        )
+        # Sharded deployment: 6 owner switches.
+        sharded = ShardedCollector(
+            lambda i: HashFlow(main_cells=CELLS_PER_SWITCH, seed=100 + i),
+            n_shards=6,
+            seed=23,
+        )
+        sharded.process_all(workload.keys)
+        result.add_row(
+            deployment="sharded",
+            switches=6,
+            fsc=round(flow_set_coverage(sharded.records(), truth), 4),
+            records=len(sharded.records()),
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result)
+
+    rows = {r["deployment"]: r for r in result.rows}
+    assert rows["redundant"]["fsc"] > rows["single"]["fsc"]
+    assert rows["sharded"]["fsc"] > rows["redundant"]["fsc"]
+    # Sharding pools capacity: 6 x 2048 cells > 4x-overloaded flow count,
+    # so coverage should approach 1.
+    assert rows["sharded"]["fsc"] > 0.9

@@ -1,0 +1,27 @@
+"""Table I: traces used for evaluation (max / mean flow size).
+
+Regenerates the paper's trace-statistics table from the calibrated
+synthetic profiles and checks the calibration against the published
+numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import table1
+
+
+def test_table1(benchmark, emit):
+    result = run_once(benchmark, table1)
+    emit(result)
+    rows = {r["trace"]: r for r in result.rows}
+    assert set(rows) == {"caida", "campus", "isp1", "isp2"}
+    for name, row in rows.items():
+        # Mean flow size within 35% of Table I (heavy-tail sample noise).
+        assert row["mean_flow_size"] == pytest.approx(row["paper_mean"], rel=0.35), name
+        assert row["max_flow_size"] <= row["paper_max"], name
+    # The ordering of traffic intensity from the paper holds.
+    assert rows["campus"]["mean_flow_size"] > rows["isp1"]["mean_flow_size"]
+    assert rows["isp1"]["mean_flow_size"] > rows["isp2"]["mean_flow_size"]

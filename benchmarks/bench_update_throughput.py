@@ -1,0 +1,53 @@
+"""Per-packet update throughput of every collector (pure Python).
+
+Not a paper figure: measures this implementation's raw update speed so
+regressions in the hot paths are visible.  Absolute numbers are Python
+numbers, not line-rate claims — the paper's throughput experiment is
+``bench_fig11_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import build_all
+from repro.experiments.runner import make_workload
+from repro.sketches.exact import ExactCollector
+from repro.sketches.sampled import SampledNetFlow
+from repro.sketches.spacesaving import SpaceSaving
+from repro.traces.profiles import CAIDA
+
+MEMORY = 64 * 1024
+N_FLOWS = 4000
+
+
+@pytest.fixture(scope="module")
+def stream() -> list[int]:
+    return make_workload(CAIDA, N_FLOWS, seed=1).keys
+
+
+def _bench_collector(benchmark, collector, stream):
+    def run():
+        collector.reset()
+        collector.process_all(stream)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    assert collector.meter.packets == len(stream)
+
+
+@pytest.mark.parametrize("algo", ["HashFlow", "HashPipe", "ElasticSketch", "FlowRadar"])
+def test_update_throughput(benchmark, stream, algo):
+    collector = build_all(MEMORY, seed=0)[algo]
+    _bench_collector(benchmark, collector, stream)
+
+
+def test_update_throughput_exact(benchmark, stream):
+    _bench_collector(benchmark, ExactCollector(), stream)
+
+
+def test_update_throughput_sampled(benchmark, stream):
+    _bench_collector(benchmark, SampledNetFlow(every_n=100), stream)
+
+
+def test_update_throughput_spacesaving(benchmark, stream):
+    _bench_collector(benchmark, SpaceSaving(capacity=MEMORY * 8 // 168), stream)

@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures via
+``repro.experiments.figures``, prints the rows the paper reports, and
+writes them under ``benchmarks/results/``.  Sizes follow the
+``REPRO_SCALE`` environment variable (default 0.1; 1.0 = paper scale —
+see DESIGN.md section 4 for why ratios are preserved at any scale).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.report import render_table, save_result
+from repro.experiments.runner import ExperimentResult
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture()
+def emit():
+    """Print a result table and persist it under benchmarks/results/."""
+
+    def _emit(result: ExperimentResult) -> ExperimentResult:
+        text = render_table(result)
+        print()
+        print(text)
+        save_result(result, RESULTS_DIR)
+        return result
+
+    return _emit
+
+
+def run_once(benchmark, func, **kwargs):
+    """Benchmark a whole-figure regeneration exactly once.
+
+    Figure regenerations are minutes-long at full scale; pedantic mode
+    with a single round reports wall time without re-running.
+    """
+    return benchmark.pedantic(func, kwargs=kwargs, rounds=1, iterations=1)

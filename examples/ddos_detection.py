@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""DDoS and scan detection from HashFlow's summary statistics.
+
+Flow-record collectors are the front line of anomaly detection: a SYN
+flood shows up as a *cardinality* spike (many single-packet flows), a
+port scan as a fan-out of flows to one host.  This example overlays a
+synthetic SYN flood and a port scan on a normal CAIDA-like trace and
+shows how the deployed HashFlow's estimators expose both, using the
+epoch runner for a before/during comparison.
+
+Run:  python examples/ddos_detection.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.hashflow import HashFlow
+from repro.flow.key import format_ip, parse_ip, unpack_key
+from repro.traces import CAIDA, merge_traces, port_scan, syn_flood
+
+N_FLOWS = 15_000
+VICTIM = "203.0.113.7"
+SCANNER = "198.51.100.66"
+
+
+def main() -> None:
+    normal = CAIDA.generate(n_flows=N_FLOWS, seed=6)
+
+    flood = syn_flood(parse_ip(VICTIM), n_sources=12_000, seed=6)
+    scan = port_scan(parse_ip(SCANNER), parse_ip(VICTIM), n_ports=2048, seed=6)
+    attacked = merge_traces([normal, flood, scan], seed=6, name="attacked")
+
+    # Epoch 1: normal traffic.  Epoch 2: attack overlaid.
+    baseline = HashFlow(main_cells=16_384, seed=1)
+    baseline.process_all(normal.keys())
+    under_attack = HashFlow(main_cells=16_384, seed=1)
+    under_attack.process_all(attacked.keys())
+
+    base_card = baseline.estimate_cardinality()
+    attack_card = under_attack.estimate_cardinality()
+    print(f"epoch 1 (normal):   cardinality estimate {base_card:>9.0f} "
+          f"(true {normal.num_flows})")
+    print(f"epoch 2 (attacked): cardinality estimate {attack_card:>9.0f} "
+          f"(true {attacked.num_flows})")
+    print(f"flow-count surge: x{attack_card / base_card:.2f}  "
+          f"{'*** ALERT ***' if attack_card > 1.5 * base_card else ''}\n")
+
+    # Attribution from the reported records: who is being targeted?
+    records = under_attack.records()
+    per_dst = Counter()
+    for key in records:
+        _src, dst, _sp, _dp, _proto = unpack_key(key)
+        per_dst[dst] += 1
+    print("top destination addresses by distinct recorded flows:")
+    for dst, flows in per_dst.most_common(3):
+        marker = "  <- victim" if format_ip(dst) == VICTIM else ""
+        print(f"  {format_ip(dst):>15s}  {flows:>6d} flows{marker}")
+
+    # Scanner attribution: one source touching many ports of one host.
+    per_src_dst = Counter()
+    for key in records:
+        src, dst, _sp, _dp, _proto = unpack_key(key)
+        per_src_dst[(src, dst)] += 1
+    (src, dst), fanout = per_src_dst.most_common(1)[0]
+    print(f"\nlargest (src, dst) flow fan-out: {format_ip(src)} -> "
+          f"{format_ip(dst)} with {fanout} flows "
+          f"{'(port scan)' if format_ip(src) == SCANNER else ''}")
+
+
+if __name__ == "__main__":
+    main()

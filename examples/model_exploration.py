@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Occupancy-model exploration: choose d and α before deploying.
+
+The paper's Section III-B model predicts main-table utilization from
+the traffic load m/n alone, which lets an operator size HashFlow
+*before* seeing traffic.  This script sweeps depth and pipeline weight,
+validates the model against the actual insertion process (paper
+Fig. 2), and prints the paper's design conclusions.
+
+Run:  python examples/model_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.model import (
+    multihash_utilization,
+    pipelined_improvement,
+    pipelined_utilization,
+    simulate_multihash_utilization,
+    simulate_pipelined_utilization,
+)
+
+N = 50_000
+
+
+def main() -> None:
+    print("multi-hash utilization vs depth (model | simulation):")
+    print(f"{'m/n':>5s} " + " ".join(f"d={d:<11d}" for d in (1, 2, 3, 4, 10)))
+    for load in (1.0, 2.0, 4.0):
+        m = int(load * N)
+        cells = []
+        for d in (1, 2, 3, 4, 10):
+            theory = multihash_utilization(m, N, d)
+            sim = simulate_multihash_utilization(m, N, d, seed=0)
+            cells.append(f"{theory:.3f}|{sim:.3f}")
+        print(f"{load:>5.1f} " + " ".join(f"{c:<13s}" for c in cells))
+
+    print("\npipelined utilization at d=3 (model | simulation):")
+    print(f"{'m/n':>5s} " + " ".join(f"a={a:<11.1f}" for a in (0.5, 0.6, 0.7, 0.8)))
+    for load in (1.0, 2.0):
+        m = int(load * N)
+        cells = []
+        for alpha in (0.5, 0.6, 0.7, 0.8):
+            theory = pipelined_utilization(m, N, 3, alpha)
+            sim = simulate_pipelined_utilization(m, N, 3, alpha, seed=0)
+            cells.append(f"{theory:.3f}|{sim:.3f}")
+        print(f"{load:>5.1f} " + " ".join(f"{c:<13s}" for c in cells))
+
+    print("\nimprovement of pipelined over multi-hash at d=3 (Fig. 2d):")
+    print(f"{'m/n':>5s} " + " ".join(f"a={a:<6.2f}" for a in (0.5, 0.6, 0.7, 0.8, 0.9)))
+    for load in (1.0, 1.4, 2.0, 4.0):
+        m = int(load * N)
+        row = " ".join(
+            f"{pipelined_improvement(m, N, 3, a):>8.4f}"
+            for a in (0.5, 0.6, 0.7, 0.8, 0.9)
+        )
+        print(f"{load:>5.1f} {row}")
+
+    print("\npaper design conclusions, reproduced:")
+    u1 = multihash_utilization(N, N, 1)
+    u3 = multihash_utilization(N, N, 3)
+    u10 = multihash_utilization(N, N, 10)
+    print(f"  - at m/n=1, utilization rises {u1:.0%} -> {u3:.0%} (d 1->3) "
+          f"but only -> {u10:.0%} by d=10: d=3 is the sweet spot")
+    best = max((a / 100 for a in range(50, 96)),
+               key=lambda a: pipelined_improvement(N, N, 3, a))
+    print(f"  - pipeline weight maximizing the gain at m/n=1: a={best:.2f} "
+          f"(paper adopts 0.7)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline build environment lacks the ``wheel`` module, which
+setuptools' PEP 660 editable-install hook requires; this shim lets
+``pip install -e .`` fall back to ``setup.py develop``.  All project
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""HashFlow: efficient and accurate flow record collection.
+
+A from-scratch reproduction of *HashFlow For Better Flow Record
+Collection* (Zhao, Shi, Yin, Wang — ICDCS 2019), including the HashFlow
+algorithm, the baselines it is evaluated against (HashPipe,
+ElasticSketch, FlowRadar), the substrates they depend on, and a harness
+regenerating every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import HashFlow
+    from repro.traces import CAIDA
+
+    trace = CAIDA.generate(n_flows=20_000, seed=1)
+    collector = HashFlow(main_cells=16_384)
+    collector.process_all(trace.keys())
+    records = collector.records()          # accurate flow records
+    estimate = collector.query(trace.flow_keys[0])
+"""
+
+from repro.core.hashflow import HashFlow
+from repro.sketches.base import CostMeter, FlowCollector
+from repro.sketches.elastic import ElasticSketch
+from repro.sketches.flowradar import FlowRadar
+from repro.sketches.hashpipe import HashPipe
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostMeter",
+    "ElasticSketch",
+    "FlowCollector",
+    "FlowRadar",
+    "HashFlow",
+    "HashPipe",
+    "__version__",
+]

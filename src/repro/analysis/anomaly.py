@@ -1,0 +1,136 @@
+"""Anomaly detection over flow records and epoch statistics.
+
+Flow-record collection is the *input* to operational anomaly detection;
+this module supplies the standard consumers:
+
+* :class:`EwmaDetector` — exponentially-weighted mean/variance tracker
+  flagging per-epoch metric spikes (e.g. a cardinality surge during a
+  SYN flood);
+* :func:`fanout_by_source` / :func:`fanin_by_destination` — fan-out and
+  fan-in attribution from a record set;
+* :func:`detect_scanners` / :func:`detect_flood_victims` — threshold
+  detectors built on the attribution maps.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from repro.flow.key import unpack_key
+
+
+class EwmaDetector:
+    """EWMA mean/variance spike detector.
+
+    Maintains exponentially weighted estimates of a metric's mean and
+    variance; an observation more than ``k`` standard deviations above
+    the mean is flagged (one-sided: floods raise metrics).
+
+    Args:
+        alpha: EWMA smoothing factor in (0, 1]; larger adapts faster.
+        k: detection threshold in standard deviations.
+        warmup: observations to absorb before flagging anything.
+    """
+
+    def __init__(self, alpha: float = 0.3, k: float = 3.0, warmup: int = 5):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if warmup < 1:
+            raise ValueError(f"warmup must be >= 1, got {warmup}")
+        self.alpha = alpha
+        self.k = k
+        self.warmup = warmup
+        self._mean = 0.0
+        self._var = 0.0
+        self._count = 0
+
+    @property
+    def mean(self) -> float:
+        """Current EWMA mean."""
+        return self._mean
+
+    @property
+    def std(self) -> float:
+        """Current EWMA standard deviation."""
+        return math.sqrt(max(self._var, 0.0))
+
+    def observe(self, value: float) -> bool:
+        """Feed one observation; returns True if it is anomalous.
+
+        Anomalous observations are *not* absorbed into the baseline
+        (otherwise a sustained attack would normalize itself).
+        """
+        self._count += 1
+        if self._count <= self.warmup:
+            self._absorb(value)
+            return False
+        threshold = self._mean + self.k * max(self.std, 1e-12 + 0.05 * abs(self._mean))
+        if value > threshold:
+            return True
+        self._absorb(value)
+        return False
+
+    def _absorb(self, value: float) -> None:
+        if self._count == 1:
+            self._mean = value
+            self._var = 0.0
+            return
+        alpha = self.alpha
+        delta = value - self._mean
+        self._mean += alpha * delta
+        self._var = (1 - alpha) * (self._var + alpha * delta * delta)
+
+
+def fanout_by_source(records: dict[int, int]) -> dict[int, int]:
+    """Distinct destination count per source address.
+
+    A scanning host contacts many destinations/ports; its fan-out in
+    the record set is the classic tell.
+    """
+    fanout: Counter[int] = Counter()
+    for key in records:
+        src_ip, _dst, _sp, _dp, _proto = unpack_key(key)
+        fanout[src_ip] += 1
+    return dict(fanout)
+
+
+def fanin_by_destination(records: dict[int, int]) -> dict[int, int]:
+    """Distinct flow count per destination address (flood fan-in)."""
+    fanin: Counter[int] = Counter()
+    for key in records:
+        _src, dst_ip, _sp, _dp, _proto = unpack_key(key)
+        fanin[dst_ip] += 1
+    return dict(fanin)
+
+
+def detect_scanners(records: dict[int, int], min_fanout: int) -> dict[int, int]:
+    """Sources whose fan-out is at least ``min_fanout`` flows.
+
+    Returns:
+        ``{src_ip: fanout}`` for flagged sources.
+    """
+    if min_fanout < 1:
+        raise ValueError(f"min_fanout must be >= 1, got {min_fanout}")
+    return {
+        src: fanout
+        for src, fanout in fanout_by_source(records).items()
+        if fanout >= min_fanout
+    }
+
+
+def detect_flood_victims(records: dict[int, int], min_fanin: int) -> dict[int, int]:
+    """Destinations whose fan-in is at least ``min_fanin`` flows.
+
+    Returns:
+        ``{dst_ip: fanin}`` for flagged destinations.
+    """
+    if min_fanin < 1:
+        raise ValueError(f"min_fanin must be >= 1, got {min_fanin}")
+    return {
+        dst: fanin
+        for dst, fanin in fanin_by_destination(records).items()
+        if fanin >= min_fanin
+    }

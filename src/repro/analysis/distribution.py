@@ -1,0 +1,129 @@
+"""Flow-size distribution recovery from collected records.
+
+Beyond per-flow queries, operators read *distributions* off flow
+records: how many flows are mice, what the p99 flow looks like, how
+byte volume splits across size classes.  This module computes those
+statistics from any record set and quantifies how well a collector's
+(possibly truncated) record set preserves the true distribution —
+another lens on the paper's accuracy story.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class DistributionSummary:
+    """Moments and quantiles of a flow-size distribution.
+
+    Attributes:
+        flows: number of flows.
+        packets: total packets.
+        mean: mean flow size.
+        p50 / p90 / p99: size quantiles.
+        max: largest flow.
+    """
+
+    flows: int
+    packets: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    max: int
+
+    @classmethod
+    def from_records(cls, records: dict[int, int]) -> DistributionSummary:
+        """Summarize a ``{flow: packets}`` record set."""
+        if not records:
+            return cls(0, 0, 0.0, 0.0, 0.0, 0.0, 0)
+        sizes = sorted(records.values())
+        packets = sum(sizes)
+        return cls(
+            flows=len(sizes),
+            packets=packets,
+            mean=packets / len(sizes),
+            p50=_quantile(sizes, 0.50),
+            p90=_quantile(sizes, 0.90),
+            p99=_quantile(sizes, 0.99),
+            max=sizes[-1],
+        )
+
+
+def _quantile(sorted_values: list[int], q: float) -> float:
+    """Linear-interpolation quantile of a pre-sorted list."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    if not sorted_values:
+        return 0.0
+    pos = q * (len(sorted_values) - 1)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return float(sorted_values[lo])
+    frac = pos - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+def size_histogram(
+    records: dict[int, int], bins: tuple[int, ...] = (1, 2, 5, 10, 100, 1000)
+) -> dict[str, int]:
+    """Bucket flows into size classes.
+
+    Args:
+        records: flow records.
+        bins: ascending upper bounds; a final open bucket catches the rest.
+
+    Returns:
+        Ordered mapping like ``{"<=1": n, "<=2": n, ..., ">1000": n}``.
+    """
+    if list(bins) != sorted(bins) or len(set(bins)) != len(bins):
+        raise ValueError(f"bins must be strictly ascending, got {bins}")
+    histogram = {f"<={b}": 0 for b in bins}
+    overflow_label = f">{bins[-1]}"
+    histogram[overflow_label] = 0
+    for size in records.values():
+        for b in bins:
+            if size <= b:
+                histogram[f"<={b}"] += 1
+                break
+        else:
+            histogram[overflow_label] += 1
+    return histogram
+
+
+def weighted_mean_error(
+    estimated: dict[int, int], truth: dict[int, int]
+) -> float:
+    """Packet-weighted relative error of a record set's *total volume*.
+
+    Unlike ARE (per-flow, unweighted), this asks: of the true packet
+    volume, how much does the collector's record set misstate?  Elephant
+    flows dominate, which is why HashFlow's accurate-elephant design
+    keeps this metric tiny even when many mice are summarized away.
+    """
+    true_packets = sum(truth.values())
+    if true_packets == 0:
+        return 0.0
+    estimated_volume = sum(
+        estimated.get(key, 0) for key in truth
+    )
+    return abs(estimated_volume - true_packets) / true_packets
+
+
+def histogram_distance(
+    a: dict[str, int], b: dict[str, int]
+) -> float:
+    """Total-variation distance between two size histograms (0 = equal,
+    1 = disjoint).  Histograms must share bucket labels."""
+    if set(a) != set(b):
+        raise ValueError("histograms have different buckets")
+    total_a = sum(a.values())
+    total_b = sum(b.values())
+    if total_a == 0 or total_b == 0:
+        return 0.0 if total_a == total_b else 1.0
+    return 0.5 * sum(
+        abs(a[label] / total_a - b[label] / total_b) for label in a
+    )

@@ -1,0 +1,87 @@
+"""Heavy-hitter detection evaluation (paper Figs. 9 and 10).
+
+A heavy hitter is a flow with more than ``T`` packets (Section IV-A).
+Detection quality is scored with the F1 of the reported set against the
+ground truth, and estimation quality with the ARE of the reported sizes
+over the correctly detected heavy hitters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.metrics import precision_recall_f1
+from repro.flow.stats import heavy_hitters as true_heavy_hitters
+from repro.sketches.base import FlowCollector
+
+
+@dataclass(frozen=True, slots=True)
+class HeavyHitterResult:
+    """Outcome of one heavy-hitter evaluation.
+
+    Attributes:
+        threshold: the packet-count threshold ``T``.
+        reported: number of heavy hitters the algorithm reported (c1).
+        actual: number of true heavy hitters (c2).
+        correct: correctly reported heavy hitters (c).
+        precision: ``c / c1``.
+        recall: ``c / c2``.
+        f1: harmonic mean of precision and recall.
+        are: ARE of size estimates over the correctly detected set
+            (NaN when nothing was correctly detected).
+    """
+
+    threshold: int
+    reported: int
+    actual: int
+    correct: int
+    precision: float
+    recall: float
+    f1: float
+    are: float
+
+
+def evaluate_heavy_hitters(
+    collector: FlowCollector, true_sizes: dict[int, int], threshold: int
+) -> HeavyHitterResult:
+    """Score a collector's heavy-hitter detection at one threshold.
+
+    Args:
+        collector: a processed collector.
+        true_sizes: ground-truth flow sizes.
+        threshold: heavy-hitter packet threshold ``T``.
+
+    Returns:
+        A :class:`HeavyHitterResult`.
+    """
+    reported = collector.heavy_hitters(threshold)
+    truth = true_heavy_hitters(true_sizes, threshold)
+    precision, recall, f1 = precision_recall_f1(reported, truth)
+    hits = set(reported) & set(truth)
+    if hits:
+        are = sum(
+            abs(reported[k] / true_sizes[k] - 1.0) for k in hits
+        ) / len(hits)
+    else:
+        are = math.nan
+    return HeavyHitterResult(
+        threshold=threshold,
+        reported=len(reported),
+        actual=len(truth),
+        correct=len(hits),
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        are=are,
+    )
+
+
+def threshold_sweep(
+    collector: FlowCollector, true_sizes: dict[int, int], thresholds: list[int]
+) -> list[HeavyHitterResult]:
+    """Evaluate heavy-hitter detection across a threshold range
+    (the x-axes of Figs. 9 and 10)."""
+    return [
+        evaluate_heavy_hitters(collector, true_sizes, t) for t in thresholds
+    ]

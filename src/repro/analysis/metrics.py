@@ -1,0 +1,102 @@
+"""Performance metrics from the paper's evaluation (Section IV-A).
+
+* **FSC** (Flow Set Coverage) — fraction of the ``n`` true flows whose
+  records (with correct flow IDs) an algorithm can report.
+* **ARE** (Average Relative Error) — mean of ``|est/true - 1|`` over a
+  set of flows, with 0 used as the estimate for unreported flows.
+* **RE** (Relative Error) — ``|est/true - 1|`` for scalar quantities
+  (cardinality).
+* **F1 score** — harmonic mean of precision and recall for heavy-hitter
+  detection.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable
+
+
+def flow_set_coverage(reported: Iterable[int], true_flows: Iterable[int]) -> float:
+    """Flow Set Coverage: correctly reported flow IDs over true flows.
+
+    Args:
+        reported: flow IDs the algorithm reports (any iterable; duplicate
+            IDs count once).
+        true_flows: ground-truth flow IDs.
+
+    Returns:
+        ``|reported ∩ true| / |true|``; 1.0 for an empty truth set.
+    """
+    truth = set(true_flows)
+    if not truth:
+        return 1.0
+    return len(truth.intersection(reported)) / len(truth)
+
+
+def relative_error(estimate: float, true_value: float) -> float:
+    """Scalar relative error ``|est/true - 1|`` (paper's RE metric).
+
+    Raises:
+        ValueError: if ``true_value`` is zero (the metric is undefined).
+    """
+    if true_value == 0:
+        raise ValueError("relative error undefined for true value 0")
+    if math.isinf(estimate):
+        return math.inf
+    return abs(estimate / true_value - 1.0)
+
+
+def average_relative_error(
+    query: Callable[[int], float], true_sizes: dict[int, int]
+) -> float:
+    """Average Relative Error of per-flow size estimates.
+
+    Per the paper: "Given a flow ID, an algorithm estimates the number
+    of packets belonging to this flow.  If no result can be reported, we
+    use 0 as the default value" — a missing flow therefore contributes
+    ``|0/true - 1| = 1`` to the mean.
+
+    Args:
+        query: point-query function, e.g. ``collector.query``.
+        true_sizes: ground-truth ``{flow: packets}`` (sizes must be > 0).
+
+    Returns:
+        The mean relative error over all flows in ``true_sizes``;
+        0.0 for an empty truth set.
+    """
+    if not true_sizes:
+        return 0.0
+    total = 0.0
+    for key, true in true_sizes.items():
+        total += abs(query(key) / true - 1.0)
+    return total / len(true_sizes)
+
+
+def precision_recall_f1(
+    reported: Iterable[int], true_set: Iterable[int]
+) -> tuple[float, float, float]:
+    """Precision (PR), recall (RR) and F1 for a detection task.
+
+    Args:
+        reported: detected item IDs (``c1`` of them, ``c`` correct).
+        true_set: ground-truth item IDs (``c2`` of them).
+
+    Returns:
+        ``(precision, recall, f1)``.  Degenerate cases: with an empty
+        truth set, recall is 1; with an empty report, precision is 1;
+        F1 is 0 whenever precision + recall is 0.
+    """
+    reported = set(reported)
+    truth = set(true_set)
+    correct = len(reported & truth)
+    precision = correct / len(reported) if reported else 1.0
+    recall = correct / len(truth) if truth else 1.0
+    if precision + recall == 0:
+        return precision, recall, 0.0
+    f1 = 2 * precision * recall / (precision + recall)
+    return precision, recall, f1
+
+
+def f1_score(reported: Iterable[int], true_set: Iterable[int]) -> float:
+    """F1 score only (paper's heavy-hitter detection metric)."""
+    return precision_recall_f1(reported, true_set)[2]

@@ -1,0 +1,135 @@
+"""HashFlow ancillary table ``A``.
+
+Stores *summarized* records ``(digest, count)`` for flows that lost all
+``d`` main-table probes (paper Algorithm 1, lines 14-23).  A short
+digest of the flow ID (8 bits by default) replaces the full key to save
+memory; the counter is likewise narrow (8 bits) and saturates.
+
+Update semantics for a packet whose flow digests to ``digest`` at bucket
+``idx``, with ``min_count`` the sentinel count from the failed main
+probe:
+
+* empty bucket or digest mismatch → *replace*: the existing summarized
+  flow is discarded and the bucket becomes ``(digest, 1)``;
+* digest match and ``count < min_count`` → *increment*;
+* digest match and ``count >= min_count`` → *promote*: the flow has
+  grown at least as large as the smallest colliding main-table record,
+  so it should displace that sentinel.
+"""
+
+from __future__ import annotations
+
+from repro.hashing.digest import DEFAULT_DIGEST_BITS, DigestFunction
+from repro.hashing.families import HashFunction
+from repro.sketches.base import CostMeter
+from repro.sketches.linear_counting import linear_counting_estimate
+
+DEFAULT_COUNTER_BITS = 8
+
+#: Outcome: the packet was recorded in the ancillary table.
+STORED = 0
+#: Outcome: the record grew past the sentinel and must be promoted.
+PROMOTE = 1
+
+
+class AncillaryTable:
+    """The ancillary (digest, count) table of HashFlow.
+
+    Args:
+        n_cells: number of buckets.
+        index_hash: the hash ``g1`` mapping flow IDs to buckets.
+        digest: digest function (``h1 mod 2**w`` in the paper).
+        counter_bits: counter width; counters saturate at
+            ``2**counter_bits - 1`` (8 bits in the paper's setup).
+        meter: shared cost meter.
+    """
+
+    def __init__(
+        self,
+        n_cells: int,
+        index_hash: HashFunction,
+        digest: DigestFunction,
+        counter_bits: int = DEFAULT_COUNTER_BITS,
+        meter: CostMeter | None = None,
+    ):
+        if n_cells <= 0:
+            raise ValueError(f"n_cells must be positive, got {n_cells}")
+        if counter_bits <= 0:
+            raise ValueError(f"counter_bits must be positive, got {counter_bits}")
+        self.n_cells = n_cells
+        self.counter_bits = counter_bits
+        self.max_count = (1 << counter_bits) - 1
+        self.index_hash = index_hash
+        self.digest = digest
+        self.meter = meter if meter is not None else CostMeter()
+        self._digests = [0] * n_cells
+        self._counts = [0] * n_cells
+
+    def offer(self, key: int, min_count: int) -> tuple[int, int]:
+        """Record a packet that failed every main-table probe.
+
+        Args:
+            key: packed flow ID.
+            min_count: sentinel count from the failed main probe.
+
+        Returns:
+            ``(STORED, 0)`` if the packet was absorbed here, or
+            ``(PROMOTE, new_count)`` when the caller must write
+            ``(key, new_count)`` over the main-table sentinel
+            (``new_count = count + 1``, counting this packet).
+        """
+        meter = self.meter
+        idx = self.index_hash.bucket(key, self.n_cells)
+        dig = self.digest(key)
+        meter.hashes += 2
+        meter.reads += 1
+        count = self._counts[idx]
+        if count == 0 or self._digests[idx] != dig:
+            # New or colliding flow: replace the summarized record.
+            self._digests[idx] = dig
+            self._counts[idx] = 1
+            meter.writes += 1
+            return STORED, 0
+        if count < min_count:
+            if count < self.max_count:
+                self._counts[idx] = count + 1
+            meter.writes += 1
+            return STORED, 0
+        return PROMOTE, count + 1
+
+    def query(self, key: int) -> int:
+        """Summarized count for ``key`` (0 unless its digest matches)."""
+        idx = self.index_hash.bucket(key, self.n_cells)
+        if self._counts[idx] > 0 and self._digests[idx] == self.digest(key):
+            return self._counts[idx]
+        return 0
+
+    def clear_cell(self, key: int) -> None:
+        """Erase the cell ``key`` maps to (used by the promotion-clearing
+        HashFlow variant; the literal Algorithm 1 leaves it stale)."""
+        idx = self.index_hash.bucket(key, self.n_cells)
+        self._digests[idx] = 0
+        self._counts[idx] = 0
+        self.meter.writes += 1
+
+    def occupancy(self) -> int:
+        """Number of non-empty buckets."""
+        return sum(1 for c in self._counts if c > 0)
+
+    def estimate_cardinality(self) -> float:
+        """Linear-counting estimate of distinct flows that hit this table.
+
+        Paper §IV-A: linear counting is "used by HashFlow to estimate
+        the number of flows in its ancillary table".
+        """
+        return linear_counting_estimate(self.n_cells, self.n_cells - self.occupancy())
+
+    def reset(self) -> None:
+        """Clear all buckets."""
+        self._digests = [0] * self.n_cells
+        self._counts = [0] * self.n_cells
+
+    @property
+    def memory_bits(self) -> int:
+        """Buckets of (digest, counter)."""
+        return self.n_cells * (self.digest.bits + self.counter_bits)

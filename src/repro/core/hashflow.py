@@ -1,0 +1,222 @@
+"""HashFlow: the paper's flow-record collection algorithm (Algorithm 1).
+
+HashFlow keeps *accurate* records for elephant flows in a main table and
+*summarized* records for mice flows in an ancillary table, glued
+together by two strategies:
+
+1. **Collision resolution** — a packet probes the main table with
+   ``h_1 ... h_d``; it takes the first empty bucket or increments its
+   own record.  Probes never evict, so records are never split.  The
+   probe remembers the *sentinel*: the colliding bucket with the
+   smallest count.
+2. **Record promotion** — a packet that loses all ``d`` probes falls
+   into the ancillary table (digest-keyed, evict-on-mismatch).  When its
+   summarized count reaches the sentinel count, the flow has become an
+   elephant and is promoted: it overwrites the sentinel record in the
+   main table with ``count = ancillary count + 1``.
+
+The main table can be a single multi-hash array or pipelined sub-tables
+(paper default: 3 pipelined tables, ``α = 0.7``); see
+:mod:`repro.core.maintable`.
+
+Fidelity notes:
+
+* Following the literal Algorithm 1, a promoted flow's ancillary cell is
+  left stale (the paper does not clear it); pass
+  ``clear_promoted=True`` for the tidier variant — the difference is
+  measurable only through digest-collision noise.
+* The sentinel is chosen among the *current packet's* ``d`` candidate
+  buckets, so a promoted record is always found again by later packets
+  of the same flow.
+"""
+
+from __future__ import annotations
+
+from repro.hashing.digest import DEFAULT_DIGEST_BITS, DigestFunction
+from repro.hashing.families import HashFamily
+from repro.sketches.base import FlowCollector
+from repro.core.ancillary import PROMOTE, AncillaryTable, DEFAULT_COUNTER_BITS
+from repro.core.maintable import (
+    ABSORBED,
+    DEFAULT_ALPHA,
+    DEFAULT_DEPTH,
+    MainTable,
+    MultiHashTable,
+    PipelinedTables,
+)
+
+
+class HashFlow(FlowCollector):
+    """The HashFlow collector.
+
+    Args:
+        main_cells: buckets in the main table.
+        ancillary_cells: buckets in the ancillary table (the paper uses
+            the same number as ``main_cells``).
+        depth: number of main-table hash functions ``d`` (paper: 3).
+        variant: ``"pipelined"`` (paper's evaluated configuration) or
+            ``"multihash"``.
+        alpha: pipeline weight ``α`` for the pipelined variant (paper: 0.7).
+        digest_bits: ancillary digest width (paper: 8).
+        ancillary_counter_bits: ancillary counter width (paper: 8).
+        clear_promoted: clear a flow's ancillary cell on promotion
+            (Algorithm 1 leaves it stale; default follows the paper).
+        promote: enable the record-promotion strategy (disable only for
+            ablation studies — without it, ancillary elephants can never
+            re-enter the main table).
+        track_bytes: keep a 32-bit byte counter per main-table record
+            (the NetFlow dOctets field); feed packets through
+            :meth:`process_packet` to populate it.  Costs 32 bits per
+            cell and is off in the paper's configuration.
+        seed: seed for all hash functions.
+    """
+
+    name = "HashFlow"
+
+    def __init__(
+        self,
+        main_cells: int,
+        ancillary_cells: int | None = None,
+        depth: int = DEFAULT_DEPTH,
+        variant: str = "pipelined",
+        alpha: float = DEFAULT_ALPHA,
+        digest_bits: int = DEFAULT_DIGEST_BITS,
+        ancillary_counter_bits: int = DEFAULT_COUNTER_BITS,
+        clear_promoted: bool = False,
+        promote: bool = True,
+        track_bytes: bool = False,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if ancillary_cells is None:
+            ancillary_cells = main_cells
+        self.variant = variant
+        self.clear_promoted = clear_promoted
+        self.promote_enabled = promote
+        self.track_bytes = track_bytes
+        self.main: MainTable
+        if variant == "pipelined":
+            self.main = PipelinedTables(
+                main_cells,
+                depth=depth,
+                alpha=alpha,
+                seed=seed,
+                meter=self.meter,
+                track_bytes=track_bytes,
+            )
+        elif variant == "multihash":
+            self.main = MultiHashTable(
+                main_cells,
+                depth=depth,
+                seed=seed,
+                meter=self.meter,
+                track_bytes=track_bytes,
+            )
+        else:
+            raise ValueError(f"unknown variant {variant!r}")
+        # g1 and the digest base hash are independent of h_1..h_d.
+        aux = HashFamily(2, master_seed=seed ^ 0xA5C1_11A7)
+        self.ancillary = AncillaryTable(
+            ancillary_cells,
+            index_hash=aux[0],
+            digest=DigestFunction(aux[1], bits=digest_bits),
+            counter_bits=ancillary_counter_bits,
+            meter=self.meter,
+        )
+        self.promotions = 0
+
+    # ------------------------------------------------------------------
+    # Update path (Algorithm 1)
+    # ------------------------------------------------------------------
+    def process(self, key: int, size: int = 0) -> None:
+        """Process one packet of flow ``key`` (``size`` feeds the
+        optional byte counters)."""
+        self.meter.packets += 1
+        status, min_count, sentinel = self.main.probe(key, size)
+        if status == ABSORBED:
+            return
+        if not self.promote_enabled:
+            # Ablation mode: treat the sentinel as unbeatable, so the
+            # ancillary only ever stores/increments.
+            min_count = 1 << 62
+        outcome, new_count = self.ancillary.offer(key, min_count)
+        if outcome == PROMOTE:
+            self.main.promote(sentinel, key, new_count, size)
+            self.promotions += 1
+            if self.clear_promoted:
+                self.ancillary.clear_cell(key)
+
+    def process_packet(self, packet) -> None:
+        """Process a :class:`~repro.flow.packet.Packet`, counting bytes."""
+        self.process(packet.key, packet.size)
+
+    def byte_records(self) -> dict[int, int]:
+        """Per-flow byte counts (requires ``track_bytes=True``).
+
+        Counts are exact for never-promoted records and lower bounds for
+        promoted ones (bytes lost to ancillary churn are unrecoverable).
+
+        Raises:
+            RuntimeError: if byte tracking is disabled.
+        """
+        return self.main.byte_records()
+
+    # ------------------------------------------------------------------
+    # Report path
+    # ------------------------------------------------------------------
+    def records(self) -> dict[int, int]:
+        """Accurate records: the main table's resident flows."""
+        return self.main.records()
+
+    def query(self, key: int) -> int:
+        """Main-table count, else the ancillary summarized count, else 0."""
+        count = self.main.query(key)
+        if count:
+            return count
+        return self.ancillary.query(key)
+
+    def estimate_cardinality(self) -> float:
+        """Occupied main cells + linear counting over the ancillary table
+        (paper §IV-A)."""
+        return self.main.occupancy() + self.ancillary.estimate_cardinality()
+
+    def heavy_hitters(self, threshold: int) -> dict[int, int]:
+        """Main-table flows with more than ``threshold`` packets."""
+        return {k: v for k, v in self.main.records().items() if v > threshold}
+
+    def utilization(self) -> float:
+        """Main-table utilization (the quantity modelled in §III-B)."""
+        return self.main.utilization()
+
+    def evict(self, key: int) -> bool:
+        """Control-plane eviction: clear the flow's main-table record and
+        its ancillary cell (used by timeout/export engines; not metered).
+
+        Returns:
+            Whether a main-table record was removed.
+        """
+        removed = self.main.remove(key)
+        # clear_cell meters a write because the promotion path uses it
+        # from the dataplane; eviction is control-plane, so undo it.
+        writes_before = self.meter.writes
+        self.ancillary.clear_cell(key)
+        self.meter.writes = writes_before
+        return removed
+
+    def reset(self) -> None:
+        """Clear both tables, the promotion counter and the meter."""
+        self.main.reset()
+        self.ancillary.reset()
+        self.promotions = 0
+        self.meter.reset()
+
+    @property
+    def memory_bits(self) -> int:
+        """Main records + ancillary (digest, counter) cells."""
+        return self.main.memory_bits + self.ancillary.memory_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HashFlow(variant={self.variant!r}, main={self.main.n_cells}, "
+            f"ancillary={self.ancillary.n_cells}, memory={self.memory_bytes:.0f}B)"
+        )

@@ -1,0 +1,193 @@
+"""NetFlow-style record expiry: active and inactive timeouts.
+
+Operational NetFlow does not hold records forever: a record is exported
+and cleared when its flow has been idle for the *inactive timeout* or
+has been alive past the *active timeout* (RFC 3954 semantics).  This
+module adds those cache dynamics on top of HashFlow: the dataplane
+tables stay fixed-size, while the control plane tracks per-flow
+timestamps, expires records, and accumulates the exported archive.
+
+The timestamp map lives control-plane side (ordinary memory), matching
+real deployments where the export engine, not the SRAM tables, owns
+flow timing.  Expiry frees main-table cells, so long-lived measurement
+keeps absorbing new flows — the same operational motivation as
+:class:`~repro.core.adaptive.EpochedHashFlow`, but flow-granular.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.hashflow import HashFlow
+from repro.flow.packet import Packet
+from repro.sketches.base import FlowCollector
+
+
+@dataclass(frozen=True, slots=True)
+class ExportedRecord:
+    """A flow record exported on expiry.
+
+    Attributes:
+        key: packed flow ID.
+        packets: recorded packet count at export time.
+        first_seen: flow start timestamp.
+        last_seen: last packet timestamp.
+        reason: ``"inactive"`` or ``"active"``.
+    """
+
+    key: int
+    packets: int
+    first_seen: float
+    last_seen: float
+    reason: str
+
+
+class TimeoutHashFlow(FlowCollector):
+    """HashFlow with active/inactive timeout export.
+
+    Args:
+        inner: the HashFlow whose tables hold the live records.
+        inactive_timeout: seconds of silence after which a flow is
+            exported (NetFlow default: 15s).
+        active_timeout: maximum record lifetime before a mid-flow export
+            (NetFlow default: 30min).
+        expiry_interval: how often (in packets) the expiry scan runs;
+            models the periodic export engine sweep.
+    """
+
+    name = "TimeoutHashFlow"
+
+    def __init__(
+        self,
+        inner: HashFlow,
+        inactive_timeout: float = 15.0,
+        active_timeout: float = 1800.0,
+        expiry_interval: int = 1024,
+    ):
+        super().__init__()
+        if inactive_timeout <= 0 or active_timeout <= 0:
+            raise ValueError("timeouts must be positive")
+        if active_timeout < inactive_timeout:
+            raise ValueError("active timeout must be >= inactive timeout")
+        if expiry_interval <= 0:
+            raise ValueError(f"expiry_interval must be positive, got {expiry_interval}")
+        self.inner = inner
+        self.meter = inner.meter
+        self.inactive_timeout = inactive_timeout
+        self.active_timeout = active_timeout
+        self.expiry_interval = expiry_interval
+        self._first_seen: dict[int, float] = {}
+        self._last_seen: dict[int, float] = {}
+        self._now = 0.0
+        self._since_sweep = 0
+        self.exported: list[ExportedRecord] = []
+
+    # ------------------------------------------------------------------
+    # Update path
+    # ------------------------------------------------------------------
+    def process_packet(self, packet: Packet) -> None:
+        """Process a timestamped packet and run due expiry sweeps."""
+        self._now = max(self._now, packet.timestamp)
+        key = packet.key
+        self.inner.process(key)
+        if key not in self._first_seen:
+            self._first_seen[key] = packet.timestamp
+        self._last_seen[key] = packet.timestamp
+        self._since_sweep += 1
+        if self._since_sweep >= self.expiry_interval:
+            self.expire(self._now)
+
+    def process(self, key: int) -> None:
+        """Untimestamped fallback: behaves like plain HashFlow (no expiry
+        clock advances)."""
+        self.inner.process(key)
+        self._first_seen.setdefault(key, self._now)
+        self._last_seen[key] = self._now
+
+    def process_trace(self, trace) -> int:
+        """Feed a (preferably timestamped) trace; returns packet count."""
+        n = 0
+        for packet in trace.packets():
+            self.process_packet(packet)
+            n += 1
+        return n
+
+    # ------------------------------------------------------------------
+    # Expiry
+    # ------------------------------------------------------------------
+    def expire(self, now: float) -> list[ExportedRecord]:
+        """Export and clear every record past a timeout.
+
+        Returns:
+            The records exported by this sweep.
+        """
+        self._since_sweep = 0
+        exported: list[ExportedRecord] = []
+        for key, last in list(self._last_seen.items()):
+            first = self._first_seen[key]
+            if now - last >= self.inactive_timeout:
+                reason = "inactive"
+            elif now - first >= self.active_timeout:
+                reason = "active"
+            else:
+                continue
+            count = self.inner.query(key)
+            if count > 0:
+                exported.append(
+                    ExportedRecord(
+                        key=key,
+                        packets=count,
+                        first_seen=first,
+                        last_seen=last,
+                        reason=reason,
+                    )
+                )
+            self.inner.evict(key)
+            del self._first_seen[key]
+            del self._last_seen[key]
+        self.exported.extend(exported)
+        return exported
+
+    def flush(self) -> list[ExportedRecord]:
+        """Export everything still resident (end-of-run drain)."""
+        # A flush is an expiry sweep with an infinitely late clock.
+        return self.expire(self._now + self.active_timeout + self.inactive_timeout)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def records(self) -> dict[int, int]:
+        """Exported records merged with the live tables' records."""
+        merged: dict[int, int] = {}
+        for record in self.exported:
+            merged[record.key] = merged.get(record.key, 0) + record.packets
+        for key, count in self.inner.records().items():
+            merged[key] = merged.get(key, 0) + count
+        return merged
+
+    def query(self, key: int) -> int:
+        """Exported count plus the live estimate."""
+        exported = sum(r.packets for r in self.exported if r.key == key)
+        return exported + self.inner.query(key)
+
+    def estimate_cardinality(self) -> float:
+        """Distinct exported flows plus the live estimate (flows spanning
+        an export boundary count once per segment)."""
+        exported_keys = {r.key for r in self.exported}
+        live = self.inner.estimate_cardinality()
+        overlap = len(exported_keys & self.inner.records().keys())
+        return len(exported_keys) + live - overlap
+
+    def reset(self) -> None:
+        """Clear the tables, the timestamps and the archive."""
+        self.inner.reset()
+        self._first_seen.clear()
+        self._last_seen.clear()
+        self.exported.clear()
+        self._now = 0.0
+        self._since_sweep = 0
+
+    @property
+    def memory_bits(self) -> int:
+        """Dataplane memory only (timestamps live control-plane side)."""
+        return self.inner.memory_bits

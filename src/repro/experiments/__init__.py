@@ -1,0 +1,34 @@
+"""Experiment harness: memory budgeting, runners, figure regeneration."""
+
+from repro.experiments.config import (
+    DEFAULT_MEMORY_BYTES,
+    build_all,
+    build_elastic,
+    build_flowradar,
+    build_hashflow,
+    build_hashpipe,
+    resolve_scale,
+)
+from repro.experiments.ascii_plot import line_chart, plot_result
+from repro.experiments.figures import EXPERIMENTS
+from repro.experiments.report import pivot, render_table, save_result
+from repro.experiments.runner import ExperimentResult, Workload, make_workload
+
+__all__ = [
+    "DEFAULT_MEMORY_BYTES",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "Workload",
+    "build_all",
+    "build_elastic",
+    "build_flowradar",
+    "build_hashflow",
+    "build_hashpipe",
+    "line_chart",
+    "make_workload",
+    "pivot",
+    "plot_result",
+    "render_table",
+    "resolve_scale",
+    "save_result",
+]

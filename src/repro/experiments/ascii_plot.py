@@ -1,0 +1,154 @@
+"""ASCII line charts for experiment results.
+
+The evaluation figures are line plots; with no plotting stack available
+offline, this renders them as terminal charts so `repro-experiments run
+fig6 --plot` shows the curves, not just the rows.  Each series gets a
+distinct glyph; axes are linearly scaled and labelled with their ranges.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.report import pivot
+from repro.experiments.runner import ExperimentResult
+
+SERIES_GLYPHS = "*o+x#@%&"
+
+
+def line_chart(
+    series: dict[str, dict[float, float]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render ``{series name: {x: y}}`` as an ASCII chart.
+
+    Args:
+        series: per-series points; x values need not align across series.
+        width / height: plot-area size in characters.
+        title: optional heading line.
+        x_label / y_label: axis names shown with their ranges.
+
+    Returns:
+        The chart as a multi-line string.
+
+    Raises:
+        ValueError: if there are no finite points at all or too many
+            series for the glyph set.
+    """
+    if len(series) > len(SERIES_GLYPHS):
+        raise ValueError(f"at most {len(SERIES_GLYPHS)} series supported")
+    points = [
+        (float(x), float(y))
+        for by_x in series.values()
+        for x, y in by_x.items()
+        if _finite(x) and _finite(y)
+    ]
+    if not points:
+        raise ValueError("no finite data points to plot")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, (name, by_x) in zip(SERIES_GLYPHS, sorted(series.items())):
+        for x, y in by_x.items():
+            if not (_finite(x) and _finite(y)):
+                continue
+            col = round((float(x) - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((float(y) - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label}: {y_lo:g} .. {y_hi:g}")
+    border = "+" + "-" * width + "+"
+    lines.append(border)
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append(border)
+    lines.append(f"{x_label}: {x_lo:g} .. {x_hi:g}")
+    legend = "  ".join(
+        f"{glyph}={name}"
+        for glyph, name in zip(SERIES_GLYPHS, sorted(series))
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def _finite(value) -> bool:
+    try:
+        return math.isfinite(float(value))
+    except (TypeError, ValueError):
+        return False
+
+
+#: Which (index, series, value) triple draws each experiment's chart.
+PLOT_SPECS: dict[str, tuple[str, str, str]] = {
+    "fig2a": ("depth", "load", "sim"),
+    "fig2b": ("depth", "alpha", "sim"),
+    "fig2c": ("depth", "alpha", "sim"),
+    "fig2d": ("alpha", "load", "improvement"),
+    "fig4": ("depth", "trace", "are"),
+    "fig5": ("n_flows", "config", "fsc"),
+    "fig6": ("n_flows", "algorithm", "fsc"),
+    "fig7": ("n_flows", "algorithm", "cardinality_re"),
+    "fig8": ("n_flows", "algorithm", "size_are"),
+    "fig9": ("threshold", "algorithm", "f1"),
+    "fig10": ("threshold", "algorithm", "are"),
+}
+
+
+def plot_result(result: ExperimentResult, width: int = 64, height: int = 16) -> str:
+    """Chart an experiment result using its registered plot spec.
+
+    For multi-trace experiments one chart is rendered per trace.
+
+    Raises:
+        KeyError: if the experiment has no plot spec (tables are tables).
+    """
+    spec = PLOT_SPECS.get(result.experiment_id)
+    if spec is None:
+        raise KeyError(f"no plot spec for {result.experiment_id!r}")
+    index, series_col, value = spec
+    charts = []
+    if "trace" in result.columns and series_col != "trace":
+        traces = sorted({row["trace"] for row in result.rows})
+        for trace in traces:
+            sub = ExperimentResult(
+                experiment_id=result.experiment_id,
+                title=result.title,
+                columns=result.columns,
+                rows=result.filter_rows(trace=trace),
+            )
+            charts.append(
+                line_chart(
+                    pivot(sub, index, series_col, value),
+                    width=width,
+                    height=height,
+                    title=f"{result.experiment_id} [{trace}]: {value} vs {index}",
+                    x_label=index,
+                    y_label=value,
+                )
+            )
+    else:
+        charts.append(
+            line_chart(
+                pivot(result, index, series_col, value),
+                width=width,
+                height=height,
+                title=f"{result.experiment_id}: {value} vs {index}",
+                x_label=index,
+                y_label=value,
+            )
+        )
+    return "\n\n".join(charts)

@@ -1,0 +1,154 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Examples::
+
+    repro-experiments list
+    repro-experiments run fig6 --scale 0.1 --plot
+    repro-experiments run all --out results/
+    repro-experiments sweep fig4 --seeds 0 1 2 --metric are
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis.significance import summarize
+from repro.experiments.ascii_plot import PLOT_SPECS, plot_result
+from repro.experiments.figures import EXPERIMENTS
+from repro.experiments.report import render_table, save_result
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the HashFlow paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id (e.g. fig6) or 'all'")
+    run.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="size factor vs the paper (default: REPRO_SCALE env or 0.1; "
+        "1.0 = paper scale)",
+    )
+    run.add_argument("--seed", type=int, default=0, help="experiment seed")
+    run.add_argument(
+        "--out", default=None, help="directory to save rendered tables into"
+    )
+    run.add_argument(
+        "--plot",
+        action="store_true",
+        help="also render the figure as ASCII charts (line figures only)",
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="run one experiment across seeds and report mean/std"
+    )
+    sweep.add_argument("experiment", help="experiment id (e.g. fig4)")
+    sweep.add_argument(
+        "--seeds", type=int, nargs="+", default=[0, 1, 2], help="seeds to run"
+    )
+    sweep.add_argument("--scale", type=float, default=None)
+    sweep.add_argument(
+        "--metric",
+        default=None,
+        help="numeric column to aggregate (default: last column)",
+    )
+    return parser
+
+
+def run_experiment(
+    name: str, scale: float | None, seed: int, out: str | None, plot: bool = False
+) -> None:
+    """Run one registered experiment, print it, optionally save/plot it."""
+    func = EXPERIMENTS[name]
+    start = time.perf_counter()
+    result = func(scale=scale, seed=seed)
+    elapsed = time.perf_counter() - start
+    print(render_table(result))
+    print(f"# elapsed: {elapsed:.1f}s\n")
+    if plot:
+        if name in PLOT_SPECS:
+            print(plot_result(result))
+            print()
+        else:
+            print(f"# (no chart layout for {name}; table only)\n")
+    if out:
+        path = save_result(result, out)
+        print(f"# saved to {path}\n")
+
+
+def run_sweep(
+    name: str, seeds: list[int], scale: float | None, metric: str | None
+) -> None:
+    """Run an experiment per seed and summarize one numeric column.
+
+    The metric is aggregated per (non-seed) row group; groups are keyed
+    by every non-metric column so the output mirrors the single-run
+    table with mean ± std cells.
+    """
+    func = EXPERIMENTS[name]
+    results = [func(scale=scale, seed=seed) for seed in seeds]
+    columns = results[0].columns
+    metric = metric or columns[-1]
+    if metric not in columns:
+        raise SystemExit(f"metric {metric!r} not in columns {columns}")
+    key_cols = [c for c in columns if c != metric]
+    grouped: dict[tuple, list[float]] = {}
+    for result in results:
+        for row in result.rows:
+            key = tuple(row.get(c) for c in key_cols)
+            value = row.get(metric)
+            if isinstance(value, (int, float)):
+                grouped.setdefault(key, []).append(float(value))
+    header = " | ".join([*key_cols, f"{metric} (mean ± std over {len(seeds)} seeds)"])
+    print(f"# sweep {name}: seeds={seeds}")
+    print(header)
+    print("-" * len(header))
+    for key, values in grouped.items():
+        stats = summarize(values)
+        cells = [str(k) for k in key]
+        cells.append(f"{stats.mean:.4f} ± {stats.std:.4f}")
+        print(" | ".join(cells))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for name, func in EXPERIMENTS.items():
+            doc = (func.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:8s} {doc}")
+        return 0
+    if args.command == "sweep":
+        if args.experiment not in EXPERIMENTS:
+            print(f"unknown experiment {args.experiment!r}", file=sys.stderr)
+            return 2
+        run_sweep(args.experiment, args.seeds, args.scale, args.metric)
+        return 0
+    if args.experiment == "all":
+        names = list(EXPERIMENTS)
+    elif args.experiment in EXPERIMENTS:
+        names = [args.experiment]
+    else:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"choose from {', '.join(EXPERIMENTS)} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        run_experiment(name, args.scale, args.seed, args.out, plot=args.plot)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Rendering experiment results as aligned ASCII tables and files.
+
+The benchmark harness prints the same rows/series the paper reports;
+this module owns the formatting so every bench and the CLI produce
+identical output.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+from repro.experiments.runner import ExperimentResult
+
+
+def _format_value(value) -> str:
+    """Human-friendly cell rendering."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf"
+        return f"{value:.4f}".rstrip("0").rstrip(".") if value != int(value) else str(int(value))
+    return str(value)
+
+
+def render_table(result: ExperimentResult) -> str:
+    """Render a result as an aligned ASCII table with a header block."""
+    headers = result.columns
+    rows = [[_format_value(row.get(col)) for col in headers] for row in result.rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [
+        f"# {result.experiment_id}: {result.title}",
+    ]
+    if result.params:
+        lines.append(f"# params: {result.params}")
+    if result.notes:
+        lines.append(f"# notes: {result.notes}")
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for r in rows:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def save_result(result: ExperimentResult, out_dir: str | Path) -> Path:
+    """Write the rendered table to ``<out_dir>/<experiment_id>.txt``.
+
+    Returns:
+        The written file path.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{result.experiment_id}.txt"
+    path.write_text(render_table(result) + "\n")
+    return path
+
+
+def pivot(
+    result: ExperimentResult, index: str, series: str, value: str
+) -> dict[str, dict]:
+    """Pivot rows into ``{series_value: {index_value: value}}``.
+
+    Convenience for turning the flat rows into the per-curve series the
+    paper's figures draw, e.g. ``pivot(fig6_result, "n_flows",
+    "algorithm", "fsc")``.
+    """
+    table: dict[str, dict] = {}
+    for row in result.rows:
+        table.setdefault(str(row[series]), {})[row[index]] = row[value]
+    return table

@@ -1,0 +1,113 @@
+"""Generic experiment running: workloads, feeding, result containers.
+
+An :class:`ExperimentResult` is the canonical output of every
+table/figure regeneration: a set of named columns plus data rows, with
+enough metadata to render an ASCII table and to record paper-vs-measured
+comparisons in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sketches.base import FlowCollector
+from repro.traces.profiles import TraceProfile
+from repro.traces.trace import Trace
+
+
+@dataclass
+class ExperimentResult:
+    """Tabular result of one experiment.
+
+    Attributes:
+        experiment_id: e.g. ``"fig6"`` or ``"table1"``.
+        title: human-readable description.
+        columns: ordered column names.
+        rows: data rows (one dict per row, keyed by column name).
+        params: experiment parameters for the record.
+        notes: free-form remarks (deviations, scale factors, ...).
+    """
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    params: dict = field(default_factory=dict)
+    notes: str = ""
+
+    def add_row(self, **values) -> None:
+        """Append a row; unknown keys raise to catch typos early."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"row keys {sorted(unknown)} not in columns {self.columns}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> list:
+        """Extract one column across all rows (missing values -> None)."""
+        if name not in self.columns:
+            raise KeyError(f"unknown column {name!r}")
+        return [row.get(name) for row in self.rows]
+
+    def filter_rows(self, **conditions) -> list[dict]:
+        """Rows matching all ``column == value`` conditions."""
+        return [
+            row
+            for row in self.rows
+            if all(row.get(k) == v for k, v in conditions.items())
+        ]
+
+
+class Workload:
+    """A prepared trial input: a trace plus its materialized key stream.
+
+    Feeding the *same* packet stream to each algorithm (as the paper
+    does) is the expensive part of every experiment; this class
+    materializes it once and reuses it.
+    """
+
+    def __init__(self, trace: Trace):
+        self.trace = trace
+        self.keys = trace.key_list()
+        self.true_sizes = trace.true_sizes()
+
+    @property
+    def num_flows(self) -> int:
+        """Distinct flows in the workload."""
+        return self.trace.num_flows
+
+    @property
+    def num_packets(self) -> int:
+        """Packets in the workload."""
+        return len(self.keys)
+
+    def feed(self, collector: FlowCollector) -> FlowCollector:
+        """Feed the full stream into a collector and return it."""
+        collector.process_all(self.keys)
+        return collector
+
+
+def make_workload(
+    profile: TraceProfile,
+    n_flows: int,
+    seed: int = 0,
+    base_flows: int | None = None,
+) -> Workload:
+    """Generate a trial workload from a profile.
+
+    The profile trace is generated at ``max(base_flows, n_flows)`` flows
+    and the trial subset of ``n_flows`` flows is drawn from it, matching
+    the paper's procedure of selecting a constant number of flows from a
+    fixed trace.
+
+    Args:
+        profile: one of the four calibrated profiles.
+        n_flows: flows in the trial.
+        seed: generation + selection seed.
+        base_flows: size of the base trace (default: exactly
+            ``n_flows``, which skips the subsetting cost).
+    """
+    base = n_flows if base_flows is None else max(base_flows, n_flows)
+    trace = profile.generate(n_flows=base, seed=seed)
+    if base > n_flows:
+        trace = trace.subset_flows(n_flows, seed=seed + 1)
+    return Workload(trace)

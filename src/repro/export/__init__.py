@@ -1,0 +1,29 @@
+"""Record export: NetFlow v5 datagrams and CSV/JSON text formats."""
+
+from repro.export.netflow_v5 import (
+    MAX_RECORDS_PER_DATAGRAM,
+    NETFLOW_V5_VERSION,
+    NetFlowV5Exporter,
+    NetFlowV5Record,
+    parse_datagram,
+    parse_stream,
+)
+from repro.export.text import (
+    records_from_csv,
+    records_from_jsonl,
+    records_to_csv,
+    records_to_jsonl,
+)
+
+__all__ = [
+    "MAX_RECORDS_PER_DATAGRAM",
+    "NETFLOW_V5_VERSION",
+    "NetFlowV5Exporter",
+    "NetFlowV5Record",
+    "parse_datagram",
+    "parse_stream",
+    "records_from_csv",
+    "records_from_jsonl",
+    "records_to_csv",
+    "records_to_jsonl",
+]

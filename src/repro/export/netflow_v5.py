@@ -1,0 +1,220 @@
+"""NetFlow v5 datagram export/import.
+
+HashFlow is a NetFlow replacement on the switch, but the records it
+collects still need to reach a collector; NetFlow v5 is the lingua
+franca.  This module packs ``{flow key: packet count}`` records into
+standard v5 datagrams (24-byte header + up to 30 x 48-byte records) and
+parses them back, so records from any :class:`FlowCollector` can be
+consumed by stock tooling (nfdump, flow-tools, commercial collectors).
+
+Only the fields a flow-record collector knows are populated: the
+5-tuple and the packet count (dOctets is estimated from a configurable
+mean packet size).  Byte counts, AS numbers and interface indices are
+left zero, as software exporters commonly do.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.flow.key import pack_key, unpack_key
+from repro.flow.packet import DEFAULT_PACKET_BYTES
+
+NETFLOW_V5_VERSION = 5
+MAX_RECORDS_PER_DATAGRAM = 30
+
+_HEADER = struct.Struct("!HHIIIIBBH")
+_RECORD = struct.Struct("!IIIHHIIIIHHBBBBHHBBH")
+
+HEADER_BYTES = _HEADER.size  # 24
+RECORD_BYTES = _RECORD.size  # 48
+
+
+@dataclass(frozen=True, slots=True)
+class NetFlowV5Record:
+    """One parsed NetFlow v5 record (the fields this library populates).
+
+    Attributes:
+        key: packed 104-bit flow identifier.
+        packets: packet count (dPkts).
+        octets: byte count (dOctets).
+        first_ms: flow start, SysUptime milliseconds.
+        last_ms: flow end, SysUptime milliseconds.
+    """
+
+    key: int
+    packets: int
+    octets: int
+    first_ms: int = 0
+    last_ms: int = 0
+
+
+class NetFlowV5Exporter:
+    """Packs flow records into NetFlow v5 datagrams.
+
+    Args:
+        engine_id: exporter identifier carried in every header.
+        sampling_interval: value for the header's sampling field (0 =
+            unsampled; set to N when exporting from
+            :class:`~repro.sketches.sampled.SampledNetFlow`).
+        mean_packet_bytes: used to synthesize dOctets from packet counts.
+
+    The exporter is stateful: ``flow_sequence`` increments across calls,
+    as the protocol requires.
+    """
+
+    def __init__(
+        self,
+        engine_id: int = 0,
+        sampling_interval: int = 0,
+        mean_packet_bytes: int = DEFAULT_PACKET_BYTES,
+    ):
+        if not 0 <= engine_id <= 0xFF:
+            raise ValueError(f"engine_id out of range: {engine_id}")
+        if not 0 <= sampling_interval <= 0x3FFF:
+            raise ValueError(f"sampling_interval out of range: {sampling_interval}")
+        if mean_packet_bytes <= 0:
+            raise ValueError(f"mean_packet_bytes must be positive: {mean_packet_bytes}")
+        self.engine_id = engine_id
+        self.sampling_interval = sampling_interval
+        self.mean_packet_bytes = mean_packet_bytes
+        self.flow_sequence = 0
+
+    def export(
+        self,
+        records: dict[int, int],
+        sys_uptime_ms: int = 0,
+        unix_secs: int = 0,
+    ) -> list[bytes]:
+        """Pack records into one or more v5 datagrams.
+
+        Args:
+            records: ``{packed flow key: packet count}``.
+            sys_uptime_ms: exporter uptime for the header.
+            unix_secs: export wall-clock time for the header.
+
+        Returns:
+            Encoded datagrams, each carrying at most 30 records.
+        """
+        datagrams = []
+        items = sorted(records.items())
+        for start in range(0, len(items), MAX_RECORDS_PER_DATAGRAM):
+            chunk = items[start : start + MAX_RECORDS_PER_DATAGRAM]
+            body = b"".join(
+                self._encode_record(key, count, sys_uptime_ms)
+                for key, count in chunk
+            )
+            header = _HEADER.pack(
+                NETFLOW_V5_VERSION,
+                len(chunk),
+                sys_uptime_ms & 0xFFFFFFFF,
+                unix_secs & 0xFFFFFFFF,
+                0,  # unix_nsecs
+                self.flow_sequence & 0xFFFFFFFF,
+                0,  # engine_type
+                self.engine_id,
+                self.sampling_interval,
+            )
+            self.flow_sequence += len(chunk)
+            datagrams.append(header + body)
+        return datagrams
+
+    def _encode_record(self, key: int, count: int, uptime_ms: int) -> bytes:
+        src_ip, dst_ip, src_port, dst_port, proto = unpack_key(key)
+        octets = count * self.mean_packet_bytes
+        return _RECORD.pack(
+            src_ip,
+            dst_ip,
+            0,  # nexthop
+            0,  # input if
+            0,  # output if
+            count & 0xFFFFFFFF,
+            octets & 0xFFFFFFFF,
+            uptime_ms & 0xFFFFFFFF,  # first
+            uptime_ms & 0xFFFFFFFF,  # last
+            src_port,
+            dst_port,
+            0,  # pad1
+            0,  # tcp_flags
+            proto,
+            0,  # tos
+            0,  # src_as
+            0,  # dst_as
+            0,  # src_mask
+            0,  # dst_mask
+            0,  # pad2
+        )
+
+
+def parse_datagram(data: bytes) -> tuple[dict, list[NetFlowV5Record]]:
+    """Parse one NetFlow v5 datagram.
+
+    Returns:
+        ``(header_fields, records)`` where ``header_fields`` is a dict
+        with ``version / count / sys_uptime / unix_secs / flow_sequence /
+        engine_id / sampling_interval``.
+
+    Raises:
+        ValueError: on a malformed or non-v5 datagram.
+    """
+    if len(data) < HEADER_BYTES:
+        raise ValueError("datagram shorter than a v5 header")
+    (
+        version,
+        count,
+        sys_uptime,
+        unix_secs,
+        _unix_nsecs,
+        flow_sequence,
+        _engine_type,
+        engine_id,
+        sampling_interval,
+    ) = _HEADER.unpack_from(data, 0)
+    if version != NETFLOW_V5_VERSION:
+        raise ValueError(f"not a NetFlow v5 datagram (version {version})")
+    expected = HEADER_BYTES + count * RECORD_BYTES
+    if len(data) < expected:
+        raise ValueError(
+            f"datagram truncated: {len(data)} bytes for {count} records"
+        )
+    header = {
+        "version": version,
+        "count": count,
+        "sys_uptime": sys_uptime,
+        "unix_secs": unix_secs,
+        "flow_sequence": flow_sequence,
+        "engine_id": engine_id,
+        "sampling_interval": sampling_interval,
+    }
+    records = []
+    for i in range(count):
+        fields = _RECORD.unpack_from(data, HEADER_BYTES + i * RECORD_BYTES)
+        (src_ip, dst_ip, _nh, _in, _out, pkts, octets, first, last,
+         sport, dport, _pad1, _flags, proto, _tos, _sas, _das, _sm, _dm,
+         _pad2) = fields
+        records.append(
+            NetFlowV5Record(
+                key=pack_key(src_ip, dst_ip, sport, dport, proto),
+                packets=pkts,
+                octets=octets,
+                first_ms=first,
+                last_ms=last,
+            )
+        )
+    return header, records
+
+
+def parse_stream(datagrams: Iterator[bytes]) -> dict[int, int]:
+    """Merge a sequence of datagrams back into ``{flow: packets}``.
+
+    Records for the same flow across datagrams are summed (as a
+    collector would when an exporter splits or re-exports flows).
+    """
+    merged: dict[int, int] = {}
+    for datagram in datagrams:
+        _, records = parse_datagram(datagram)
+        for record in records:
+            merged[record.key] = merged.get(record.key, 0) + record.packets
+    return merged

@@ -1,0 +1,91 @@
+"""CSV and JSON-lines export of flow records.
+
+For pipelines that do not speak NetFlow: dump any collector's records
+as human-greppable text with the 5-tuple broken out into columns.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.flow.key import format_ip, pack_key, parse_ip, unpack_key
+
+CSV_COLUMNS = ("src_ip", "dst_ip", "src_port", "dst_port", "proto", "packets")
+
+
+def records_to_csv(records: dict[int, int]) -> str:
+    """Render records as CSV text (header + one row per flow).
+
+    Rows are sorted by descending packet count, then by key, so the
+    heaviest flows lead the file.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(CSV_COLUMNS)
+    for key, count in sorted(records.items(), key=lambda kv: (-kv[1], kv[0])):
+        src_ip, dst_ip, src_port, dst_port, proto = unpack_key(key)
+        writer.writerow(
+            [format_ip(src_ip), format_ip(dst_ip), src_port, dst_port, proto, count]
+        )
+    return buffer.getvalue()
+
+
+def records_from_csv(text: str) -> dict[int, int]:
+    """Parse CSV produced by :func:`records_to_csv` back into records.
+
+    Raises:
+        ValueError: if the header does not match.
+    """
+    reader = csv.reader(io.StringIO(text))
+    header = next(reader, None)
+    if header != list(CSV_COLUMNS):
+        raise ValueError(f"unexpected CSV header: {header}")
+    records: dict[int, int] = {}
+    for row in reader:
+        if not row:
+            continue
+        src, dst, sport, dport, proto, count = row
+        key = pack_key(parse_ip(src), parse_ip(dst), int(sport), int(dport), int(proto))
+        records[key] = records.get(key, 0) + int(count)
+    return records
+
+
+def records_to_jsonl(records: dict[int, int]) -> str:
+    """Render records as JSON lines (one object per flow)."""
+    lines = []
+    for key, count in sorted(records.items(), key=lambda kv: (-kv[1], kv[0])):
+        src_ip, dst_ip, src_port, dst_port, proto = unpack_key(key)
+        lines.append(
+            json.dumps(
+                {
+                    "src_ip": format_ip(src_ip),
+                    "dst_ip": format_ip(dst_ip),
+                    "src_port": src_port,
+                    "dst_port": dst_port,
+                    "proto": proto,
+                    "packets": count,
+                },
+                separators=(",", ":"),
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def records_from_jsonl(text: str) -> dict[int, int]:
+    """Parse JSON lines produced by :func:`records_to_jsonl`."""
+    records: dict[int, int] = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        obj = json.loads(line)
+        key = pack_key(
+            parse_ip(obj["src_ip"]),
+            parse_ip(obj["dst_ip"]),
+            int(obj["src_port"]),
+            int(obj["dst_port"]),
+            int(obj["proto"]),
+        )
+        records[key] = records.get(key, 0) + int(obj["packets"])
+    return records

@@ -1,0 +1,38 @@
+"""Flow and packet model: 104-bit 5-tuple keys, packets, flow statistics."""
+
+from repro.flow.key import (
+    FLOW_KEY_BITS,
+    FLOW_KEY_MASK,
+    FlowKey,
+    format_ip,
+    pack_key,
+    parse_ip,
+    unpack_key,
+)
+from repro.flow.packet import DEFAULT_PACKET_BYTES, Packet
+from repro.flow.stats import (
+    TraceStats,
+    cdf_at,
+    flow_sizes,
+    heavy_hitters,
+    size_cdf,
+    top_fraction_share,
+)
+
+__all__ = [
+    "DEFAULT_PACKET_BYTES",
+    "FLOW_KEY_BITS",
+    "FLOW_KEY_MASK",
+    "FlowKey",
+    "Packet",
+    "TraceStats",
+    "cdf_at",
+    "flow_sizes",
+    "format_ip",
+    "heavy_hitters",
+    "pack_key",
+    "parse_ip",
+    "size_cdf",
+    "top_fraction_share",
+    "unpack_key",
+]

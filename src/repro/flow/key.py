@@ -1,0 +1,133 @@
+"""Flow identifiers: 104-bit packed 5-tuples.
+
+The paper (Section IV-A) uses a 104-bit flow ID: source IPv4 address (32),
+destination IPv4 address (32), source port (16), destination port (16) and
+IP protocol (8).  Algorithms in this package operate on the packed integer
+form for speed; :class:`FlowKey` provides the human-facing structured view
+with parsing and formatting.
+
+Layout (most-significant first)::
+
+    [src_ip:32][dst_ip:32][src_port:16][dst_port:16][proto:8]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+FLOW_KEY_BITS = 104
+FLOW_KEY_MASK = (1 << FLOW_KEY_BITS) - 1
+
+_PROTO_NAMES = {1: "icmp", 6: "tcp", 17: "udp"}
+
+
+def pack_key(src_ip: int, dst_ip: int, src_port: int, dst_port: int, proto: int) -> int:
+    """Pack 5-tuple fields into a 104-bit integer flow key.
+
+    Args:
+        src_ip: source IPv4 address as a 32-bit integer.
+        dst_ip: destination IPv4 address as a 32-bit integer.
+        src_port: source transport port (16 bits).
+        dst_port: destination transport port (16 bits).
+        proto: IP protocol number (8 bits).
+
+    Returns:
+        The packed 104-bit key.
+
+    Raises:
+        ValueError: if any field is out of range.
+    """
+    if not 0 <= src_ip <= 0xFFFFFFFF:
+        raise ValueError(f"src_ip out of range: {src_ip}")
+    if not 0 <= dst_ip <= 0xFFFFFFFF:
+        raise ValueError(f"dst_ip out of range: {dst_ip}")
+    if not 0 <= src_port <= 0xFFFF:
+        raise ValueError(f"src_port out of range: {src_port}")
+    if not 0 <= dst_port <= 0xFFFF:
+        raise ValueError(f"dst_port out of range: {dst_port}")
+    if not 0 <= proto <= 0xFF:
+        raise ValueError(f"proto out of range: {proto}")
+    return (
+        (src_ip << 72) | (dst_ip << 40) | (src_port << 24) | (dst_port << 8) | proto
+    )
+
+
+def unpack_key(key: int) -> tuple[int, int, int, int, int]:
+    """Unpack a 104-bit key into ``(src_ip, dst_ip, src_port, dst_port, proto)``.
+
+    Raises:
+        ValueError: if ``key`` does not fit in 104 bits or is negative.
+    """
+    if not 0 <= key <= FLOW_KEY_MASK:
+        raise ValueError(f"key out of range for 104-bit flow ID: {key}")
+    proto = key & 0xFF
+    dst_port = (key >> 8) & 0xFFFF
+    src_port = (key >> 24) & 0xFFFF
+    dst_ip = (key >> 40) & 0xFFFFFFFF
+    src_ip = (key >> 72) & 0xFFFFFFFF
+    return src_ip, dst_ip, src_port, dst_port, proto
+
+
+def format_ip(addr: int) -> str:
+    """Format a 32-bit integer as dotted-quad IPv4 text."""
+    return f"{(addr >> 24) & 0xFF}.{(addr >> 16) & 0xFF}.{(addr >> 8) & 0xFF}.{addr & 0xFF}"
+
+
+def parse_ip(text: str) -> int:
+    """Parse dotted-quad IPv4 text into a 32-bit integer.
+
+    Raises:
+        ValueError: on malformed input.
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not a dotted-quad IPv4 address: {text!r}")
+    addr = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {text!r}")
+        addr = (addr << 8) | octet
+    return addr
+
+
+@dataclass(frozen=True, slots=True)
+class FlowKey:
+    """Structured view of a 5-tuple flow identifier.
+
+    Attributes:
+        src_ip: source IPv4 address (32-bit int).
+        dst_ip: destination IPv4 address (32-bit int).
+        src_port: source port.
+        dst_port: destination port.
+        proto: IP protocol number.
+    """
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    proto: int
+
+    def pack(self) -> int:
+        """Return the packed 104-bit integer form of this key."""
+        return pack_key(self.src_ip, self.dst_ip, self.src_port, self.dst_port, self.proto)
+
+    @classmethod
+    def unpack(cls, key: int) -> FlowKey:
+        """Build a :class:`FlowKey` from its packed integer form."""
+        return cls(*unpack_key(key))
+
+    @classmethod
+    def from_text(
+        cls, src: str, dst: str, src_port: int, dst_port: int, proto: int
+    ) -> FlowKey:
+        """Build a key from dotted-quad addresses and numeric ports."""
+        return cls(parse_ip(src), parse_ip(dst), src_port, dst_port, proto)
+
+    def __str__(self) -> str:
+        proto_name = _PROTO_NAMES.get(self.proto, str(self.proto))
+        return (
+            f"{format_ip(self.src_ip)}:{self.src_port} -> "
+            f"{format_ip(self.dst_ip)}:{self.dst_port} ({proto_name})"
+        )

@@ -1,0 +1,38 @@
+"""Packet model.
+
+A packet, for the purposes of flow-record collection, is a flow key plus a
+timestamp and a size in bytes.  The measurement algorithms only consume
+the key; timestamps order packets within a trace and byte sizes feed the
+traffic-volume statistics in :mod:`repro.flow.stats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flow.key import FlowKey
+
+DEFAULT_PACKET_BYTES = 700  # the paper's example average packet size (Section I)
+
+
+@dataclass(frozen=True, slots=True)
+class Packet:
+    """A single packet observation.
+
+    Attributes:
+        key: packed 104-bit flow identifier (see :mod:`repro.flow.key`).
+        timestamp: arrival time in seconds since the start of the trace.
+        size: packet length in bytes.
+    """
+
+    key: int
+    timestamp: float = 0.0
+    size: int = DEFAULT_PACKET_BYTES
+
+    @property
+    def flow(self) -> FlowKey:
+        """The structured 5-tuple view of this packet's flow ID."""
+        return FlowKey.unpack(self.key)
+
+    def __str__(self) -> str:
+        return f"Packet(t={self.timestamp:.6f}, {self.flow}, {self.size}B)"

@@ -1,0 +1,25 @@
+"""Hashing substrate: seeded mixers, hash families, digests, tabulation.
+
+This package provides the independent uniform hash functions that every
+measurement algorithm in :mod:`repro` is built on, replacing the CRC
+units a P4 switch would use.
+"""
+
+from repro.hashing.digest import DEFAULT_DIGEST_BITS, DigestFunction
+from repro.hashing.families import HashFamily, HashFunction
+from repro.hashing.mixers import MASK64, derive_seeds, mix128, murmur64, splitmix64
+from repro.hashing.tabulation import TabulationFamily, TabulationHash
+
+__all__ = [
+    "MASK64",
+    "DEFAULT_DIGEST_BITS",
+    "DigestFunction",
+    "HashFamily",
+    "HashFunction",
+    "TabulationFamily",
+    "TabulationHash",
+    "derive_seeds",
+    "mix128",
+    "murmur64",
+    "splitmix64",
+]

@@ -1,0 +1,44 @@
+"""Short flow-ID digests for the HashFlow ancillary table.
+
+Paper, Algorithm 1 line 15: ``digest <- h1(flowID) % 2**digest_width``.
+The ancillary table stores this digest instead of the 104-bit flow ID to
+save memory (8 bits by default, Section IV-A).  Distinct flows may share
+a digest ("this may mix flows up, but with a small chance"): with w-bit
+digests two random flows collide with probability 2**-w.
+"""
+
+from __future__ import annotations
+
+from repro.hashing.families import HashFunction
+
+DEFAULT_DIGEST_BITS = 8
+
+
+class DigestFunction:
+    """Derives a ``bits``-wide digest of a flow key from a base hash.
+
+    Args:
+        base: the hash function whose output is truncated (the paper uses
+            ``h1``, i.e. the first main-table hash).
+        bits: digest width in bits; must be in ``[1, 64]``.
+    """
+
+    __slots__ = ("base", "bits", "_mask")
+
+    def __init__(self, base: HashFunction, bits: int = DEFAULT_DIGEST_BITS):
+        if not 1 <= bits <= 64:
+            raise ValueError(f"digest bits must be in [1, 64], got {bits}")
+        self.base = base
+        self.bits = bits
+        self._mask = (1 << bits) - 1
+
+    def __call__(self, key: int) -> int:
+        """Return the digest of ``key``: ``base(key) mod 2**bits``."""
+        return self.base(key) & self._mask
+
+    def collision_probability(self) -> float:
+        """Probability that two distinct random flows share a digest."""
+        return 1.0 / (1 << self.bits)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DigestFunction(bits={self.bits})"

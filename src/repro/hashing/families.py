@@ -1,0 +1,75 @@
+"""Seeded families of independent hash functions.
+
+A :class:`HashFamily` plays the role of the ``d + 1`` independent hash
+functions ``h_1 ... h_d, g_1`` in the HashFlow paper (Section III-A), and
+of the hash function sets used by HashPipe, ElasticSketch and FlowRadar.
+Each member maps an integer flow key to either a raw 64-bit value or a
+bucket index in a caller-supplied range.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.hashing.mixers import MASK64, derive_seeds, mix128
+
+
+class HashFunction:
+    """A single seeded hash function over integer keys.
+
+    Instances are callables returning a 64-bit value; :meth:`bucket`
+    reduces the value to a table index.
+    """
+
+    __slots__ = ("seed",)
+
+    def __init__(self, seed: int):
+        self.seed = seed & MASK64
+
+    def __call__(self, key: int) -> int:
+        return mix128(key, self.seed)
+
+    def bucket(self, key: int, n: int) -> int:
+        """Map ``key`` to a bucket index in ``[0, n)``."""
+        return mix128(key, self.seed) % n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashFunction(seed={self.seed:#018x})"
+
+
+class HashFamily(Sequence):
+    """An indexed family of independent :class:`HashFunction` objects.
+
+    Args:
+        size: number of member functions.
+        master_seed: seed from which member seeds are derived; two
+            families built with the same ``(size, master_seed)`` are
+            identical, and families with different master seeds are
+            effectively independent.
+
+    The family supports ``len()``, indexing and iteration, so algorithm
+    code can write ``for h in family: idx = h.bucket(key, n)``.
+    """
+
+    def __init__(self, size: int, master_seed: int = 0):
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        self.master_seed = master_seed
+        self._functions = [HashFunction(s) for s in derive_seeds(master_seed, size)]
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    def __getitem__(self, i: int) -> HashFunction:
+        return self._functions[i]
+
+    def values(self, key: int) -> list[int]:
+        """Return the raw 64-bit hash values of all members for ``key``."""
+        return [h(key) for h in self._functions]
+
+    def buckets(self, key: int, n: int) -> list[int]:
+        """Return the bucket indices of all members for ``key`` in ``[0, n)``."""
+        return [h.bucket(key, n) for h in self._functions]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashFamily(size={len(self)}, master_seed={self.master_seed:#x})"

@@ -1,0 +1,110 @@
+"""Integer mixing primitives used to build independent hash functions.
+
+The measurement algorithms in this package (HashFlow, HashPipe,
+ElasticSketch, FlowRadar, ...) only require families of *independent,
+uniform* hash functions over flow identifiers.  On P4 hardware these are
+CRC polynomials with different seeds; here we use well-studied 64-bit
+finalizers (splitmix64 and the murmur3 variant) applied to the key XORed
+and multiplied with per-function seed material.  They are deterministic,
+seedable, fast in pure Python, and pass the avalanche sanity checks in
+``tests/test_hashing_mixers.py``.
+
+All arithmetic is performed modulo 2**64, mirroring unsigned 64-bit
+integer behaviour.
+"""
+
+from __future__ import annotations
+
+MASK64 = 0xFFFFFFFFFFFFFFFF
+
+# Multiplicative constants from splitmix64 (Steele, Lea, Flood 2014).
+_SM64_GAMMA = 0x9E3779B97F4A7C15
+_SM64_M1 = 0xBF58476D1CE4E5B9
+_SM64_M2 = 0x94D049BB133111EB
+
+# Constants from the murmur3 64-bit finalizer.
+_MM3_M1 = 0xFF51AFD7ED558CCD
+_MM3_M2 = 0xC4CEB9FE1A85EC53
+
+
+def splitmix64(x: int) -> int:
+    """Finalize ``x`` with the splitmix64 mixing function.
+
+    This is a bijection on 64-bit integers with full avalanche: flipping
+    any input bit flips each output bit with probability ~1/2.
+
+    Args:
+        x: arbitrary (possibly >64-bit) non-negative integer; only the low
+           64 bits participate after the initial masking.
+
+    Returns:
+        A uniformly mixed 64-bit integer.
+    """
+    x = (x + _SM64_GAMMA) & MASK64
+    x = ((x ^ (x >> 30)) * _SM64_M1) & MASK64
+    x = ((x ^ (x >> 27)) * _SM64_M2) & MASK64
+    return x ^ (x >> 31)
+
+
+def murmur64(x: int) -> int:
+    """Finalize ``x`` with the murmur3 64-bit finalizer (fmix64).
+
+    Args:
+        x: non-negative integer; masked to 64 bits.
+
+    Returns:
+        A uniformly mixed 64-bit integer.
+    """
+    x &= MASK64
+    x = ((x ^ (x >> 33)) * _MM3_M1) & MASK64
+    x = ((x ^ (x >> 33)) * _MM3_M2) & MASK64
+    return x ^ (x >> 33)
+
+
+def mix128(key: int, seed: int) -> int:
+    """Mix a key of up to 128 bits with a 64-bit seed into 64 bits.
+
+    Flow identifiers in this package are 104-bit packed 5-tuples, which do
+    not fit a single 64-bit word.  We fold the high bits in with an odd
+    multiplier before the final avalanche so that every input bit of the
+    key influences the result.
+
+    Args:
+        key: non-negative integer, up to 128 bits.
+        seed: per-hash-function seed material.
+
+    Returns:
+        A 64-bit mixed value; for a fixed seed the map ``key -> value``
+        behaves like an independent uniform hash function.
+    """
+    lo = key & MASK64
+    hi = (key >> 64) & MASK64
+    h = splitmix64(lo ^ seed)
+    if hi:
+        h = splitmix64(h ^ (hi * _SM64_GAMMA & MASK64))
+    return h
+
+
+def derive_seeds(master_seed: int, count: int) -> list[int]:
+    """Derive ``count`` well-separated 64-bit seeds from one master seed.
+
+    Seeds are produced by iterating splitmix64, the construction the
+    original splitmix64 paper recommends for seeding parallel generators.
+
+    Args:
+        master_seed: any non-negative integer.
+        count: number of seeds to derive; must be >= 0.
+
+    Returns:
+        List of ``count`` distinct 64-bit seeds (distinct for any
+        reasonable count because splitmix64 is a bijection on a
+        2**64-period sequence).
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    seeds = []
+    state = master_seed & MASK64
+    for _ in range(count):
+        state = (state + _SM64_GAMMA) & MASK64
+        seeds.append(splitmix64(state))
+    return seeds

@@ -1,0 +1,20 @@
+"""Network-wide measurement (extension of the paper's future work)."""
+
+from repro.netwide.collector import CentralCollector, ExporterState
+from repro.netwide.deployment import DeploymentReport, NetworkDeployment
+from repro.netwide.merge import merge_max, merge_sum
+from repro.netwide.sharding import ShardedCollector
+from repro.netwide.topology import FlowRouter, fat_tree_core, linear_chain
+
+__all__ = [
+    "CentralCollector",
+    "DeploymentReport",
+    "ExporterState",
+    "FlowRouter",
+    "NetworkDeployment",
+    "ShardedCollector",
+    "fat_tree_core",
+    "linear_chain",
+    "merge_max",
+    "merge_sum",
+]

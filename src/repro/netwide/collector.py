@@ -1,0 +1,115 @@
+"""Central flow collector: the off-switch half of the system.
+
+Switches export their records as NetFlow v5 datagrams
+(:mod:`repro.export.netflow_v5`); the central collector ingests
+datagrams from many exporters, deduplicates multi-switch observations
+of the same flow (max-merge, see :mod:`repro.netwide.merge`), tracks
+per-exporter sequence numbers to detect datagram loss, and answers the
+same queries a :class:`~repro.sketches.base.FlowCollector` does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.export.netflow_v5 import parse_datagram
+
+
+@dataclass
+class ExporterState:
+    """Bookkeeping for one exporter (switch).
+
+    Attributes:
+        datagrams: datagrams received.
+        records: flow records received (before dedup).
+        expected_sequence: next expected flow_sequence value.
+        lost_flows: flows inferred lost from sequence gaps.
+    """
+
+    datagrams: int = 0
+    records: int = 0
+    expected_sequence: int | None = None
+    lost_flows: int = 0
+    flows: dict[int, int] = field(default_factory=dict)
+
+
+class CentralCollector:
+    """Aggregates NetFlow v5 exports from many switches.
+
+    Per-flow counts are merged with ``max`` across exporters (every
+    switch on a flow's path sees all of its packets, so the largest
+    report is the most complete one — the HashFlow network-wide model).
+    """
+
+    def __init__(self):
+        self.exporters: dict[str, ExporterState] = {}
+
+    def ingest(self, exporter: str, datagram: bytes) -> int:
+        """Ingest one datagram from a named exporter.
+
+        Returns:
+            The number of records in the datagram.
+
+        Raises:
+            ValueError: if the datagram is malformed (propagated from
+                the parser; the exporter's state is not modified).
+        """
+        header, records = parse_datagram(datagram)
+        state = self.exporters.setdefault(exporter, ExporterState())
+        sequence = header["flow_sequence"]
+        if state.expected_sequence is not None and sequence != state.expected_sequence:
+            gap = sequence - state.expected_sequence
+            if gap > 0:
+                state.lost_flows += gap
+        state.expected_sequence = sequence + header["count"]
+        state.datagrams += 1
+        state.records += len(records)
+        for record in records:
+            current = state.flows.get(record.key, 0)
+            if record.packets > current:
+                state.flows[record.key] = record.packets
+        return len(records)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def records(self) -> dict[int, int]:
+        """Network-wide merged records (max across exporters)."""
+        merged: dict[int, int] = {}
+        for state in self.exporters.values():
+            for key, count in state.flows.items():
+                if count > merged.get(key, 0):
+                    merged[key] = count
+        return merged
+
+    def query(self, key: int) -> int:
+        """Best known packet count for ``key`` (0 if never exported)."""
+        best = 0
+        for state in self.exporters.values():
+            count = state.flows.get(key, 0)
+            if count > best:
+                best = count
+        return best
+
+    def heavy_hitters(self, threshold: int) -> dict[int, int]:
+        """Merged flows with more than ``threshold`` packets."""
+        return {k: v for k, v in self.records().items() if v > threshold}
+
+    def cardinality(self) -> int:
+        """Distinct flows seen network-wide."""
+        keys: set[int] = set()
+        for state in self.exporters.values():
+            keys.update(state.flows)
+        return len(keys)
+
+    def loss_report(self) -> dict[str, int]:
+        """Flows inferred lost per exporter (sequence-number gaps)."""
+        return {name: state.lost_flows for name, state in self.exporters.items()}
+
+    def observation_counts(self) -> dict[int, int]:
+        """How many exporters observed each flow (path-length proxy)."""
+        counts: dict[int, int] = {}
+        for state in self.exporters.values():
+            for key in state.flows:
+                counts[key] = counts.get(key, 0) + 1
+        return counts

@@ -1,0 +1,32 @@
+"""Merging flow records collected at multiple observation points.
+
+A flow traverses several switches; each switch reports an (accurate or
+partial) count.  Since every switch on the path sees *all* packets of
+the flow, the best unbiased merge for counts is the maximum (a switch
+that evicted the flow undercounts; none overcounts in HashFlow's
+design).  ``merge_sum`` is provided for sampled observation points
+where counts are disjoint shares rather than duplicates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+def merge_max(record_sets: Iterable[dict[int, int]]) -> dict[int, int]:
+    """Merge per-switch records, keeping the maximum count per flow."""
+    merged: dict[int, int] = {}
+    for records in record_sets:
+        for key, count in records.items():
+            if count > merged.get(key, 0):
+                merged[key] = count
+    return merged
+
+
+def merge_sum(record_sets: Iterable[dict[int, int]]) -> dict[int, int]:
+    """Merge records by summing counts (disjoint observation shares)."""
+    merged: dict[int, int] = {}
+    for records in record_sets:
+        for key, count in records.items():
+            merged[key] = merged.get(key, 0) + count
+    return merged

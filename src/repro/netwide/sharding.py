@@ -1,0 +1,91 @@
+"""Hash-sharded measurement: scale capacity across cooperating switches.
+
+Network-wide measurement can do more than merge redundant observations
+(:mod:`repro.netwide.deployment`): if a coordinator assigns each flow
+to exactly one *owner* switch (by hashing its ID — the standard
+DHT/ECMP-style partition), the deployment's capacity becomes the *sum*
+of the switches' tables, with no duplicate records to reconcile.  This
+module implements that sharding layer over any collector type and lets
+its capacity-scaling claim be tested directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.hashing.families import HashFunction
+from repro.sketches.base import FlowCollector
+
+
+class ShardedCollector(FlowCollector):
+    """A collector façade that hash-partitions flows over shards.
+
+    Args:
+        factory: builds each shard's collector; called with the shard
+            index (so per-shard seeds can differ).
+        n_shards: number of shards (owner switches).
+        seed: seed of the shard-assignment hash (independent of every
+            collector-internal hash).
+    """
+
+    name = "ShardedCollector"
+
+    def __init__(
+        self,
+        factory: Callable[[int], FlowCollector],
+        n_shards: int,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if n_shards <= 0:
+            raise ValueError(f"n_shards must be positive, got {n_shards}")
+        self.n_shards = n_shards
+        self._shard_hash = HashFunction(seed ^ 0x5AAD)
+        self.shards = [factory(i) for i in range(n_shards)]
+
+    def shard_of(self, key: int) -> int:
+        """The owner shard of a flow."""
+        return self._shard_hash.bucket(key, self.n_shards)
+
+    def process(self, key: int) -> None:
+        """Route the packet to its owner shard."""
+        self.meter.packets += 1
+        self.meter.hashes += 1  # the coordinator's shard hash
+        self.shards[self.shard_of(key)].process(key)
+
+    def records(self) -> dict[int, int]:
+        """Union of the shards' records (disjoint by construction)."""
+        merged: dict[int, int] = {}
+        for shard in self.shards:
+            merged.update(shard.records())
+        return merged
+
+    def query(self, key: int) -> int:
+        """Query the owner shard only."""
+        return self.shards[self.shard_of(key)].query(key)
+
+    def estimate_cardinality(self) -> float:
+        """Sum of the shards' estimates (flow spaces are disjoint)."""
+        return sum(shard.estimate_cardinality() for shard in self.shards)
+
+    def heavy_hitters(self, threshold: int) -> dict[int, int]:
+        """Union of the shards' heavy hitters."""
+        merged: dict[int, int] = {}
+        for shard in self.shards:
+            merged.update(shard.heavy_hitters(threshold))
+        return merged
+
+    def shard_loads(self) -> list[int]:
+        """Packets processed per shard (balance diagnostic)."""
+        return [shard.meter.packets for shard in self.shards]
+
+    def reset(self) -> None:
+        """Reset every shard and the façade meter."""
+        for shard in self.shards:
+            shard.reset()
+        self.meter.reset()
+
+    @property
+    def memory_bits(self) -> int:
+        """Total memory across shards."""
+        return sum(shard.memory_bits for shard in self.shards)

@@ -1,0 +1,144 @@
+"""Common interface for all flow-record collectors.
+
+Every algorithm evaluated in the paper (HashFlow, HashPipe,
+ElasticSketch, FlowRadar) plus the auxiliary baselines (exact NetFlow,
+sampled NetFlow, Space-Saving) implements :class:`FlowCollector`, so the
+experiment harness and the switch simulator can treat them uniformly.
+
+A shared :class:`CostMeter` records hash operations and memory accesses
+per packet; Fig. 11(b)/(c) of the paper are regenerated directly from
+these counters rather than estimated.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable
+
+
+class CostMeter:
+    """Counts hash operations and memory reads/writes.
+
+    Collectors increment the public attributes inline on their hot
+    paths; the meter normalizes them per packet for reporting.
+
+    Attributes:
+        hashes: number of hash computations.
+        reads: number of cell/field-group reads.
+        writes: number of cell/field-group writes.
+        packets: number of packets processed.
+    """
+
+    __slots__ = ("hashes", "reads", "writes", "packets")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hashes = 0
+        self.reads = 0
+        self.writes = 0
+        self.packets = 0
+
+    @property
+    def memory_accesses(self) -> int:
+        """Total memory accesses (reads + writes)."""
+        return self.reads + self.writes
+
+    def per_packet(self) -> dict[str, float]:
+        """Average hash / read / write / access counts per packet."""
+        n = max(self.packets, 1)
+        return {
+            "hashes": self.hashes / n,
+            "reads": self.reads / n,
+            "writes": self.writes / n,
+            "accesses": self.memory_accesses / n,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pp = self.per_packet()
+        return (
+            f"CostMeter(packets={self.packets}, hashes/pkt={pp['hashes']:.2f}, "
+            f"accesses/pkt={pp['accesses']:.2f})"
+        )
+
+
+class FlowCollector(ABC):
+    """Abstract flow-record collector.
+
+    Subclasses implement the per-packet update (:meth:`process`), the
+    reported record set (:meth:`records`) and the point-query
+    (:meth:`query`).  Cardinality estimation and heavy-hitter extraction
+    have sensible defaults but are overridden where the paper prescribes
+    a specific estimator (e.g. linear counting).
+    """
+
+    #: Display name used in reports and figures.
+    name: str = "collector"
+
+    def __init__(self):
+        self.meter = CostMeter()
+
+    # ------------------------------------------------------------------
+    # Update path
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def process(self, key: int) -> None:
+        """Process one packet belonging to flow ``key``."""
+
+    def process_all(self, keys: Iterable[int]) -> int:
+        """Feed a packet-key stream; returns the number of packets fed."""
+        process = self.process
+        n = 0
+        for key in keys:
+            process(key)
+            n += 1
+        return n
+
+    # ------------------------------------------------------------------
+    # Report path
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def records(self) -> dict[int, int]:
+        """Flow records the collector can report: ``{flow key: count}``.
+
+        Only flows whose full IDs are recoverable appear here (this is
+        the numerator of the paper's Flow Set Coverage metric).
+        """
+
+    @abstractmethod
+    def query(self, key: int) -> int:
+        """Estimated packet count of ``key``; 0 if unknown (paper §IV-A)."""
+
+    def estimate_cardinality(self) -> float:
+        """Estimated number of distinct flows seen.
+
+        Default: the number of reportable records (no compensation for
+        dropped flows — the behaviour the paper ascribes to HashPipe).
+        """
+        return float(len(self.records()))
+
+    def heavy_hitters(self, threshold: int) -> dict[int, int]:
+        """Flows reported with more than ``threshold`` packets."""
+        return {k: v for k, v in self.records().items() if v > threshold}
+
+    # ------------------------------------------------------------------
+    # Lifecycle / accounting
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def reset(self) -> None:
+        """Clear all state (including the cost meter)."""
+
+    @property
+    @abstractmethod
+    def memory_bits(self) -> int:
+        """Total memory footprint in bits under the paper's cost model."""
+
+    @property
+    def memory_bytes(self) -> float:
+        """Memory footprint in bytes."""
+        return self.memory_bits / 8.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(memory={self.memory_bytes:.0f}B)"

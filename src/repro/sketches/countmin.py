@@ -1,0 +1,115 @@
+"""Count-min sketch (Cormode & Muthukrishnan 2005).
+
+Substrate for the light part of ElasticSketch and a standalone baseline.
+Counters may be narrow (8-bit in the paper's ElasticSketch
+configuration) and saturate instead of wrapping, as register arrays on a
+switch would.
+"""
+
+from __future__ import annotations
+
+from repro.hashing.families import HashFamily
+from repro.sketches.base import CostMeter
+
+
+class CountMinSketch:
+    """A count-min sketch with saturating counters.
+
+    Args:
+        width: number of counters per row.
+        depth: number of rows (independent hash functions).
+        counter_bits: counter width in bits; counters saturate at
+            ``2**counter_bits - 1``.
+        seed: hash family seed.
+        conservative: if True, use conservative update (only the minimal
+            counters are incremented), which reduces overestimation.
+        meter: optional shared :class:`CostMeter` (the embedding
+            algorithm's meter); a private one is created otherwise.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        depth: int = 1,
+        counter_bits: int = 8,
+        seed: int = 0,
+        conservative: bool = False,
+        meter: CostMeter | None = None,
+    ):
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        if depth <= 0:
+            raise ValueError(f"depth must be positive, got {depth}")
+        if counter_bits <= 0:
+            raise ValueError(f"counter_bits must be positive, got {counter_bits}")
+        self.width = width
+        self.depth = depth
+        self.counter_bits = counter_bits
+        self.max_count = (1 << counter_bits) - 1
+        self.conservative = conservative
+        self.seed = seed
+        self.meter = meter if meter is not None else CostMeter()
+        self._hashes = HashFamily(depth, master_seed=seed)
+        self._rows = [[0] * width for _ in range(depth)]
+
+    def add(self, key: int, amount: int = 1) -> None:
+        """Add ``amount`` occurrences of ``key``."""
+        if amount < 0:
+            raise ValueError(f"amount must be >= 0, got {amount}")
+        meter = self.meter
+        width = self.width
+        max_count = self.max_count
+        if self.conservative:
+            idxs = []
+            current = []
+            for h, row in zip(self._hashes, self._rows):
+                i = h.bucket(key, width)
+                idxs.append(i)
+                current.append(row[i])
+            meter.hashes += self.depth
+            meter.reads += self.depth
+            target = min(current) + amount
+            for row, i in zip(self._rows, idxs):
+                if row[i] < target:
+                    row[i] = min(target, max_count)
+                    meter.writes += 1
+        else:
+            for h, row in zip(self._hashes, self._rows):
+                i = h.bucket(key, width)
+                row[i] = min(row[i] + amount, max_count)
+            meter.hashes += self.depth
+            meter.reads += self.depth
+            meter.writes += self.depth
+
+    def query(self, key: int) -> int:
+        """Point query: the minimum counter across rows (never underestimates
+        until counters saturate)."""
+        width = self.width
+        return min(
+            row[h.bucket(key, width)] for h, row in zip(self._hashes, self._rows)
+        )
+
+    def zero_fraction(self) -> float:
+        """Fraction of zero counters in the first row.
+
+        Feeds the linear-counting cardinality estimator (paper §IV-A:
+        "linear counting is used by ElasticSketch to estimate the number
+        of flows in its count-min sketch").
+        """
+        row = self._rows[0]
+        return row.count(0) / self.width
+
+    def reset(self) -> None:
+        """Clear all counters."""
+        self._rows = [[0] * self.width for _ in range(self.depth)]
+
+    @property
+    def memory_bits(self) -> int:
+        """Sketch footprint: one counter per cell."""
+        return self.width * self.depth * self.counter_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CountMinSketch(width={self.width}, depth={self.depth}, "
+            f"counter_bits={self.counter_bits})"
+        )

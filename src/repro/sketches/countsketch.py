@@ -1,0 +1,74 @@
+"""Count Sketch (Charikar, Chen & Farach-Colton 2002).
+
+The signed cousin of count-min: every update also carries a random
+sign, making the point estimate *unbiased* (count-min only guarantees
+one-sided error).  Included as a substrate so the light part of an
+ElasticSketch-style design can be swapped and compared; the tests
+contrast its symmetric error with count-min's overestimates.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.hashing.families import HashFamily
+from repro.sketches.base import CostMeter
+
+
+class CountSketch:
+    """A count sketch with ``depth`` rows and median estimation.
+
+    Args:
+        width: counters per row.
+        depth: rows; use odd values so the median is a counter value.
+        seed: hash seed (bucket and sign families are independent).
+        meter: optional shared cost meter.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        depth: int = 3,
+        seed: int = 0,
+        meter: CostMeter | None = None,
+    ):
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        if depth <= 0:
+            raise ValueError(f"depth must be positive, got {depth}")
+        self.width = width
+        self.depth = depth
+        self.meter = meter if meter is not None else CostMeter()
+        self._buckets = HashFamily(depth, master_seed=seed)
+        self._signs = HashFamily(depth, master_seed=seed ^ 0x51635)
+        self._rows = [[0] * width for _ in range(depth)]
+
+    def add(self, key: int, amount: int = 1) -> None:
+        """Add ``amount`` occurrences of ``key``."""
+        width = self.width
+        for bucket_hash, sign_hash, row in zip(self._buckets, self._signs, self._rows):
+            idx = bucket_hash.bucket(key, width)
+            sign = 1 if sign_hash(key) & 1 else -1
+            row[idx] += sign * amount
+        self.meter.hashes += 2 * self.depth
+        self.meter.reads += self.depth
+        self.meter.writes += self.depth
+
+    def query(self, key: int) -> int:
+        """Median-of-rows unbiased point estimate (may be negative)."""
+        width = self.width
+        estimates = []
+        for bucket_hash, sign_hash, row in zip(self._buckets, self._signs, self._rows):
+            idx = bucket_hash.bucket(key, width)
+            sign = 1 if sign_hash(key) & 1 else -1
+            estimates.append(sign * row[idx])
+        return int(statistics.median(estimates))
+
+    def reset(self) -> None:
+        """Clear all counters."""
+        self._rows = [[0] * self.width for _ in range(self.depth)]
+
+    @property
+    def memory_bits(self) -> int:
+        """Footprint at 32 signed bits per counter."""
+        return self.width * self.depth * 32

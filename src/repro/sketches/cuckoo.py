@@ -1,0 +1,165 @@
+"""Cuckoo hash table as a flow cache (Pagh & Rodler 2004).
+
+Section II of the paper dismisses classic collision-resolution schemes
+for dataplane use: "in the worst case, they need unbounded time for
+insertion".  This module implements exactly that alternative — a cuckoo
+flow cache with displacement chains — and instruments the displacement
+count per insertion, so the claim can be *measured* against HashFlow's
+fixed ``d``-probe budget (see ``bench_cuckoo_comparison.py``).
+
+As a collector it is excellent at low load (every resident record is
+exact, occupancy can exceed 90% with 2 hashes + 4-way... here 1-way
+cells) but its insertion cost explodes near capacity and new flows are
+dropped once the kick limit is hit.
+"""
+
+from __future__ import annotations
+
+from repro.flow.key import FLOW_KEY_BITS
+from repro.hashing.families import HashFamily
+from repro.sketches.base import FlowCollector
+
+_COUNTER_BITS = 32
+
+DEFAULT_MAX_KICKS = 500
+
+
+class CuckooFlowCache(FlowCollector):
+    """A cuckoo-hashed flow cache.
+
+    Args:
+        n_cells: total buckets (single-slot).
+        n_hashes: candidate positions per key (classic cuckoo: 2).
+        max_kicks: displacement budget per insertion; exceeding it
+            drops the incoming flow (and counts it in
+            :attr:`insert_failures`).
+        seed: hash seed.
+
+    Attributes:
+        insert_failures: flows dropped because a displacement chain
+            exceeded ``max_kicks``.
+        total_kicks: displacements performed over the table's lifetime.
+        max_chain: longest displacement chain seen (the "unbounded
+            time" the paper warns about, observed).
+    """
+
+    name = "CuckooFlowCache"
+
+    def __init__(
+        self,
+        n_cells: int,
+        n_hashes: int = 2,
+        max_kicks: int = DEFAULT_MAX_KICKS,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if n_cells <= 0:
+            raise ValueError(f"n_cells must be positive, got {n_cells}")
+        if n_hashes < 2:
+            raise ValueError(f"n_hashes must be >= 2, got {n_hashes}")
+        if max_kicks < 0:
+            raise ValueError(f"max_kicks must be >= 0, got {max_kicks}")
+        self.n_cells = n_cells
+        self.n_hashes = n_hashes
+        self.max_kicks = max_kicks
+        self._hashes = HashFamily(n_hashes, master_seed=seed)
+        self._keys = [0] * n_cells
+        self._counts = [0] * n_cells
+        self.insert_failures = 0
+        self.total_kicks = 0
+        self.max_chain = 0
+
+    def _positions(self, key: int) -> list[int]:
+        n = self.n_cells
+        return [h.bucket(key, n) for h in self._hashes]
+
+    def process(self, key: int) -> None:
+        """Increment the flow if resident; otherwise cuckoo-insert it."""
+        meter = self.meter
+        meter.packets += 1
+        positions = self._positions(key)
+        meter.hashes += self.n_hashes
+        meter.reads += self.n_hashes
+        for idx in positions:
+            if self._counts[idx] and self._keys[idx] == key:
+                self._counts[idx] += 1
+                meter.writes += 1
+                return
+        for idx in positions:
+            if self._counts[idx] == 0:
+                self._keys[idx] = key
+                self._counts[idx] = 1
+                meter.writes += 1
+                return
+        self._insert_with_kicks(key, positions[0])
+
+    def _insert_with_kicks(self, key: int, idx: int) -> None:
+        """Displace occupants along a cuckoo chain until a hole appears."""
+        meter = self.meter
+        carry_key, carry_count = key, 1
+        chain = 0
+        while chain < self.max_kicks:
+            # Swap the carried record into idx, pick up the occupant.
+            carry_key, self._keys[idx] = self._keys[idx], carry_key
+            carry_count, self._counts[idx] = self._counts[idx], carry_count
+            meter.reads += 1
+            meter.writes += 1
+            chain += 1
+            # The displaced record tries its alternative positions.
+            alternatives = [
+                p for p in self._positions(carry_key) if p != idx
+            ]
+            meter.hashes += self.n_hashes
+            placed = False
+            for alt in alternatives:
+                meter.reads += 1
+                if self._counts[alt] == 0:
+                    self._keys[alt] = carry_key
+                    self._counts[alt] = carry_count
+                    meter.writes += 1
+                    placed = True
+                    break
+            if placed:
+                self.total_kicks += chain
+                self.max_chain = max(self.max_chain, chain)
+                return
+            idx = alternatives[0] if alternatives else idx
+        # Chain exhausted: the carried record is dropped.
+        self.total_kicks += chain
+        self.max_chain = max(self.max_chain, chain)
+        self.insert_failures += 1
+
+    def records(self) -> dict[int, int]:
+        """All resident records (each exact)."""
+        return {
+            k: c for k, c in zip(self._keys, self._counts) if c > 0
+        }
+
+    def query(self, key: int) -> int:
+        """Exact count if resident, else 0."""
+        for idx in self._positions(key):
+            if self._counts[idx] and self._keys[idx] == key:
+                return self._counts[idx]
+        return 0
+
+    def occupancy(self) -> int:
+        """Occupied buckets."""
+        return sum(1 for c in self._counts if c > 0)
+
+    def utilization(self) -> float:
+        """Fraction of buckets occupied."""
+        return self.occupancy() / self.n_cells
+
+    def reset(self) -> None:
+        """Clear the table, the chain statistics and the meter."""
+        self._keys = [0] * self.n_cells
+        self._counts = [0] * self.n_cells
+        self.insert_failures = 0
+        self.total_kicks = 0
+        self.max_chain = 0
+        self.meter.reset()
+
+    @property
+    def memory_bits(self) -> int:
+        """Buckets of (104-bit key, 32-bit counter)."""
+        return self.n_cells * (FLOW_KEY_BITS + _COUNTER_BITS)

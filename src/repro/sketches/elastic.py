@@ -1,0 +1,218 @@
+"""ElasticSketch, hardware version (Yang et al., SIGCOMM 2018).
+
+The configuration follows the HashFlow paper's evaluation (Section
+IV-A): a *heavy part* of 3 sub-tables storing ``(key, vote+, vote-,
+flag)`` records, and a *light part* count-min sketch with a single array
+of 8-bit counters, with the same number of cells in the two parts.
+
+Heavy-part update (hardware pipeline): the incoming item — a raw packet
+``(f, 1)`` or a record evicted from an earlier stage — is absorbed if
+its bucket is empty or keyed by the same flow; otherwise ``vote-`` grows
+by the item's weight and, when ``vote- / vote+ >= λ`` (λ = 8), the
+occupant is evicted and carried to the next stage while the item takes
+the bucket.  Items leaving the last stage are folded into the light
+part.  The ``flag`` marks records whose flow may also have counts in the
+light part, so queries add the count-min estimate for flagged records.
+
+As the HashFlow paper observes, this design can split one flow across
+buckets and the light part, making counts approximate — behaviour this
+implementation reproduces.
+"""
+
+from __future__ import annotations
+
+from repro.flow.key import FLOW_KEY_BITS
+from repro.hashing.families import HashFamily
+from repro.sketches.base import FlowCollector
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.linear_counting import linear_counting_estimate
+
+_VOTE_BITS = 32
+_FLAG_BITS = 1
+_EMPTY = 0
+
+DEFAULT_STAGES = 3
+DEFAULT_LAMBDA = 8.0
+
+
+class ElasticSketch(FlowCollector):
+    """ElasticSketch (hardware version) flow collector.
+
+    Args:
+        heavy_cells_per_stage: buckets in each heavy sub-table.
+        light_cells: counters in the light count-min array (the paper
+            uses ``light_cells == heavy_cells_per_stage * stages``).
+        stages: heavy sub-tables (paper: 3).
+        lambda_threshold: the eviction ratio λ (ElasticSketch default 8).
+        light_counter_bits: width of light-part counters (paper: 8).
+        seed: hash seed.
+    """
+
+    name = "ElasticSketch"
+
+    def __init__(
+        self,
+        heavy_cells_per_stage: int,
+        light_cells: int,
+        stages: int = DEFAULT_STAGES,
+        lambda_threshold: float = DEFAULT_LAMBDA,
+        light_counter_bits: int = 8,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if heavy_cells_per_stage <= 0:
+            raise ValueError(
+                f"heavy_cells_per_stage must be positive, got {heavy_cells_per_stage}"
+            )
+        if light_cells <= 0:
+            raise ValueError(f"light_cells must be positive, got {light_cells}")
+        if stages < 1:
+            raise ValueError(f"stages must be >= 1, got {stages}")
+        if lambda_threshold <= 0:
+            raise ValueError(
+                f"lambda_threshold must be positive, got {lambda_threshold}"
+            )
+        self.heavy_cells_per_stage = heavy_cells_per_stage
+        self.stages = stages
+        self.lambda_threshold = lambda_threshold
+        self.seed = seed
+        self._hashes = HashFamily(stages, master_seed=seed)
+        self._keys = [[_EMPTY] * heavy_cells_per_stage for _ in range(stages)]
+        self._vote_plus = [[0] * heavy_cells_per_stage for _ in range(stages)]
+        self._vote_minus = [[0] * heavy_cells_per_stage for _ in range(stages)]
+        self._flags = [[False] * heavy_cells_per_stage for _ in range(stages)]
+        self.light = CountMinSketch(
+            width=light_cells,
+            depth=1,
+            counter_bits=light_counter_bits,
+            seed=seed + 0x1A57,
+            meter=self.meter,
+        )
+
+    def process(self, key: int) -> None:
+        """Process one packet through the heavy pipeline, then the light part."""
+        meter = self.meter
+        meter.packets += 1
+        n = self.heavy_cells_per_stage
+        lam = self.lambda_threshold
+
+        carry_key, carry_count, carry_flag = key, 1, False
+        for s in range(self.stages):
+            idx = self._hashes[s].bucket(carry_key, n)
+            meter.hashes += 1
+            meter.reads += 1
+            stage_keys = self._keys[s]
+            if self._vote_plus[s][idx] == 0:
+                stage_keys[idx] = carry_key
+                self._vote_plus[s][idx] = carry_count
+                self._vote_minus[s][idx] = 0
+                self._flags[s][idx] = carry_flag
+                meter.writes += 1
+                return
+            if stage_keys[idx] == carry_key:
+                self._vote_plus[s][idx] += carry_count
+                self._flags[s][idx] = self._flags[s][idx] or carry_flag
+                meter.writes += 1
+                return
+            votes_minus = self._vote_minus[s][idx] + carry_count
+            self._vote_minus[s][idx] = votes_minus
+            meter.writes += 1
+            if votes_minus >= lam * self._vote_plus[s][idx]:
+                # Evict the occupant; the carried item takes the bucket.
+                evicted_key = stage_keys[idx]
+                evicted_count = self._vote_plus[s][idx]
+                evicted_flag = self._flags[s][idx]
+                stage_keys[idx] = carry_key
+                self._vote_plus[s][idx] = carry_count
+                self._vote_minus[s][idx] = 0
+                # The inserted flow may have earlier packets in the light
+                # part (it lost earlier rounds), so its record is flagged.
+                self._flags[s][idx] = True
+                meter.writes += 1
+                carry_key, carry_count, carry_flag = (
+                    evicted_key,
+                    evicted_count,
+                    evicted_flag,
+                )
+        # Whatever leaves the last stage is folded into the light part.
+        self.light.add(carry_key, carry_count)
+
+    def _heavy_lookup(self, key: int) -> tuple[int, bool, bool]:
+        """Return (summed vote+, any flag set, found) for ``key``."""
+        n = self.heavy_cells_per_stage
+        total = 0
+        flagged = False
+        found = False
+        for s in range(self.stages):
+            idx = self._hashes[s].bucket(key, n)
+            if self._vote_plus[s][idx] and self._keys[s][idx] == key:
+                found = True
+                total += self._vote_plus[s][idx]
+                flagged = flagged or self._flags[s][idx]
+        return total, flagged, found
+
+    def query(self, key: int) -> int:
+        """Size estimate: heavy vote+ (+ light estimate if flagged/absent)."""
+        total, flagged, found = self._heavy_lookup(key)
+        if not found:
+            return self.light.query(key)
+        if flagged:
+            total += self.light.query(key)
+        return total
+
+    def records(self) -> dict[int, int]:
+        """Reportable records: flows resident in the heavy part.
+
+        The light part stores only counters, so flows living exclusively
+        there cannot be reported with their IDs (they still answer point
+        queries via :meth:`query`).
+        """
+        result: dict[int, int] = {}
+        for s in range(self.stages):
+            for key, vote_plus in zip(self._keys[s], self._vote_plus[s]):
+                if vote_plus > 0:
+                    result[key] = result.get(key, 0) + vote_plus
+        return result
+
+    def heavy_hitters(self, threshold: int) -> dict[int, int]:
+        """Heavy-part flows whose full estimate exceeds the threshold."""
+        result: dict[int, int] = {}
+        for key in self.records():
+            est = self.query(key)
+            if est > threshold:
+                result[key] = est
+        return result
+
+    def estimate_cardinality(self) -> float:
+        """Heavy-part resident flows + linear counting over the light part.
+
+        Per the paper (§IV-A): "linear counting is used by ElasticSketch
+        to estimate the number of flows in its count-min sketch".
+        """
+        heavy = len(self.records())
+        zero_cells = round(self.light.zero_fraction() * self.light.width)
+        light = linear_counting_estimate(self.light.width, zero_cells)
+        return heavy + light
+
+    def occupancy(self) -> int:
+        """Non-empty heavy cells."""
+        return sum(
+            sum(1 for v in stage_votes if v > 0) for stage_votes in self._vote_plus
+        )
+
+    def reset(self) -> None:
+        """Clear heavy and light parts and the meter."""
+        n = self.heavy_cells_per_stage
+        self._keys = [[_EMPTY] * n for _ in range(self.stages)]
+        self._vote_plus = [[0] * n for _ in range(self.stages)]
+        self._vote_minus = [[0] * n for _ in range(self.stages)]
+        self._flags = [[False] * n for _ in range(self.stages)]
+        self.light.reset()
+        self.meter.reset()
+
+    @property
+    def memory_bits(self) -> int:
+        """Heavy cells of (key, vote+, vote-, flag) plus light counters."""
+        heavy_cell = FLOW_KEY_BITS + 2 * _VOTE_BITS + _FLAG_BITS
+        heavy = self.stages * self.heavy_cells_per_stage * heavy_cell
+        return heavy + self.light.memory_bits

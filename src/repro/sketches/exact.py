@@ -1,0 +1,53 @@
+"""Exact flow collector: the idealized NetFlow oracle.
+
+Keeps a perfect ``{flow: count}`` table with no memory bound.  Serves as
+ground truth in tests and as the reference point experiments compare
+against (its records equal :meth:`repro.traces.trace.Trace.true_sizes`).
+"""
+
+from __future__ import annotations
+
+from repro.flow.key import FLOW_KEY_BITS
+from repro.sketches.base import FlowCollector
+
+_COUNTER_BITS = 32
+
+
+class ExactCollector(FlowCollector):
+    """Unbounded dict-based flow-record collector."""
+
+    name = "Exact"
+
+    def __init__(self):
+        super().__init__()
+        self._table: dict[int, int] = {}
+
+    def process(self, key: int) -> None:
+        """Increment the flow's exact packet count."""
+        self._table[key] = self._table.get(key, 0) + 1
+        self.meter.packets += 1
+        self.meter.hashes += 1
+        self.meter.reads += 1
+        self.meter.writes += 1
+
+    def records(self) -> dict[int, int]:
+        """All flows with their exact counts."""
+        return dict(self._table)
+
+    def query(self, key: int) -> int:
+        """Exact packet count (0 if never seen)."""
+        return self._table.get(key, 0)
+
+    def estimate_cardinality(self) -> float:
+        """Exact number of distinct flows."""
+        return float(len(self._table))
+
+    def reset(self) -> None:
+        """Clear the table and the meter."""
+        self._table.clear()
+        self.meter.reset()
+
+    @property
+    def memory_bits(self) -> int:
+        """Footprint if each record were stored as (104-bit ID, 32-bit count)."""
+        return len(self._table) * (FLOW_KEY_BITS + _COUNTER_BITS)

@@ -1,0 +1,178 @@
+"""FlowRadar (Li et al., NSDI 2016).
+
+A Bloom filter detects new flows; an *encoded flowset* (counting table)
+stores, per cell, ``FlowXOR`` (XOR of the IDs of all flows hashed
+there), ``FlowCount`` (how many distinct flows) and ``PacketCount``
+(packets of all those flows).  Each flow maps to ``k`` counting cells.
+
+Decoding uses singleton peeling (SingleDecode in the FlowRadar paper):
+a cell with ``FlowCount == 1`` reveals one flow and its exact packet
+count; removing that flow from its ``k`` cells may expose new
+singletons.  Decoding succeeds fully only while the load stays under
+the ``k``-hypergraph peeling threshold (~0.82 flows/cell for k = 3),
+which produces the sharp accuracy cliff the HashFlow paper highlights
+(Figs. 6 and 8).
+
+Configuration per the HashFlow paper (Section IV-A): 4 Bloom hash
+functions, 3 counting hashes, Bloom bit count = 40 x counting cells.
+"""
+
+from __future__ import annotations
+
+from repro.flow.key import FLOW_KEY_BITS
+from repro.hashing.families import HashFamily
+from repro.sketches.base import FlowCollector
+from repro.sketches.bloom import BloomFilter
+
+_COUNT_BITS = 32
+
+DEFAULT_COUNTING_HASHES = 3
+DEFAULT_BLOOM_HASHES = 4
+DEFAULT_BLOOM_RATIO = 40
+
+
+class FlowRadar(FlowCollector):
+    """FlowRadar collector with singleton-peeling decode.
+
+    Args:
+        counting_cells: cells in the encoded flowset.
+        counting_hashes: hash functions into the flowset (paper: 3).
+        bloom_bits: Bloom filter size in bits (paper: 40 x counting_cells).
+        bloom_hashes: Bloom hash functions (paper: 4).
+        seed: hash seed.
+    """
+
+    name = "FlowRadar"
+
+    def __init__(
+        self,
+        counting_cells: int,
+        counting_hashes: int = DEFAULT_COUNTING_HASHES,
+        bloom_bits: int | None = None,
+        bloom_hashes: int = DEFAULT_BLOOM_HASHES,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if counting_cells <= 0:
+            raise ValueError(f"counting_cells must be positive, got {counting_cells}")
+        if counting_hashes < 1:
+            raise ValueError(f"counting_hashes must be >= 1, got {counting_hashes}")
+        self.counting_cells = counting_cells
+        self.counting_hashes = counting_hashes
+        self.seed = seed
+        self._hashes = HashFamily(counting_hashes, master_seed=seed)
+        self.bloom = BloomFilter(
+            n_bits=bloom_bits if bloom_bits is not None else DEFAULT_BLOOM_RATIO * counting_cells,
+            n_hashes=bloom_hashes,
+            seed=seed + 0xB100,
+            meter=self.meter,
+        )
+        self._flow_xor = [0] * counting_cells
+        self._flow_count = [0] * counting_cells
+        self._packet_count = [0] * counting_cells
+        self._decoded: dict[int, int] | None = None
+
+    def _cells(self, key: int) -> list[int]:
+        """Distinct counting cells of ``key`` (duplicates collapse, as a
+        cell updated twice by one flow would corrupt peeling)."""
+        n = self.counting_cells
+        seen: list[int] = []
+        for h in self._hashes:
+            i = h.bucket(key, n)
+            if i not in seen:
+                seen.append(i)
+        return seen
+
+    def process(self, key: int) -> None:
+        """Per-packet update: Bloom check, then counting-table update."""
+        meter = self.meter
+        meter.packets += 1
+        self._decoded = None
+        is_old = self.bloom.check_and_add(key)
+        cells = self._cells(key)
+        meter.hashes += self.counting_hashes
+        meter.reads += len(cells)
+        meter.writes += len(cells)
+        if is_old:
+            for i in cells:
+                self._packet_count[i] += 1
+        else:
+            for i in cells:
+                self._flow_xor[i] ^= key
+                self._flow_count[i] += 1
+                self._packet_count[i] += 1
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode(self) -> dict[int, int]:
+        """Run singleton peeling; returns ``{flow: packet count}``.
+
+        The result is cached until the next :meth:`process` call.
+        Partial decodes are returned as-is when peeling stalls (the
+        remaining flows are unrecoverable).
+        """
+        if self._decoded is not None:
+            return self._decoded
+        flow_xor = list(self._flow_xor)
+        flow_count = list(self._flow_count)
+        packet_count = list(self._packet_count)
+        decoded: dict[int, int] = {}
+        stack = [i for i, c in enumerate(flow_count) if c == 1]
+        while stack:
+            i = stack.pop()
+            if flow_count[i] != 1:
+                continue
+            key = flow_xor[i]
+            size = packet_count[i]
+            decoded[key] = size
+            for j in self._cells(key):
+                flow_xor[j] ^= key
+                flow_count[j] -= 1
+                packet_count[j] -= size
+                if flow_count[j] == 1:
+                    stack.append(j)
+        self._decoded = decoded
+        return decoded
+
+    def decode_fraction(self, total_flows: int) -> float:
+        """Fraction of ``total_flows`` recovered by decoding."""
+        if total_flows <= 0:
+            raise ValueError(f"total_flows must be positive, got {total_flows}")
+        return len(self.decode()) / total_flows
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def records(self) -> dict[int, int]:
+        """Decoded flow records."""
+        return dict(self.decode())
+
+    def query(self, key: int) -> int:
+        """Decoded packet count of ``key`` (0 when not recoverable)."""
+        return self.decode().get(key, 0)
+
+    def estimate_cardinality(self) -> float:
+        """Bloom-filter fill-fraction estimate of distinct flows.
+
+        The paper (§IV-C) notes this estimator "is not sensitive to flow
+        sizes", which is why FlowRadar's RE stays low even when decode
+        fails.
+        """
+        return self.bloom.estimate_cardinality()
+
+    def reset(self) -> None:
+        """Clear the flowset, the Bloom filter and the meter."""
+        n = self.counting_cells
+        self._flow_xor = [0] * n
+        self._flow_count = [0] * n
+        self._packet_count = [0] * n
+        self.bloom.reset()
+        self._decoded = None
+        self.meter.reset()
+
+    @property
+    def memory_bits(self) -> int:
+        """Counting cells of (FlowXOR, FlowCount, PacketCount) + Bloom bits."""
+        cell = FLOW_KEY_BITS + 2 * _COUNT_BITS
+        return self.counting_cells * cell + self.bloom.memory_bits

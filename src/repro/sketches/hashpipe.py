@@ -1,0 +1,156 @@
+"""HashPipe (Sivaraman et al., SOSR 2017).
+
+A pipeline of ``d`` hash tables (4 equal-size tables in the paper's
+configuration).  The first stage *always* inserts the incoming packet's
+flow, evicting any existing record; evicted records travel down the
+pipeline, and at each later stage the record with the smaller count is
+evicted and carried onward.  A record evicted from the last stage is
+discarded.
+
+As the HashFlow paper points out (Section II), this strategy frequently
+splits one flow into multiple partial records in different tables, which
+wastes memory and makes counts inaccurate — exactly the behaviour this
+implementation reproduces (packets of an evicted flow that arrive later
+re-insert it at stage 1 with a fresh count).
+"""
+
+from __future__ import annotations
+
+from repro.flow.key import FLOW_KEY_BITS
+from repro.hashing.families import HashFamily
+from repro.sketches.base import FlowCollector
+
+_COUNTER_BITS = 32
+_EMPTY = 0  # cell key sentinel: packed flow keys are never all-zero in practice
+
+DEFAULT_STAGES = 4
+
+
+class HashPipe(FlowCollector):
+    """HashPipe with ``d`` equal-size stages.
+
+    Args:
+        cells_per_stage: buckets in each stage table.
+        stages: number of pipeline stages (paper default: 4).
+        seed: hash family seed.
+    """
+
+    name = "HashPipe"
+
+    def __init__(self, cells_per_stage: int, stages: int = DEFAULT_STAGES, seed: int = 0):
+        super().__init__()
+        if cells_per_stage <= 0:
+            raise ValueError(f"cells_per_stage must be positive, got {cells_per_stage}")
+        if stages < 1:
+            raise ValueError(f"stages must be >= 1, got {stages}")
+        self.cells_per_stage = cells_per_stage
+        self.stages = stages
+        self.seed = seed
+        self._hashes = HashFamily(stages, master_seed=seed)
+        self._keys = [[_EMPTY] * cells_per_stage for _ in range(stages)]
+        self._counts = [[0] * cells_per_stage for _ in range(stages)]
+
+    def process(self, key: int) -> None:
+        """Push one packet through the pipeline (HashPipe update rule)."""
+        meter = self.meter
+        meter.packets += 1
+        n = self.cells_per_stage
+        hashes = self._hashes
+        keys = self._keys
+        counts = self._counts
+
+        # Stage 1: always insert, evicting whatever is there.
+        idx = hashes[0].bucket(key, n)
+        meter.hashes += 1
+        meter.reads += 1
+        stage_keys = keys[0]
+        stage_counts = counts[0]
+        occupant_count = stage_counts[idx]
+        if occupant_count == 0:
+            stage_keys[idx] = key
+            stage_counts[idx] = 1
+            meter.writes += 1
+            return
+        if stage_keys[idx] == key:
+            stage_counts[idx] = occupant_count + 1
+            meter.writes += 1
+            return
+        carry_key, carry_count = stage_keys[idx], occupant_count
+        stage_keys[idx] = key
+        stage_counts[idx] = 1
+        meter.writes += 1
+
+        # Later stages: keep the larger record, carry the smaller onward.
+        for s in range(1, self.stages):
+            idx = hashes[s].bucket(carry_key, n)
+            meter.hashes += 1
+            meter.reads += 1
+            stage_keys = keys[s]
+            stage_counts = counts[s]
+            occupant_count = stage_counts[idx]
+            if occupant_count == 0:
+                stage_keys[idx] = carry_key
+                stage_counts[idx] = carry_count
+                meter.writes += 1
+                return
+            if stage_keys[idx] == carry_key:
+                stage_counts[idx] = occupant_count + carry_count
+                meter.writes += 1
+                return
+            if occupant_count < carry_count:
+                stage_keys[idx], carry_key = carry_key, stage_keys[idx]
+                stage_counts[idx], carry_count = carry_count, occupant_count
+                meter.writes += 1
+        # Carry evicted from the final stage is discarded.
+
+    def records(self) -> dict[int, int]:
+        """Reported records: per-flow sums of the (possibly split) cells."""
+        result: dict[int, int] = {}
+        for stage_keys, stage_counts in zip(self._keys, self._counts):
+            for key, count in zip(stage_keys, stage_counts):
+                if count > 0:
+                    result[key] = result.get(key, 0) + count
+        return result
+
+    def query(self, key: int) -> int:
+        """Sum the flow's counts across all stages (0 if absent)."""
+        n = self.cells_per_stage
+        total = 0
+        for s in range(self.stages):
+            idx = self._hashes[s].bucket(key, n)
+            if self._counts[s][idx] and self._keys[s][idx] == key:
+                total += self._counts[s][idx]
+        return total
+
+    def estimate_cardinality(self) -> float:
+        """Distinct keys currently held.
+
+        HashPipe "does not use any advanced cardinality estimation
+        technique to compensate for the flows it drops" (paper §IV-C),
+        so this simply counts resident keys and underestimates badly
+        under load.
+        """
+        distinct: set[int] = set()
+        for stage_keys, stage_counts in zip(self._keys, self._counts):
+            distinct.update(
+                k for k, c in zip(stage_keys, stage_counts) if c > 0
+            )
+        return float(len(distinct))
+
+    def occupancy(self) -> int:
+        """Number of non-empty cells across all stages."""
+        return sum(
+            sum(1 for c in stage_counts if c > 0) for stage_counts in self._counts
+        )
+
+    def reset(self) -> None:
+        """Clear all stages and the meter."""
+        n = self.cells_per_stage
+        self._keys = [[_EMPTY] * n for _ in range(self.stages)]
+        self._counts = [[0] * n for _ in range(self.stages)]
+        self.meter.reset()
+
+    @property
+    def memory_bits(self) -> int:
+        """``stages * cells`` records of (104-bit key, 32-bit counter)."""
+        return self.stages * self.cells_per_stage * (FLOW_KEY_BITS + _COUNTER_BITS)

@@ -1,0 +1,97 @@
+"""Space-Saving (Metwally, Agrawal & El Abbadi 2005).
+
+A classic heavy-hitter counter maintained here as an additional
+comparison point beyond the paper's three baselines: it keeps exactly
+``capacity`` candidate records and, when full, replaces the minimum
+record with the incoming flow at ``min + 1``.  Counts are guaranteed
+overestimates, with error bounded by the displaced minimum (tracked per
+record), which enables precision-guaranteed heavy-hitter reporting.
+"""
+
+from __future__ import annotations
+
+from repro.flow.key import FLOW_KEY_BITS
+from repro.sketches.base import FlowCollector
+
+_COUNTER_BITS = 32
+_ERROR_BITS = 32
+
+
+class SpaceSaving(FlowCollector):
+    """Space-Saving stream summary.
+
+    Args:
+        capacity: maximum number of tracked flows.
+    """
+
+    name = "SpaceSaving"
+
+    def __init__(self, capacity: int):
+        super().__init__()
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._counts: dict[int, int] = {}
+        self._errors: dict[int, int] = {}
+
+    def process(self, key: int) -> None:
+        """Count the packet, displacing the minimum record when full."""
+        meter = self.meter
+        meter.packets += 1
+        meter.hashes += 1
+        meter.reads += 1
+        counts = self._counts
+        if key in counts:
+            counts[key] += 1
+            meter.writes += 1
+            return
+        if len(counts) < self.capacity:
+            counts[key] = 1
+            self._errors[key] = 0
+            meter.writes += 1
+            return
+        # Replace the minimum record (linear scan: the dict is the summary;
+        # a production implementation would keep a min-structure).
+        victim = min(counts, key=counts.get)
+        floor = counts.pop(victim)
+        self._errors.pop(victim)
+        counts[key] = floor + 1
+        self._errors[key] = floor
+        meter.reads += 1
+        meter.writes += 2
+
+    def records(self) -> dict[int, int]:
+        """All tracked flows with their (over-)estimates."""
+        return dict(self._counts)
+
+    def query(self, key: int) -> int:
+        """Estimated count (an overestimate while tracked; 0 otherwise)."""
+        return self._counts.get(key, 0)
+
+    def guaranteed_count(self, key: int) -> int:
+        """Lower bound on the true count: ``estimate - error``."""
+        return self._counts.get(key, 0) - self._errors.get(key, 0)
+
+    def heavy_hitters(self, threshold: int) -> dict[int, int]:
+        """Tracked flows whose estimate exceeds the threshold."""
+        return {k: v for k, v in self._counts.items() if v > threshold}
+
+    def guaranteed_heavy_hitters(self, threshold: int) -> dict[int, int]:
+        """Flows whose *guaranteed* count exceeds the threshold (no false
+        positives)."""
+        return {
+            k: v
+            for k, v in self._counts.items()
+            if v - self._errors.get(k, 0) > threshold
+        }
+
+    def reset(self) -> None:
+        """Clear the summary and the meter."""
+        self._counts.clear()
+        self._errors.clear()
+        self.meter.reset()
+
+    @property
+    def memory_bits(self) -> int:
+        """Capacity records of (key, count, error)."""
+        return self.capacity * (FLOW_KEY_BITS + _COUNTER_BITS + _ERROR_BITS)

@@ -1,0 +1,150 @@
+"""A minimal P4-style packet-processing pipeline.
+
+Models the dataplane shape of a bmv2 program: a parser producing header
+fields, a sequence of match-action stages operating on a per-packet
+context, and a deparser decision (output port or drop).  The
+measurement algorithms plug in as stages, so "loading an algorithm onto
+the switch" is literally adding a stage to the pipeline — mirroring how
+the paper implements HashFlow and its competitors in bmv2.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.flow.key import unpack_key
+from repro.flow.packet import Packet
+from repro.sketches.base import FlowCollector
+
+DROP_PORT = -1
+
+
+@dataclass(slots=True)
+class PacketContext:
+    """Mutable per-packet pipeline state (PHV analogue).
+
+    Attributes:
+        packet: the packet being processed.
+        fields: parsed header fields.
+        egress_port: forwarding decision — ``None`` while no stage has
+            decided yet, :data:`DROP_PORT` for an explicit drop.
+        metadata: scratch space stages may use to communicate.
+    """
+
+    packet: Packet
+    fields: dict[str, int] = field(default_factory=dict)
+    egress_port: int | None = None
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def dropped(self) -> bool:
+        """Whether a stage has explicitly marked the packet for drop."""
+        return self.egress_port == DROP_PORT
+
+
+class Stage(ABC):
+    """One pipeline stage."""
+
+    name = "stage"
+
+    @abstractmethod
+    def apply(self, ctx: PacketContext) -> None:
+        """Process one packet context in place."""
+
+
+class ParserStage(Stage):
+    """Parses the 5-tuple out of the packet key into header fields."""
+
+    name = "parser"
+
+    def apply(self, ctx: PacketContext) -> None:
+        src_ip, dst_ip, src_port, dst_port, proto = unpack_key(ctx.packet.key)
+        ctx.fields.update(
+            src_ip=src_ip,
+            dst_ip=dst_ip,
+            src_port=src_port,
+            dst_port=dst_port,
+            proto=proto,
+        )
+
+
+class L3ForwardStage(Stage):
+    """Destination-based forwarding via an exact-match table.
+
+    Args:
+        table: ``{dst_ip: egress port}`` entries.
+        default_port: port used on a table miss (:data:`DROP_PORT`
+            drops misses).
+    """
+
+    name = "l3_forward"
+
+    def __init__(self, table: dict[int, int] | None = None, default_port: int = 0):
+        self.table = dict(table or {})
+        self.default_port = default_port
+
+    def apply(self, ctx: PacketContext) -> None:
+        if ctx.dropped:
+            return  # an earlier stage (ACL) already dropped the packet
+        dst = ctx.fields.get("dst_ip")
+        ctx.egress_port = self.table.get(dst, self.default_port)
+
+
+class AclStage(Stage):
+    """A drop ACL keyed on protocol and/or destination port."""
+
+    name = "acl"
+
+    def __init__(
+        self,
+        blocked_protos: set[int] | None = None,
+        blocked_dst_ports: set[int] | None = None,
+    ):
+        self.blocked_protos = set(blocked_protos or ())
+        self.blocked_dst_ports = set(blocked_dst_ports or ())
+
+    def apply(self, ctx: PacketContext) -> None:
+        if ctx.fields.get("proto") in self.blocked_protos:
+            ctx.egress_port = DROP_PORT
+        elif ctx.fields.get("dst_port") in self.blocked_dst_ports:
+            ctx.egress_port = DROP_PORT
+
+
+class MeasurementStage(Stage):
+    """Feeds each (non-dropped) packet into a flow collector.
+
+    This is where HashFlow / HashPipe / ElasticSketch / FlowRadar sit in
+    the bmv2 programs the paper evaluates.
+    """
+
+    name = "measurement"
+
+    def __init__(self, collector: FlowCollector, measure_dropped: bool = False):
+        self.collector = collector
+        self.measure_dropped = measure_dropped
+
+    def apply(self, ctx: PacketContext) -> None:
+        if self.measure_dropped or not ctx.dropped:
+            self.collector.process(ctx.packet.key)
+
+
+class Pipeline:
+    """An ordered list of stages applied to each packet."""
+
+    def __init__(self, stages: list[Stage]):
+        self.stages = list(stages)
+
+    def process(self, packet: Packet) -> PacketContext:
+        """Run one packet through all stages and return its final context."""
+        ctx = PacketContext(packet=packet)
+        for stage in self.stages:
+            stage.apply(ctx)
+        return ctx
+
+    def stage_names(self) -> list[str]:
+        """Names of the stages in order (program introspection)."""
+        return [stage.name for stage in self.stages]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Pipeline({' -> '.join(self.stage_names())})"

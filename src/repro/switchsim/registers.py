@@ -1,0 +1,76 @@
+"""P4-style stateful register arrays with access accounting.
+
+On a programmable switch, algorithm state lives in register arrays read
+and written by the match-action pipeline; each access costs memory
+bandwidth.  :class:`RegisterArray` models one such array and charges
+every access to a shared :class:`~repro.sketches.base.CostMeter`, so a
+program built from registers gets the same accounting the paper's
+Fig. 11(c) reports.
+"""
+
+from __future__ import annotations
+
+from repro.sketches.base import CostMeter
+
+
+class RegisterArray:
+    """A bounded array of integer registers.
+
+    Args:
+        name: register name (for debugging / program introspection).
+        size: number of registers.
+        width_bits: register width; values are masked to this width on
+            write, mirroring hardware truncation.
+        meter: shared cost meter charged one read or write per access.
+    """
+
+    def __init__(self, name: str, size: int, width_bits: int, meter: CostMeter | None = None):
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        if width_bits <= 0:
+            raise ValueError(f"width_bits must be positive, got {width_bits}")
+        self.name = name
+        self.size = size
+        self.width_bits = width_bits
+        self._mask = (1 << width_bits) - 1
+        self.meter = meter if meter is not None else CostMeter()
+        self._values = [0] * size
+
+    def read(self, index: int) -> int:
+        """Read one register (1 metered read)."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"{self.name}[{index}] out of range (size {self.size})")
+        self.meter.reads += 1
+        return self._values[index]
+
+    def write(self, index: int, value: int) -> None:
+        """Write one register, masking to the register width (1 metered write)."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"{self.name}[{index}] out of range (size {self.size})")
+        self.meter.writes += 1
+        self._values[index] = value & self._mask
+
+    def read_modify_write(self, index: int, delta: int) -> int:
+        """Atomic increment, the common switch ALU op (1 read + 1 write).
+
+        Returns the post-increment value (masked).
+        """
+        value = (self.read(index) + delta) & self._mask
+        self.write(index, value)
+        return value
+
+    def reset(self) -> None:
+        """Zero all registers (not metered: control-plane operation)."""
+        self._values = [0] * self.size
+
+    def snapshot(self) -> list[int]:
+        """Control-plane readout of all registers (not metered)."""
+        return list(self._values)
+
+    @property
+    def memory_bits(self) -> int:
+        """Array footprint in bits."""
+        return self.size * self.width_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RegisterArray({self.name!r}, size={self.size}, width={self.width_bits})"

@@ -1,0 +1,125 @@
+"""Trace composition: merging traces and injecting anomalies.
+
+Measurement systems are evaluated on how they behave when traffic
+*changes* — a flash crowd, a DDoS, a port scan.  This module composes
+base traces with synthetic events so those scenarios can be replayed
+against any collector:
+
+* :func:`merge_traces` — interleave several traces into one stream;
+* :func:`inject_elephants` — add heavy flows to an existing trace;
+* :func:`syn_flood` — a DDoS-like burst: huge numbers of single-packet
+  flows from spoofed sources toward one victim;
+* :func:`port_scan` — one source sweeping a victim's ports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.flow.key import pack_key
+from repro.traces.trace import Trace
+
+
+def merge_traces(traces: list[Trace], seed: int = 0, name: str = "merged") -> Trace:
+    """Interleave several traces into one uniformly mixed stream.
+
+    Flow identities are preserved; a flow present in two inputs keeps a
+    single merged record with the summed packet count.
+    """
+    if not traces:
+        raise ValueError("need at least one trace to merge")
+    key_index: dict[int, int] = {}
+    flow_keys: list[int] = []
+    pieces = []
+    for trace in traces:
+        remap = np.empty(trace.num_flows, dtype=np.int64)
+        for i, key in enumerate(trace.flow_keys):
+            pos = key_index.get(key)
+            if pos is None:
+                pos = len(flow_keys)
+                key_index[key] = pos
+                flow_keys.append(key)
+            remap[i] = pos
+        pieces.append(remap[trace.order])
+    order = np.concatenate(pieces)
+    rng = np.random.default_rng(seed)
+    return Trace(flow_keys, rng.permutation(order), name=name)
+
+
+def inject_elephants(
+    trace: Trace,
+    n_elephants: int,
+    size: int,
+    seed: int = 0,
+) -> Trace:
+    """Add ``n_elephants`` fresh flows of ``size`` packets each.
+
+    The new packets are spread uniformly through the stream, modelling
+    elephants that ramp up mid-epoch.
+    """
+    if n_elephants < 0 or size <= 0:
+        raise ValueError("n_elephants must be >= 0 and size positive")
+    rng = np.random.default_rng(seed)
+    new_keys = _fresh_keys(trace, n_elephants, rng)
+    flow_keys = trace.flow_keys + new_keys
+    base = trace.num_flows
+    extra = np.repeat(np.arange(base, base + n_elephants, dtype=np.int64), size)
+    order = np.concatenate([trace.order, extra])
+    return Trace(flow_keys, rng.permutation(order), name=f"{trace.name}+elephants")
+
+
+def syn_flood(
+    victim_ip: int,
+    n_sources: int,
+    seed: int = 0,
+    victim_port: int = 80,
+) -> Trace:
+    """A SYN-flood-like burst: ``n_sources`` spoofed single-packet flows
+    toward one victim address and port."""
+    if n_sources <= 0:
+        raise ValueError(f"n_sources must be positive, got {n_sources}")
+    rng = np.random.default_rng(seed)
+    sources = rng.integers(0, 2**32, size=n_sources, dtype=np.uint64)
+    sports = rng.integers(1024, 65536, size=n_sources, dtype=np.uint64)
+    keys = [
+        pack_key(int(src), victim_ip, int(sport), victim_port, 6)
+        for src, sport in zip(sources, sports)
+    ]
+    # Spoofed sources can collide; dedupe while preserving order.
+    keys = list(dict.fromkeys(keys))
+    order = np.arange(len(keys), dtype=np.int64)
+    return Trace(keys, order, name="syn_flood")
+
+
+def port_scan(
+    scanner_ip: int,
+    victim_ip: int,
+    n_ports: int = 1024,
+    seed: int = 0,
+) -> Trace:
+    """A sequential port scan: one source probing ``n_ports`` ports with
+    one packet each (every probe is a distinct flow)."""
+    if not 1 <= n_ports <= 65_535:
+        raise ValueError(f"n_ports must be in [1, 65535], got {n_ports}")
+    rng = np.random.default_rng(seed)
+    sport = int(rng.integers(1024, 65536))
+    keys = [
+        pack_key(scanner_ip, victim_ip, sport, port, 6)
+        for port in range(1, n_ports + 1)
+    ]
+    return Trace(keys, np.arange(n_ports, dtype=np.int64), name="port_scan")
+
+
+def _fresh_keys(trace: Trace, n: int, rng: np.random.Generator) -> list[int]:
+    """Draw ``n`` keys not present in ``trace``."""
+    existing = set(trace.flow_keys)
+    keys: list[int] = []
+    while len(keys) < n:
+        src = int(rng.integers(0, 2**32))
+        dst = int(rng.integers(0, 2**32))
+        sport = int(rng.integers(1024, 65536))
+        key = pack_key(src, dst, sport, 443, 6)
+        if key not in existing:
+            existing.add(key)
+            keys.append(key)
+    return keys

@@ -1,0 +1,134 @@
+"""Minimal PCAP reader/writer for trace import/export.
+
+Writes classic libpcap files (magic ``0xa1b2c3d4``, microsecond
+timestamps, LINKTYPE_ETHERNET) with synthesized Ethernet/IPv4/TCP-or-UDP
+headers carrying each packet's 5-tuple, and reads them back into
+:class:`~repro.traces.trace.Trace` objects.  Only the fields the flow
+key needs are parsed; other protocols are skipped.
+
+This lets synthetic workloads be exported to standard tooling
+(tcpdump/wireshark/bmv2) and real captures be imported for evaluation.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+from repro.flow.key import pack_key, unpack_key
+from repro.traces.trace import Trace, trace_from_keys
+
+PCAP_MAGIC = 0xA1B2C3D4
+LINKTYPE_ETHERNET = 1
+
+_GLOBAL_HDR = struct.Struct("<IHHiIII")
+_PKT_HDR = struct.Struct("<IIII")
+_ETH_HDR = struct.Struct("!6s6sH")
+_IPV4_HDR = struct.Struct("!BBHHHBBH4s4s")
+_PORTS_HDR = struct.Struct("!HH")
+
+_ETH_TYPE_IPV4 = 0x0800
+_SRC_MAC = b"\x02\x00\x00\x00\x00\x01"
+_DST_MAC = b"\x02\x00\x00\x00\x00\x02"
+
+
+def write_pcap(trace: Trace, path: str | Path, snaplen: int = 65535) -> int:
+    """Write a trace as a classic pcap file.
+
+    Each packet is emitted as Ethernet/IPv4/TCP-or-UDP with the flow's
+    5-tuple; the transport header is truncated to the port fields (which
+    is all a flow-record collector parses).
+
+    Args:
+        trace: trace to export.
+        path: output file path.
+        snaplen: snapshot length recorded in the global header.
+
+    Returns:
+        Number of packets written.
+    """
+    path = Path(path)
+    count = 0
+    with path.open("wb") as fh:
+        fh.write(_GLOBAL_HDR.pack(PCAP_MAGIC, 2, 4, 0, 0, snaplen, LINKTYPE_ETHERNET))
+        for pkt in trace.packets():
+            src_ip, dst_ip, sport, dport, proto = unpack_key(pkt.key)
+            payload = _PORTS_HDR.pack(sport, dport)
+            ip_total = _IPV4_HDR.size + len(payload)
+            ip_hdr = _IPV4_HDR.pack(
+                0x45,  # version 4, IHL 5
+                0,
+                ip_total,
+                0,
+                0,
+                64,  # TTL
+                proto,
+                0,  # checksum left zero; parsers here do not verify it
+                src_ip.to_bytes(4, "big"),
+                dst_ip.to_bytes(4, "big"),
+            )
+            frame = _ETH_HDR.pack(_DST_MAC, _SRC_MAC, _ETH_TYPE_IPV4) + ip_hdr + payload
+            ts = pkt.timestamp
+            sec = int(ts)
+            usec = int(round((ts - sec) * 1_000_000)) % 1_000_000
+            fh.write(_PKT_HDR.pack(sec, usec, len(frame), len(frame)))
+            fh.write(frame)
+            count += 1
+    return count
+
+
+def read_pcap(path: str | Path, name: str | None = None) -> Trace:
+    """Read a pcap file into a :class:`Trace`.
+
+    Non-IPv4 frames and IPv4 packets without at least 4 bytes of
+    transport header are skipped (their ports cannot be recovered).
+
+    Raises:
+        ValueError: if the file is not a little-endian classic pcap with
+            an Ethernet link type.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    if len(data) < _GLOBAL_HDR.size:
+        raise ValueError(f"{path} is too short to be a pcap file")
+    magic, _vmaj, _vmin, _tz, _sig, _snap, linktype = _GLOBAL_HDR.unpack_from(data, 0)
+    if magic != PCAP_MAGIC:
+        raise ValueError(f"{path}: unsupported pcap magic {magic:#x}")
+    if linktype != LINKTYPE_ETHERNET:
+        raise ValueError(f"{path}: unsupported link type {linktype}")
+    keys: list[int] = []
+    pos = _GLOBAL_HDR.size
+    while pos + _PKT_HDR.size <= len(data):
+        _sec, _usec, caplen, _origlen = _PKT_HDR.unpack_from(data, pos)
+        pos += _PKT_HDR.size
+        frame = data[pos : pos + caplen]
+        pos += caplen
+        key = _parse_frame(frame)
+        if key is not None:
+            keys.append(key)
+    return trace_from_keys(keys, name=name or path.stem)
+
+
+def _parse_frame(frame: bytes) -> int | None:
+    """Extract the packed 5-tuple key from an Ethernet frame, or None."""
+    if len(frame) < _ETH_HDR.size:
+        return None
+    _dst, _src, eth_type = _ETH_HDR.unpack_from(frame, 0)
+    if eth_type != _ETH_TYPE_IPV4:
+        return None
+    off = _ETH_HDR.size
+    if len(frame) < off + _IPV4_HDR.size:
+        return None
+    first = frame[off]
+    if first >> 4 != 4:
+        return None
+    ihl = (first & 0x0F) * 4
+    fields = _IPV4_HDR.unpack_from(frame, off)
+    proto = fields[6]
+    src_ip = int.from_bytes(fields[8], "big")
+    dst_ip = int.from_bytes(fields[9], "big")
+    transport = off + ihl
+    if len(frame) < transport + 4:
+        return None
+    sport, dport = _PORTS_HDR.unpack_from(frame, transport)
+    return pack_key(src_ip, dst_ip, sport, dport, proto)

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces.profiles import CAIDA, CAMPUS
+from repro.traces.synthetic import SizeModel, synthesize
+from repro.traces.trace import Trace, trace_from_keys
+
+
+@pytest.fixture(scope="session")
+def small_model() -> SizeModel:
+    """A modest heavy-tailed size model for fast trace generation."""
+    return SizeModel(
+        mice_p=0.6, tail_alpha=1.5, tail_min=10.0, max_size=5000, tail_weight=0.05
+    )
+
+
+@pytest.fixture(scope="session")
+def small_trace(small_model) -> Trace:
+    """~2K flows, ~8K packets: fast but statistically meaningful."""
+    return synthesize(2000, small_model, seed=42, name="small")
+
+
+@pytest.fixture(scope="session")
+def tiny_trace() -> Trace:
+    """A hand-buildable trace with known ground truth."""
+    keys = [11, 22, 11, 33, 11, 22, 44, 11]
+    return trace_from_keys(keys, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def caida_trace() -> Trace:
+    """A scaled-down CAIDA-profile trace shared across tests."""
+    return CAIDA.generate(n_flows=3000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def campus_trace() -> Trace:
+    """A scaled-down Campus-profile trace shared across tests."""
+    return CAMPUS.generate(n_flows=2000, seed=7)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic numpy generator per test."""
+    return np.random.default_rng(12345)

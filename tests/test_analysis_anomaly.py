@@ -1,0 +1,134 @@
+"""Tests for repro.analysis.anomaly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.anomaly import (
+    EwmaDetector,
+    detect_flood_victims,
+    detect_scanners,
+    fanin_by_destination,
+    fanout_by_source,
+)
+from repro.flow.key import pack_key, parse_ip
+
+
+class TestEwmaDetector:
+    def test_steady_signal_never_flags(self):
+        detector = EwmaDetector(warmup=3)
+        assert not any(detector.observe(100.0) for _ in range(50))
+
+    def test_spike_flagged(self):
+        detector = EwmaDetector(alpha=0.3, k=3.0, warmup=3)
+        for _ in range(20):
+            detector.observe(100.0)
+        assert detector.observe(400.0)
+
+    def test_warmup_absorbs_everything(self):
+        detector = EwmaDetector(warmup=5)
+        values = [10, 9999, 10, 10, 10]  # spike inside warmup
+        assert not any(detector.observe(v) for v in values)
+
+    def test_anomalies_not_absorbed_into_baseline(self):
+        """A sustained attack must keep firing, not normalize itself."""
+        detector = EwmaDetector(alpha=0.5, k=3.0, warmup=3)
+        for _ in range(20):
+            detector.observe(100.0)
+        flags = [detector.observe(500.0) for _ in range(10)]
+        assert all(flags)
+
+    def test_gradual_drift_tracked(self):
+        detector = EwmaDetector(alpha=0.3, k=3.0, warmup=3)
+        value = 100.0
+        flagged = 0
+        for _ in range(100):
+            value *= 1.01  # 1% growth per epoch: legitimate drift
+            flagged += detector.observe(value)
+        assert flagged <= 2
+
+    def test_noisy_signal_low_false_positive_rate(self):
+        import random
+
+        rng = random.Random(5)
+        detector = EwmaDetector(alpha=0.2, k=4.0, warmup=10)
+        flags = sum(
+            detector.observe(100 + rng.gauss(0, 5)) for _ in range(500)
+        )
+        assert flags <= 5
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"alpha": 0.0}, {"alpha": 1.5}, {"k": 0}, {"warmup": 0}]
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            EwmaDetector(**kwargs)
+
+    def test_mean_and_std_exposed(self):
+        detector = EwmaDetector(warmup=1)
+        detector.observe(10.0)
+        detector.observe(10.0)
+        assert detector.mean == pytest.approx(10.0)
+        assert detector.std == pytest.approx(0.0, abs=1e-9)
+
+
+def _record(src: str, dst: str, dport: int) -> int:
+    return pack_key(parse_ip(src), parse_ip(dst), 1234, dport, 6)
+
+
+class TestAttribution:
+    def make_records(self) -> dict[int, int]:
+        records = {}
+        # A scanner touching 50 ports of one host.
+        for port in range(1, 51):
+            records[_record("6.6.6.6", "10.0.0.1", port)] = 1
+        # Normal flows.
+        records[_record("1.1.1.1", "10.0.0.2", 80)] = 100
+        records[_record("2.2.2.2", "10.0.0.2", 80)] = 7
+        return records
+
+    def test_fanout(self):
+        fanout = fanout_by_source(self.make_records())
+        assert fanout[parse_ip("6.6.6.6")] == 50
+        assert fanout[parse_ip("1.1.1.1")] == 1
+
+    def test_fanin(self):
+        fanin = fanin_by_destination(self.make_records())
+        assert fanin[parse_ip("10.0.0.1")] == 50
+        assert fanin[parse_ip("10.0.0.2")] == 2
+
+    def test_detect_scanners(self):
+        scanners = detect_scanners(self.make_records(), min_fanout=20)
+        assert set(scanners) == {parse_ip("6.6.6.6")}
+
+    def test_detect_flood_victims(self):
+        victims = detect_flood_victims(self.make_records(), min_fanin=20)
+        assert set(victims) == {parse_ip("10.0.0.1")}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            detect_scanners({}, 0)
+        with pytest.raises(ValueError):
+            detect_flood_victims({}, 0)
+
+
+class TestEndToEndDetection:
+    def test_flood_raises_epoch_cardinality_alarm(self, small_trace):
+        """Drive HashFlow epoch cardinalities through the detector: the
+        flood epoch must trip it, the normal ones must not."""
+        from repro.core.hashflow import HashFlow
+        from repro.traces.mixer import merge_traces, syn_flood
+
+        detector = EwmaDetector(alpha=0.3, k=3.0, warmup=3)
+        flags = []
+        for epoch in range(8):
+            hf = HashFlow(main_cells=8192, seed=epoch)
+            if epoch == 6:
+                flood = syn_flood(parse_ip("9.9.9.9"), 6000, seed=epoch)
+                trace = merge_traces([small_trace, flood], seed=epoch)
+            else:
+                trace = small_trace
+            hf.process_all(trace.keys())
+            flags.append(detector.observe(hf.estimate_cardinality()))
+        assert flags[6] is True
+        assert sum(flags) == 1

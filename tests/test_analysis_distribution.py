@@ -1,0 +1,92 @@
+"""Tests for repro.analysis.distribution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.distribution import (
+    DistributionSummary,
+    histogram_distance,
+    size_histogram,
+    weighted_mean_error,
+)
+
+
+class TestDistributionSummary:
+    def test_known_values(self):
+        records = {i: s for i, s in enumerate([1, 1, 2, 4, 100])}
+        summary = DistributionSummary.from_records(records)
+        assert summary.flows == 5
+        assert summary.packets == 108
+        assert summary.mean == pytest.approx(21.6)
+        assert summary.p50 == 2.0
+        assert summary.max == 100
+
+    def test_empty(self):
+        summary = DistributionSummary.from_records({})
+        assert summary.flows == 0
+        assert summary.mean == 0.0
+
+    def test_quantiles_ordered(self, small_trace):
+        summary = DistributionSummary.from_records(small_trace.true_sizes())
+        assert summary.p50 <= summary.p90 <= summary.p99 <= summary.max
+
+    def test_single_flow(self):
+        summary = DistributionSummary.from_records({1: 7})
+        assert summary.p50 == summary.p99 == 7.0
+
+
+class TestSizeHistogram:
+    def test_bucketing(self):
+        records = {1: 1, 2: 2, 3: 3, 4: 50, 5: 5000}
+        hist = size_histogram(records, bins=(1, 2, 10, 100))
+        assert hist == {"<=1": 1, "<=2": 1, "<=10": 1, "<=100": 1, ">100": 1}
+
+    def test_total_preserved(self, small_trace):
+        hist = size_histogram(small_trace.true_sizes())
+        assert sum(hist.values()) == small_trace.num_flows
+
+    def test_unsorted_bins_rejected(self):
+        with pytest.raises(ValueError):
+            size_histogram({1: 1}, bins=(5, 2))
+
+
+class TestWeightedMeanError:
+    def test_perfect(self):
+        truth = {1: 10, 2: 20}
+        assert weighted_mean_error(truth, truth) == 0.0
+
+    def test_missing_mice_barely_matter(self):
+        """The HashFlow story: losing mice records costs little volume."""
+        truth = {1: 1000} | {i: 1 for i in range(2, 102)}
+        estimated = {1: 1000}  # all mice dropped
+        assert weighted_mean_error(estimated, truth) == pytest.approx(100 / 1100)
+
+    def test_empty_truth(self):
+        assert weighted_mean_error({}, {}) == 0.0
+
+
+class TestHistogramDistance:
+    def test_identical(self):
+        h = {"<=1": 5, ">1": 5}
+        assert histogram_distance(h, h) == 0.0
+
+    def test_disjoint(self):
+        a = {"<=1": 10, ">1": 0}
+        b = {"<=1": 0, ">1": 10}
+        assert histogram_distance(a, b) == 1.0
+
+    def test_mismatched_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_distance({"a": 1}, {"b": 1})
+
+    def test_collector_preserves_distribution_shape(self, small_trace):
+        """HashFlow's reported records should have a size histogram close
+        to the truth (elephants all present; mice undersampled evenly)."""
+        from repro.core.hashflow import HashFlow
+
+        hf = HashFlow(main_cells=small_trace.num_flows, seed=2)
+        hf.process_all(small_trace.keys())
+        truth_hist = size_histogram(small_trace.true_sizes())
+        ours_hist = size_histogram(hf.records())
+        assert histogram_distance(truth_hist, ours_hist) < 0.15

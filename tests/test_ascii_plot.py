@@ -1,0 +1,129 @@
+"""Tests for repro.experiments.ascii_plot."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ascii_plot import PLOT_SPECS, line_chart, plot_result
+from repro.experiments.runner import ExperimentResult
+
+
+class TestLineChart:
+    def test_basic_rendering(self):
+        chart = line_chart(
+            {"a": {0: 0.0, 10: 1.0}}, width=20, height=5, title="T", x_label="n"
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert "legend: *=a" in chart
+        assert "n: 0 .. 10" in chart
+
+    def test_dimensions(self):
+        chart = line_chart({"a": {0: 0, 1: 1}}, width=30, height=8)
+        rows = [l for l in chart.splitlines() if l.startswith("|")]
+        assert len(rows) == 8
+        assert all(len(r) == 32 for r in rows)  # width + 2 borders
+
+    def test_extremes_placed_at_corners(self):
+        chart = line_chart({"a": {0: 0.0, 10: 1.0}}, width=11, height=5)
+        rows = [l for l in chart.splitlines() if l.startswith("|")]
+        assert rows[0][11] == "*"  # max y, max x (top-right)
+        assert rows[-1][1] == "*"  # min y, min x (bottom-left)
+
+    def test_multiple_series_distinct_glyphs(self):
+        chart = line_chart(
+            {"a": {0: 0, 1: 1}, "b": {0: 1, 1: 0}}, width=10, height=4
+        )
+        assert "*=a" in chart
+        assert "o=b" in chart
+
+    def test_constant_series_handled(self):
+        chart = line_chart({"a": {0: 5, 1: 5}}, width=10, height=4)
+        assert "5 .. 6" in chart  # degenerate y-range widened
+
+    def test_nan_points_dropped(self):
+        chart = line_chart({"a": {0: float("nan"), 1: 2.0}}, width=10, height=4)
+        assert "x: 1 .. 2" in chart  # x-range spans only the finite point
+        plot_area = [l for l in chart.splitlines() if l.startswith("|")]
+        assert sum(l.count("*") for l in plot_area) == 1
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError, match="no finite"):
+            line_chart({"a": {0: float("nan")}})
+
+    def test_too_many_series_rejected(self):
+        series = {f"s{i}": {0: i} for i in range(9)}
+        with pytest.raises(ValueError, match="at most"):
+            line_chart(series)
+
+
+class TestPlotResult:
+    def make_fig6_like(self) -> ExperimentResult:
+        result = ExperimentResult(
+            experiment_id="fig6",
+            title="t",
+            columns=["trace", "n_flows", "algorithm", "fsc"],
+        )
+        for trace in ("caida", "isp1"):
+            for n in (10, 20):
+                for algo, fsc in (("HashFlow", 0.9), ("HashPipe", 0.7)):
+                    result.add_row(
+                        trace=trace, n_flows=n, algorithm=algo, fsc=fsc - n / 100
+                    )
+        return result
+
+    def test_per_trace_charts(self):
+        charts = plot_result(self.make_fig6_like())
+        assert charts.count("fig6 [") == 2
+        assert "caida" in charts
+        assert "isp1" in charts
+
+    def test_unknown_experiment_rejected(self):
+        result = ExperimentResult(
+            experiment_id="table1", title="t", columns=["a"]
+        )
+        with pytest.raises(KeyError):
+            plot_result(result)
+
+    def test_specs_reference_registered_experiments(self):
+        from repro.experiments.figures import EXPERIMENTS
+
+        assert set(PLOT_SPECS).issubset(set(EXPERIMENTS))
+
+
+class TestCliIntegration:
+    def test_run_with_plot_flag(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["run", "fig2d", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+        assert "improvement vs alpha" in out
+
+    def test_plot_flag_on_table_experiment(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["run", "table1", "--scale", "0.01", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "no chart layout" in out
+
+    def test_sweep_command(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(
+            ["sweep", "fig2d", "--seeds", "0", "1", "--metric", "improvement"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mean ± std" in out
+        assert "±" in out
+
+    def test_sweep_unknown_metric(self):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["sweep", "fig2d", "--metric", "bogus"])
+
+    def test_sweep_unknown_experiment(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["sweep", "nope"]) == 2

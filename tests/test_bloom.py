@@ -1,0 +1,102 @@
+"""Tests for repro.sketches.bloom."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches.bloom import BloomFilter
+
+
+class TestMembership:
+    def test_empty_contains_nothing(self):
+        bf = BloomFilter(n_bits=256, n_hashes=3)
+        assert not bf.contains(42)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.sets(st.integers(0, 10_000), max_size=100))
+    def test_no_false_negatives_property(self, keys):
+        bf = BloomFilter(n_bits=4096, n_hashes=4)
+        for k in keys:
+            bf.add(k)
+        assert all(bf.contains(k) for k in keys)
+
+    def test_false_positive_rate_reasonable(self):
+        bf = BloomFilter(n_bits=8 * 1024, n_hashes=4, seed=3)
+        inserted = list(range(1000))
+        for k in inserted:
+            bf.add(k)
+        probes = range(100_000, 110_000)
+        fp = sum(1 for k in probes if bf.contains(k)) / 10_000
+        assert fp < 3 * bf.false_positive_rate() + 0.02
+
+    def test_check_and_add_semantics(self):
+        bf = BloomFilter(n_bits=1024, n_hashes=3)
+        assert bf.check_and_add(7) is False  # first time: not present
+        assert bf.check_and_add(7) is True  # second time: present
+
+
+class TestCardinalityEstimate:
+    def test_empty_estimates_zero(self):
+        bf = BloomFilter(n_bits=1024, n_hashes=4)
+        assert bf.estimate_cardinality() == 0.0
+
+    def test_estimate_accuracy(self):
+        bf = BloomFilter(n_bits=64 * 1024, n_hashes=4, seed=1)
+        n = 5000
+        for k in range(n):
+            bf.add(k)
+        assert bf.estimate_cardinality() == pytest.approx(n, rel=0.05)
+
+    def test_saturated_filter_returns_inf(self):
+        bf = BloomFilter(n_bits=8, n_hashes=2)
+        for k in range(100):
+            bf.add(k)
+        if bf.set_bits == bf.n_bits:
+            assert math.isinf(bf.estimate_cardinality())
+
+    def test_insensitive_to_duplicates(self):
+        """Re-adding existing keys must not move the estimate (this is why
+        FlowRadar's flow count ignores flow sizes, paper §IV-C)."""
+        bf = BloomFilter(n_bits=16 * 1024, n_hashes=4)
+        for k in range(500):
+            bf.add(k)
+        before = bf.estimate_cardinality()
+        for _ in range(10):
+            for k in range(500):
+                bf.add(k)
+        assert bf.estimate_cardinality() == before
+
+
+class TestAccountingAndLifecycle:
+    def test_set_bits_tracked(self):
+        bf = BloomFilter(n_bits=128, n_hashes=2)
+        bf.add(1)
+        assert 1 <= bf.set_bits <= 2
+        assert bf.fill_fraction() == bf.set_bits / 128
+
+    def test_memory_bits(self):
+        assert BloomFilter(n_bits=12345).memory_bits == 12345
+
+    def test_meter_counts(self):
+        bf = BloomFilter(n_bits=128, n_hashes=3)
+        bf.contains(5)
+        assert bf.meter.hashes == 3
+        assert bf.meter.reads == 3
+        bf.add(5)
+        assert bf.meter.writes == 3
+
+    def test_reset(self):
+        bf = BloomFilter(n_bits=128, n_hashes=2)
+        bf.add(5)
+        bf.reset()
+        assert not bf.contains(5)
+        assert bf.set_bits == 0
+
+    @pytest.mark.parametrize("kwargs", [{"n_bits": 0}, {"n_bits": 8, "n_hashes": 0}])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            BloomFilter(**kwargs)

@@ -1,0 +1,95 @@
+"""Tests for optional byte-volume tracking (NetFlow dOctets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hashflow import HashFlow
+from repro.flow.packet import Packet
+
+
+@pytest.mark.parametrize("variant", ["pipelined", "multihash"])
+class TestByteTracking:
+    def test_bytes_accumulated_exactly(self, variant):
+        hf = HashFlow(main_cells=64, variant=variant, track_bytes=True, seed=1)
+        for size in (100, 200, 52):
+            hf.process_packet(Packet(key=7, size=size))
+        assert hf.records()[7] == 3
+        assert hf.byte_records()[7] == 352
+
+    def test_multiple_flows(self, variant):
+        hf = HashFlow(main_cells=256, variant=variant, track_bytes=True, seed=1)
+        truth_bytes: dict[int, int] = {}
+        for key in range(1, 31):
+            for i in range(key % 4 + 1):
+                size = 64 + key * 10 + i
+                hf.process_packet(Packet(key=key, size=size))
+                truth_bytes[key] = truth_bytes.get(key, 0) + size
+        assert hf.byte_records() == truth_bytes
+
+    def test_disabled_by_default(self, variant):
+        hf = HashFlow(main_cells=64, variant=variant, seed=1)
+        hf.process(1)
+        with pytest.raises(RuntimeError, match="byte tracking"):
+            hf.byte_records()
+
+    def test_memory_accounting_includes_byte_counters(self, variant):
+        plain = HashFlow(main_cells=100, variant=variant)
+        tracked = HashFlow(main_cells=100, variant=variant, track_bytes=True)
+        assert tracked.memory_bits == plain.memory_bits + 100 * 32
+
+    def test_reset_clears_bytes(self, variant):
+        hf = HashFlow(main_cells=64, variant=variant, track_bytes=True, seed=1)
+        hf.process_packet(Packet(key=1, size=500))
+        hf.reset()
+        hf.process_packet(Packet(key=1, size=100))
+        assert hf.byte_records()[1] == 100
+
+    def test_promoted_record_bytes_are_lower_bound(self, variant):
+        """Promotion restarts the byte counter at the promoting packet's
+        size — never an overestimate."""
+        hf = HashFlow(
+            main_cells=8, ancillary_cells=64, variant=variant,
+            track_bytes=True, seed=3,
+        )
+        for key in range(200):  # fill the main table
+            hf.process_packet(Packet(key=key, size=100))
+            hf.process_packet(Packet(key=key, size=100))
+        elephant = 10_001
+        total = 0
+        for _ in range(50):
+            hf.process_packet(Packet(key=elephant, size=700))
+            total += 700
+        if elephant in hf.byte_records():
+            assert hf.byte_records()[elephant] <= total
+
+    def test_packet_counting_unchanged_by_tracking(self, variant, small_trace):
+        """Byte tracking must not perturb placement or packet counts."""
+        plain = HashFlow(main_cells=512, variant=variant, seed=9)
+        tracked = HashFlow(
+            main_cells=512, variant=variant, seed=9, track_bytes=True
+        )
+        plain.process_all(small_trace.keys())
+        for packet in small_trace.packets(size=128):
+            tracked.process_packet(packet)
+        assert plain.records() == tracked.records()
+
+    def test_bytes_match_packets_times_size_for_uniform(self, variant, small_trace):
+        hf = HashFlow(
+            main_cells=4 * small_trace.num_flows,
+            variant=variant,
+            track_bytes=True,
+            seed=2,
+        )
+        for packet in small_trace.packets(size=100):
+            hf.process_packet(packet)
+        records = hf.records()
+        byte_records = hf.byte_records()
+        mismatches = 0
+        for key, count in records.items():
+            # Exact for never-promoted records; promoted records carry a
+            # lower bound (the promoting packet's bytes only).
+            assert byte_records[key] <= 100 * count
+            if byte_records[key] != 100 * count:
+                mismatches += 1
+        assert mismatches <= hf.promotions

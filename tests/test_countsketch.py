@@ -1,0 +1,78 @@
+"""Tests for repro.sketches.countsketch."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches.countsketch import CountSketch
+
+
+class TestBasics:
+    def test_exact_when_sparse(self):
+        cs = CountSketch(width=512, depth=3, seed=1)
+        for _ in range(9):
+            cs.add(42)
+        assert cs.query(42) == 9
+
+    def test_unseen_near_zero(self):
+        cs = CountSketch(width=512, depth=3, seed=1)
+        cs.add(1, amount=100)
+        assert abs(cs.query(99_999)) <= 100  # noise bounded by inserted mass
+
+    def test_add_amount(self):
+        cs = CountSketch(width=256, depth=3)
+        cs.add(7, amount=50)
+        assert cs.query(7) == 50
+
+    @pytest.mark.parametrize("kwargs", [{"width": 0}, {"width": 8, "depth": 0}])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            CountSketch(**kwargs)
+
+
+class TestUnbiasedness:
+    def test_mean_error_near_zero(self):
+        """Count sketch errors are symmetric; averaged over many keys the
+        signed error should be near zero (unlike count-min's positive
+        bias)."""
+        from repro.sketches.countmin import CountMinSketch
+
+        truth = {k: (k % 13) + 1 for k in range(800)}
+        cs = CountSketch(width=128, depth=5, seed=2)
+        cm = CountMinSketch(width=128 * 5, depth=1, counter_bits=32, seed=2)
+        for key, count in truth.items():
+            cs.add(key, count)
+            cm.add(key, count)
+        cs_bias = sum(cs.query(k) - v for k, v in truth.items()) / len(truth)
+        cm_bias = sum(cm.query(k) - v for k, v in truth.items()) / len(truth)
+        assert abs(cs_bias) < cm_bias  # CM is systematically positive
+        assert cm_bias > 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.dictionaries(st.integers(0, 60), st.integers(1, 30), min_size=1))
+    def test_reasonable_estimates_property(self, truth):
+        cs = CountSketch(width=64, depth=5, seed=3)
+        total = sum(truth.values())
+        for key, count in truth.items():
+            cs.add(key, count)
+        for key, count in truth.items():
+            assert abs(cs.query(key) - count) <= total
+
+
+class TestLifecycle:
+    def test_reset(self):
+        cs = CountSketch(width=32, depth=3)
+        cs.add(1, amount=5)
+        cs.reset()
+        assert cs.query(1) == 0
+
+    def test_meter(self):
+        cs = CountSketch(width=32, depth=3)
+        cs.add(1)
+        assert cs.meter.hashes == 6  # bucket + sign per row
+        assert cs.meter.writes == 3
+
+    def test_memory_bits(self):
+        assert CountSketch(width=100, depth=3).memory_bits == 100 * 3 * 32

@@ -1,0 +1,97 @@
+"""Tests for repro.sketches.cuckoo."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hashflow import HashFlow
+from repro.sketches.cuckoo import CuckooFlowCache
+
+
+class TestBasics:
+    def test_single_flow_exact(self):
+        cache = CuckooFlowCache(n_cells=64)
+        for _ in range(9):
+            cache.process(42)
+        assert cache.query(42) == 9
+
+    def test_unknown_zero(self):
+        assert CuckooFlowCache(n_cells=16).query(7) == 0
+
+    def test_low_load_stores_everything_exactly(self, small_trace):
+        cache = CuckooFlowCache(n_cells=4 * small_trace.num_flows, seed=1)
+        cache.process_all(small_trace.keys())
+        assert cache.records() == small_trace.true_sizes()
+        assert cache.insert_failures == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"n_cells": 0}, {"n_cells": 8, "n_hashes": 1}, {"n_cells": 8, "max_kicks": -1}],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            CuckooFlowCache(**kwargs)
+
+
+class TestDisplacement:
+    def test_kicks_relocate_rather_than_drop(self):
+        """Cuckoo's selling point: displacements reach high occupancy."""
+        cache = CuckooFlowCache(n_cells=256, seed=2)
+        for key in range(1, 121):  # ~47% load, trivially fine
+            cache.process(key)
+        assert cache.occupancy() == 120
+        assert cache.insert_failures == 0
+
+    def test_high_utilization_achievable(self):
+        cache = CuckooFlowCache(n_cells=1000, max_kicks=500, seed=3)
+        inserted = 0
+        for key in range(1, 481):  # 2-hash cuckoo holds ~50% comfortably
+            cache.process(key)
+            inserted += 1
+        assert cache.utilization() > 0.45
+        assert cache.insert_failures <= 3
+
+    def test_chain_length_explodes_near_capacity(self):
+        """The paper's Section II argument made measurable: insertion
+        chains grow without useful bound as the table saturates, unlike
+        HashFlow's constant d probes."""
+        cache = CuckooFlowCache(n_cells=512, max_kicks=500, seed=4)
+        for key in range(1, 600):
+            cache.process(key)
+        assert cache.max_chain > 10  # far beyond HashFlow's d = 3
+        assert cache.insert_failures > 0  # and some flows just died
+
+    def test_resident_records_survive_kicks(self):
+        """Displacement must move records losslessly."""
+        cache = CuckooFlowCache(n_cells=128, seed=5)
+        truth: dict[int, int] = {}
+        for i, key in enumerate(range(1, 61)):
+            count = (i % 5) + 1
+            truth[key] = count
+            for _ in range(count):
+                cache.process(key)
+        for key, count in cache.records().items():
+            assert truth[key] == count
+
+
+class TestComparisonWithHashFlow:
+    def test_hashflow_bounded_worst_case_cuckoo_not(self, small_trace):
+        hf = HashFlow(main_cells=small_trace.num_flows // 2, seed=6)
+        cuckoo = CuckooFlowCache(n_cells=small_trace.num_flows // 2, seed=6)
+        hf.process_all(small_trace.keys())
+        cuckoo.process_all(small_trace.keys())
+        # HashFlow: never more than d + 2 hashes per packet.
+        assert hf.meter.hashes <= (3 + 2) * hf.meter.packets
+        # Cuckoo's displacement chains show up as unbounded extra work.
+        assert cuckoo.max_chain > 3
+
+    def test_reset(self):
+        cache = CuckooFlowCache(n_cells=32)
+        cache.process_all(range(100))
+        cache.reset()
+        assert cache.records() == {}
+        assert cache.max_chain == 0
+        assert cache.insert_failures == 0
+
+    def test_memory_bits(self):
+        assert CuckooFlowCache(n_cells=100).memory_bits == 100 * 136

@@ -1,0 +1,143 @@
+"""Tests for repro.sketches.elastic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sketches.elastic import ElasticSketch
+
+
+def make(heavy=64, light=192, **kwargs) -> ElasticSketch:
+    return ElasticSketch(heavy_cells_per_stage=heavy, light_cells=light, **kwargs)
+
+
+class TestBasics:
+    def test_single_flow_exact(self):
+        es = make()
+        for _ in range(9):
+            es.process(42)
+        assert es.query(42) == 9
+
+    def test_query_unknown_zero(self):
+        assert make().query(7) == 0
+
+    def test_few_flows_exact(self):
+        es = make(heavy=256, light=768, seed=1)
+        flows = list(range(1, 31))
+        for f in flows:
+            for _ in range(4):
+                es.process(f)
+        for f in flows:
+            assert es.query(f) == 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"heavy_cells_per_stage": 0, "light_cells": 8},
+            {"heavy_cells_per_stage": 8, "light_cells": 0},
+            {"heavy_cells_per_stage": 8, "light_cells": 8, "stages": 0},
+            {"heavy_cells_per_stage": 8, "light_cells": 8, "lambda_threshold": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ElasticSketch(**kwargs)
+
+
+class TestVoting:
+    def test_vote_minus_accumulates_before_eviction(self):
+        es = make(heavy=1, light=8, stages=1, lambda_threshold=8)
+        for _ in range(10):
+            es.process(1)  # vote+ = 10
+        es.process(2)  # vote- = 1; 1 < 8*10, no eviction
+        assert es.query(1) == 10
+        assert es._vote_minus[0][0] == 1
+
+    def test_eviction_at_lambda(self):
+        es = make(heavy=1, light=64, stages=1, lambda_threshold=2)
+        es.process(1)  # vote+ = 1
+        es.process(2)  # vote- = 1 < 2
+        es.process(2)  # vote- = 2 >= 2*1 -> evict flow 1, insert flow 2
+        assert es._keys[0][0] == 2
+        # Flow 1's count went to the light part; queries still answer.
+        assert es.query(1) >= 1
+
+    def test_evicted_flow_flagged_path(self):
+        """A flow inserted after eviction is flagged: its earlier packets
+        may live in the light part."""
+        es = make(heavy=1, light=64, stages=1, lambda_threshold=1)
+        es.process(1)
+        es.process(2)  # vote- = 1 >= 1*1 -> evict 1, insert 2 flagged
+        assert es._flags[0][0] is True
+
+
+class TestLightPart:
+    def test_mice_flows_estimated_from_light(self):
+        es = make(heavy=2, light=512, stages=1, lambda_threshold=8, seed=3)
+        # Two resident elephants.
+        for _ in range(50):
+            es.process(100)
+            es.process(200)
+        # A mouse that can never win a bucket: it is counted in light.
+        for _ in range(3):
+            es.process(300)
+        assert es.query(300) >= 1
+
+    def test_records_come_from_heavy_only(self):
+        es = make(heavy=64, light=192, seed=1)
+        for f in range(10):
+            es.process(f)
+        records = es.records()
+        assert set(records).issubset(set(range(10)))
+
+
+class TestHeavyHitters:
+    def test_detects_elephants_under_mice_pressure(self, small_trace):
+        es = make(heavy=300, light=900, seed=2)
+        es.process_all(small_trace.keys())
+        truth = {k for k, v in small_trace.true_sizes().items() if v > 50}
+        reported = set(es.heavy_hitters(50))
+        if truth:
+            recall = len(truth & reported) / len(truth)
+            assert recall > 0.7
+
+    def test_hh_uses_full_estimate(self):
+        es = make(heavy=1, light=64, stages=1, lambda_threshold=1)
+        for _ in range(5):
+            es.process(1)
+        es.process(2)  # evicts 1 (vote-=1 >= 1*5? no: 1 < 5). adjust below
+        # Force: with lambda=1, vote- must reach vote+; send 5 competitors.
+        for _ in range(5):
+            es.process(2)
+        hh = es.heavy_hitters(0)
+        assert hh  # whatever resides in heavy is reported with estimate > 0
+
+
+class TestCardinality:
+    def test_estimate_close_at_moderate_load(self, small_trace):
+        es = make(heavy=1000, light=3000, seed=4)
+        es.process_all(small_trace.keys())
+        est = es.estimate_cardinality()
+        assert est == pytest.approx(small_trace.num_flows, rel=0.25)
+
+
+class TestAccounting:
+    def test_memory_bits_formula(self):
+        es = make(heavy=100, light=300)
+        assert es.memory_bits == 3 * 100 * 169 + 300 * 8
+
+    def test_reset(self):
+        es = make()
+        es.process(1)
+        es.reset()
+        assert es.records() == {}
+        assert es.occupancy() == 0
+        assert es.meter.packets == 0
+
+    def test_meter_shared_with_light(self):
+        es = make(heavy=1, light=16, stages=1, lambda_threshold=1)
+        es.process(1)
+        hashes_before = es.meter.hashes
+        # Drive a packet through to the light part.
+        es.process(2)
+        assert es.meter.hashes > hashes_before

@@ -1,0 +1,82 @@
+"""Tests for repro.sketches.exact and repro.sketches.sampled."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sketches.exact import ExactCollector
+from repro.sketches.sampled import SampledNetFlow
+
+
+class TestExactCollector:
+    def test_matches_ground_truth(self, small_trace):
+        c = ExactCollector()
+        c.process_all(small_trace.keys())
+        assert c.records() == small_trace.true_sizes()
+
+    def test_query(self):
+        c = ExactCollector()
+        c.process_all([1, 1, 2])
+        assert c.query(1) == 2
+        assert c.query(99) == 0
+
+    def test_cardinality_exact(self):
+        c = ExactCollector()
+        c.process_all([1, 2, 3, 1])
+        assert c.estimate_cardinality() == 3.0
+
+    def test_reset(self):
+        c = ExactCollector()
+        c.process(1)
+        c.reset()
+        assert c.records() == {}
+        assert c.meter.packets == 0
+
+    def test_memory_grows_with_records(self):
+        c = ExactCollector()
+        assert c.memory_bits == 0
+        c.process_all([1, 2])
+        assert c.memory_bits == 2 * 136
+
+
+class TestSampledNetFlow:
+    def test_period_one_is_exact(self, tiny_trace):
+        c = SampledNetFlow(every_n=1)
+        c.process_all(tiny_trace.keys())
+        assert c.records() == tiny_trace.true_sizes()
+
+    def test_scaling(self):
+        c = SampledNetFlow(every_n=10)
+        c.process_all([7] * 100)
+        assert c.query(7) == 100  # 10 sampled packets x 10
+
+    def test_unsampled_mice_invisible(self):
+        c = SampledNetFlow(every_n=100)
+        stream = [1] + [2] * 99  # flow 1 sampled (first packet), flow 2 hit at idx 100? no
+        c.process_all(stream)
+        assert c.query(1) == 100
+        assert c.query(2) == 0  # its packets fell between sample points
+
+    def test_hash_mode_rate(self):
+        c = SampledNetFlow(every_n=4, mode="hash", seed=1)
+        c.process_all(range(40_000))
+        sampled_packets = sum(v for v in c.records().values()) // 4
+        assert 8000 < sampled_packets < 12_000
+
+    def test_cardinality_scaled(self):
+        c = SampledNetFlow(every_n=2)
+        c.process_all([1, 2, 1, 2])
+        assert c.estimate_cardinality() == pytest.approx(2 * len(c.records()))
+
+    def test_reset_restarts_phase(self):
+        c = SampledNetFlow(every_n=2)
+        c.process_all([1, 2])
+        c.reset()
+        c.process_all([3, 4])
+        assert c.query(3) == 2  # 3 was at tick 0 again after reset
+        assert c.query(4) == 0
+
+    @pytest.mark.parametrize("kwargs", [{"every_n": 0}, {"every_n": 2, "mode": "x"}])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SampledNetFlow(**kwargs)

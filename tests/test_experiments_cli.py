@@ -1,0 +1,51 @@
+"""Tests for repro.experiments.cli."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_defaults(self):
+        args = build_parser().parse_args(["run", "fig4"])
+        assert args.experiment == "fig4"
+        assert args.scale is None
+        assert args.seed == 0
+
+    def test_run_with_options(self):
+        args = build_parser().parse_args(
+            ["run", "fig6", "--scale", "0.5", "--seed", "7", "--out", "x"]
+        )
+        assert args.scale == 0.5
+        assert args.seed == 7
+        assert args.out == "x"
+
+
+class TestMain:
+    def test_list_prints_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out
+        assert "table1" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_small_experiment(self, capsys, tmp_path):
+        code = main(["run", "fig2d", "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig2d" in out
+        assert (tmp_path / "fig2d.txt").exists()
+
+    def test_run_table1_tiny(self, capsys):
+        assert main(["run", "table1", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "caida" in out

@@ -1,0 +1,80 @@
+"""Tests for repro.experiments.config: the paper's memory budgeting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import (
+    DEFAULT_MEMORY_BYTES,
+    build_all,
+    build_elastic,
+    build_flowradar,
+    build_hashflow,
+    build_hashpipe,
+    resolve_scale,
+)
+
+
+class TestResolveScale:
+    def test_explicit_scale(self):
+        assert resolve_scale(0.5) == 0.5
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert resolve_scale(None) == 0.1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.25")
+        assert resolve_scale(None) == 0.25
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            resolve_scale(0.0)
+
+
+class TestMemoryBudgets:
+    """Every builder must fit (tightly) inside the requested budget."""
+
+    @pytest.mark.parametrize(
+        "builder",
+        [build_hashflow, build_hashpipe, build_elastic, build_flowradar],
+        ids=["hashflow", "hashpipe", "elastic", "flowradar"],
+    )
+    def test_within_budget(self, builder):
+        budget = 256 * 1024
+        collector = builder(budget)
+        assert collector.memory_bytes <= budget
+        assert collector.memory_bytes > 0.95 * budget  # tight fit
+
+    def test_paper_1mb_record_capacity(self):
+        """1 MB ≈ 60K full flow records (paper §IV-A); HashFlow's main
+        table gets ~55K cells after paying for the ancillary table."""
+        hf = build_hashflow(DEFAULT_MEMORY_BYTES)
+        assert 54_000 < hf.main.n_cells < 56_500
+        assert hf.ancillary.n_cells == hf.main.n_cells
+
+    def test_hashpipe_cells(self):
+        hp = build_hashpipe(DEFAULT_MEMORY_BYTES)
+        assert hp.stages == 4
+        assert 4 * hp.cells_per_stage == pytest.approx(61_680, rel=0.01)
+
+    def test_elastic_equal_cells(self):
+        es = build_elastic(DEFAULT_MEMORY_BYTES)
+        assert es.light.width == es.heavy_cells_per_stage * 3
+
+    def test_flowradar_bloom_ratio(self):
+        fr = build_flowradar(DEFAULT_MEMORY_BYTES)
+        assert fr.bloom.n_bits == 40 * fr.counting_cells
+        # ~40K counting cells per MB -> the decode cliff near 33-40K flows.
+        assert 39_000 < fr.counting_cells < 41_000
+
+    def test_build_all_same_budget(self):
+        collectors = build_all(128 * 1024)
+        assert list(collectors) == [
+            "HashFlow",
+            "HashPipe",
+            "ElasticSketch",
+            "FlowRadar",
+        ]
+        sizes = [c.memory_bytes for c in collectors.values()]
+        assert max(sizes) - min(sizes) < 0.05 * 128 * 1024

@@ -1,0 +1,218 @@
+"""Tests for repro.experiments.figures (tiny-scale smoke + shape checks).
+
+These run every experiment at a very small scale and assert structural
+properties plus the paper's headline orderings where they are robust at
+small scale.  Full-scale regeneration lives in benchmarks/.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import (
+    EXPERIMENTS,
+    HH_THRESHOLDS,
+    fig2a,
+    fig2d,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig11,
+    headline,
+    table1,
+)
+from repro.experiments.report import pivot
+
+TINY = 0.01  # ~2.5K flows at the fig6 sweep's largest point
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        expected = {
+            "table1",
+            "fig2a",
+            "fig2b",
+            "fig2c",
+            "fig2d",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "headline",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_hh_thresholds_cover_all_traces(self):
+        assert set(HH_THRESHOLDS) == {"caida", "campus", "isp1", "isp2"}
+
+
+class TestTable1:
+    def test_rows_and_targets(self):
+        # Heavy-tailed sample means are noisy below ~20K flows, so this
+        # smoke test uses a moderate scale and loose tolerance; the
+        # full-scale check lives in benchmarks/bench_table1_traces.py.
+        result = table1(scale=0.08, seed=0)
+        assert [r["trace"] for r in result.rows] == ["caida", "campus", "isp1", "isp2"]
+        for row in result.rows:
+            assert row["mean_flow_size"] == pytest.approx(row["paper_mean"], rel=0.4)
+            assert row["max_flow_size"] <= row["paper_max"]
+
+
+class TestFig2:
+    def test_fig2a_theory_matches_sim(self):
+        result = fig2a(scale=0.05, loads=(1.0, 2.0), max_depth=4)
+        for row in result.rows:
+            assert row["sim"] == pytest.approx(row["theory"], abs=0.04)
+
+    def test_fig2d_peak_near_alpha_07(self):
+        result = fig2d(loads=(1.0,), alphas=(0.5, 0.6, 0.7, 0.8, 0.9))
+        by_alpha = {r["alpha"]: r["improvement"] for r in result.rows}
+        best = max(by_alpha, key=by_alpha.get)
+        assert best in (0.6, 0.7, 0.8)
+        assert by_alpha[0.7] > 0.0
+
+
+class TestFig3:
+    def test_cdf_monotone_per_trace(self):
+        result = fig3(scale=0.02)
+        probe_cols = [c for c in result.columns if c.startswith("cdf@")]
+        for row in result.rows:
+            values = [row[c] for c in probe_cols]
+            assert values == sorted(values)
+            assert values[-1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_isp2_is_most_mice_heavy(self):
+        result = fig3(scale=0.02)
+        cdf_at_2 = {r["trace"]: r["cdf@2"] for r in result.rows}
+        assert cdf_at_2["isp2"] == max(cdf_at_2.values())
+
+
+class TestFig4:
+    def test_are_decreases_with_depth(self):
+        result = fig4(scale=TINY)
+        for trace in ("caida", "campus", "isp1", "isp2"):
+            rows = result.filter_rows(trace=trace)
+            ares = [r["are"] for r in sorted(rows, key=lambda r: r["depth"])]
+            assert ares[0] > ares[2]  # d=1 much worse than d=3
+
+
+class TestFig5:
+    def test_pipelined_07_beats_multihash_fsc(self):
+        result = fig5(scale=TINY)
+        series = pivot(result, index="n_flows", series="config", value="fsc")
+        # Compare at the heaviest load point.
+        n_max = max(series["multihash"])
+        assert series["alpha=0.7"][n_max] >= series["multihash"][n_max] - 0.02
+
+
+class TestFig6:
+    def test_structure_and_hashflow_advantage(self):
+        result = fig6(scale=TINY)
+        algos = {r["algorithm"] for r in result.rows}
+        assert algos == {"HashFlow", "HashPipe", "ElasticSketch", "FlowRadar"}
+        # At the heaviest point HashFlow beats ElasticSketch (paper: >20%).
+        for trace in ("caida", "campus"):
+            rows = result.filter_rows(trace=trace)
+            n_max = max(r["n_flows"] for r in rows)
+            fsc = {
+                r["algorithm"]: r["fsc"]
+                for r in rows
+                if r["n_flows"] == n_max
+            }
+            assert fsc["HashFlow"] > fsc["ElasticSketch"]
+            assert fsc["HashFlow"] > fsc["FlowRadar"]
+
+
+class TestFig7:
+    def test_hashpipe_worst_at_heavy_load(self):
+        result = fig7(scale=TINY)
+        for trace in ("caida", "campus"):
+            rows = result.filter_rows(trace=trace)
+            n_max = max(r["n_flows"] for r in rows)
+            re = {
+                r["algorithm"]: r["cardinality_re"]
+                for r in rows
+                if r["n_flows"] == n_max
+            }
+            assert re["HashPipe"] > re["HashFlow"]
+            assert re["HashFlow"] < 0.5
+
+
+class TestFig8:
+    def test_hashflow_lowest_are_on_elephant_traces(self):
+        result = fig8(scale=TINY)
+        for trace in ("caida", "campus"):
+            rows = result.filter_rows(trace=trace)
+            n_max = max(r["n_flows"] for r in rows)
+            are = {
+                r["algorithm"]: r["size_are"]
+                for r in rows
+                if r["n_flows"] == n_max
+            }
+            assert are["HashFlow"] <= min(are.values()) + 0.02
+
+
+class TestFig9And10:
+    def test_hashflow_dominates_heavy_hitters(self):
+        result = fig9(scale=TINY)
+        for trace in ("caida", "campus", "isp1"):
+            rows = result.filter_rows(trace=trace, algorithm="HashFlow")
+            top = max(r["threshold"] for r in rows)
+            top_row = next(r for r in rows if r["threshold"] == top)
+            assert top_row["f1"] > 0.85
+            assert top_row["are"] < 0.2 or top_row["actual_hh"] == 0
+
+    def test_thresholds_follow_paper_grids(self):
+        result = fig9(scale=TINY)
+        for trace, grid in HH_THRESHOLDS.items():
+            thresholds = sorted(
+                {r["threshold"] for r in result.filter_rows(trace=trace)}
+            )
+            assert thresholds == sorted(grid)
+
+
+class TestHeadline:
+    def test_claims_hold_at_tiny_scale(self):
+        result = headline(scale=TINY)
+        accurate = {
+            r["algorithm"]: r["value"]
+            for r in result.rows
+            if r["claim"] == "accurate_records"
+        }
+        assert accurate["HashFlow"] == max(accurate.values())
+        are = {
+            r["algorithm"]: r["value"]
+            for r in result.rows
+            if r["claim"] == "size_are_50k"
+        }
+        assert are["HashFlow"] == min(are.values())
+
+
+class TestFig11:
+    def test_flowradar_costliest(self):
+        result = fig11(scale=TINY)
+        for trace in ("caida",):
+            rows = {r["algorithm"]: r for r in result.filter_rows(trace=trace)}
+            assert (
+                rows["FlowRadar"]["hashes_per_packet"]
+                > rows["HashFlow"]["hashes_per_packet"]
+            )
+            assert (
+                rows["FlowRadar"]["throughput_kpps"]
+                < rows["HashFlow"]["throughput_kpps"]
+            )
+
+    def test_flowradar_constant_seven_hashes(self):
+        result = fig11(scale=TINY)
+        for row in result.rows:
+            if row["algorithm"] == "FlowRadar":
+                assert row["hashes_per_packet"] == pytest.approx(7.0, abs=0.01)

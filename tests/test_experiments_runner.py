@@ -1,0 +1,118 @@
+"""Tests for repro.experiments.runner and repro.experiments.report."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.report import pivot, render_table, save_result
+from repro.experiments.runner import ExperimentResult, Workload, make_workload
+from repro.sketches.exact import ExactCollector
+from repro.traces.profiles import CAIDA
+
+
+class TestExperimentResult:
+    def make(self) -> ExperimentResult:
+        return ExperimentResult(
+            experiment_id="figX",
+            title="Test",
+            columns=["trace", "n", "value"],
+        )
+
+    def test_add_row_and_column(self):
+        result = self.make()
+        result.add_row(trace="caida", n=10, value=0.5)
+        result.add_row(trace="caida", n=20, value=0.6)
+        assert result.column("value") == [0.5, 0.6]
+
+    def test_add_row_rejects_unknown_keys(self):
+        result = self.make()
+        with pytest.raises(KeyError):
+            result.add_row(trace="caida", bogus=1)
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(KeyError):
+            self.make().column("bogus")
+
+    def test_filter_rows(self):
+        result = self.make()
+        result.add_row(trace="a", n=1, value=0.1)
+        result.add_row(trace="b", n=1, value=0.2)
+        assert result.filter_rows(trace="b") == [{"trace": "b", "n": 1, "value": 0.2}]
+
+
+class TestWorkload:
+    def test_feed_same_stream_to_multiple_collectors(self, small_trace):
+        w = Workload(small_trace)
+        a, b = ExactCollector(), ExactCollector()
+        w.feed(a)
+        w.feed(b)
+        assert a.records() == b.records() == w.true_sizes
+
+    def test_counts(self, small_trace):
+        w = Workload(small_trace)
+        assert w.num_flows == small_trace.num_flows
+        assert w.num_packets == len(small_trace)
+
+
+class TestMakeWorkload:
+    def test_exact_flow_count(self):
+        w = make_workload(CAIDA, 500, seed=1)
+        assert w.num_flows == 500
+
+    def test_subset_from_base(self):
+        w = make_workload(CAIDA, 300, seed=1, base_flows=1000)
+        assert w.num_flows == 300
+
+    def test_deterministic(self):
+        a = make_workload(CAIDA, 200, seed=5)
+        b = make_workload(CAIDA, 200, seed=5)
+        assert a.keys == b.keys
+
+
+class TestReport:
+    def make_result(self) -> ExperimentResult:
+        result = ExperimentResult(
+            experiment_id="fig0",
+            title="Demo",
+            columns=["algorithm", "fsc"],
+            params={"seed": 0},
+            notes="note",
+        )
+        result.add_row(algorithm="HashFlow", fsc=0.9123)
+        result.add_row(algorithm="FlowRadar", fsc=float("nan"))
+        result.add_row(algorithm="Elastic", fsc=float("inf"))
+        return result
+
+    def test_render_contains_everything(self):
+        text = render_table(self.make_result())
+        assert "fig0" in text
+        assert "HashFlow" in text
+        assert "0.9123" in text
+        assert "nan" in text
+        assert "inf" in text
+        assert "note" in text
+
+    def test_render_alignment(self):
+        lines = render_table(self.make_result()).splitlines()
+        data_lines = [l for l in lines if "|" in l]
+        widths = {len(l) for l in data_lines}
+        assert len(widths) == 1  # all rows equally wide
+
+    def test_save_result(self, tmp_path):
+        path = save_result(self.make_result(), tmp_path)
+        assert path.name == "fig0.txt"
+        assert "HashFlow" in path.read_text()
+
+    def test_pivot(self):
+        result = ExperimentResult(
+            experiment_id="f",
+            title="t",
+            columns=["n", "algorithm", "fsc"],
+        )
+        result.add_row(n=10, algorithm="A", fsc=0.5)
+        result.add_row(n=20, algorithm="A", fsc=0.4)
+        result.add_row(n=10, algorithm="B", fsc=0.9)
+        series = pivot(result, index="n", series="algorithm", value="fsc")
+        assert series == {"A": {10: 0.5, 20: 0.4}, "B": {10: 0.9}}

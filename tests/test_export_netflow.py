@@ -1,0 +1,135 @@
+"""Tests for repro.export.netflow_v5."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.export.netflow_v5 import (
+    HEADER_BYTES,
+    MAX_RECORDS_PER_DATAGRAM,
+    RECORD_BYTES,
+    NetFlowV5Exporter,
+    parse_datagram,
+    parse_stream,
+)
+from repro.flow.key import pack_key
+
+
+def sample_records(n: int) -> dict[int, int]:
+    return {
+        pack_key(0x0A000000 + i, 0x0B000000 + i, 1000 + i, 80, 6): i + 1
+        for i in range(n)
+    }
+
+
+class TestExport:
+    def test_wire_sizes(self):
+        assert HEADER_BYTES == 24
+        assert RECORD_BYTES == 48
+
+    def test_single_datagram(self):
+        exporter = NetFlowV5Exporter()
+        datagrams = exporter.export(sample_records(5))
+        assert len(datagrams) == 1
+        assert len(datagrams[0]) == 24 + 5 * 48
+
+    def test_datagram_splitting_at_30(self):
+        exporter = NetFlowV5Exporter()
+        datagrams = exporter.export(sample_records(65))
+        assert len(datagrams) == 3
+        header0, _ = parse_datagram(datagrams[0])
+        header2, _ = parse_datagram(datagrams[2])
+        assert header0["count"] == MAX_RECORDS_PER_DATAGRAM
+        assert header2["count"] == 5
+
+    def test_flow_sequence_increments(self):
+        exporter = NetFlowV5Exporter()
+        exporter.export(sample_records(10))
+        datagrams = exporter.export(sample_records(3))
+        header, _ = parse_datagram(datagrams[0])
+        assert header["flow_sequence"] == 10
+
+    def test_empty_records(self):
+        assert NetFlowV5Exporter().export({}) == []
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"engine_id": 256},
+            {"sampling_interval": 1 << 14},
+            {"mean_packet_bytes": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            NetFlowV5Exporter(**kwargs)
+
+
+class TestRoundTrip:
+    def test_records_survive(self):
+        records = sample_records(42)
+        exporter = NetFlowV5Exporter()
+        assert parse_stream(exporter.export(records)) == records
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.dictionaries(
+            st.tuples(
+                st.integers(0, 0xFFFFFFFF),
+                st.integers(0, 0xFFFFFFFF),
+                st.integers(0, 0xFFFF),
+                st.integers(0, 0xFFFF),
+                st.integers(0, 0xFF),
+            ),
+            st.integers(1, 100_000),
+            max_size=70,
+        )
+    )
+    def test_roundtrip_property(self, tuples):
+        records = {pack_key(*t): count for t, count in tuples.items()}
+        exporter = NetFlowV5Exporter()
+        assert parse_stream(exporter.export(records)) == records
+
+    def test_octets_synthesized_from_mean(self):
+        exporter = NetFlowV5Exporter(mean_packet_bytes=100)
+        key = pack_key(1, 2, 3, 4, 6)
+        _, parsed = parse_datagram(exporter.export({key: 7})[0])
+        assert parsed[0].octets == 700
+
+    def test_header_metadata(self):
+        exporter = NetFlowV5Exporter(engine_id=9, sampling_interval=100)
+        datagram = exporter.export(sample_records(1), sys_uptime_ms=5000, unix_secs=1234)[0]
+        header, _ = parse_datagram(datagram)
+        assert header["engine_id"] == 9
+        assert header["sampling_interval"] == 100
+        assert header["sys_uptime"] == 5000
+        assert header["unix_secs"] == 1234
+
+
+class TestParseErrors:
+    def test_short_datagram(self):
+        with pytest.raises(ValueError, match="shorter"):
+            parse_datagram(b"\x00" * 10)
+
+    def test_wrong_version(self):
+        data = (9).to_bytes(2, "big") + b"\x00" * 22
+        with pytest.raises(ValueError, match="version"):
+            parse_datagram(data)
+
+    def test_truncated_records(self):
+        good = NetFlowV5Exporter().export(sample_records(2))[0]
+        with pytest.raises(ValueError, match="truncated"):
+            parse_datagram(good[:-10])
+
+
+class TestCollectorIntegration:
+    def test_export_hashflow_records(self, small_trace):
+        from repro.core.hashflow import HashFlow
+
+        hf = HashFlow(main_cells=4096, seed=1)
+        hf.process_all(small_trace.keys())
+        records = hf.records()
+        merged = parse_stream(NetFlowV5Exporter().export(records))
+        assert merged == records

@@ -1,0 +1,78 @@
+"""Tests for repro.export.text (CSV / JSON-lines record export)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.export.text import (
+    records_from_csv,
+    records_from_jsonl,
+    records_to_csv,
+    records_to_jsonl,
+)
+from repro.flow.key import pack_key
+
+record_dicts = st.dictionaries(
+    st.tuples(
+        st.integers(0, 0xFFFFFFFF),
+        st.integers(0, 0xFFFFFFFF),
+        st.integers(0, 0xFFFF),
+        st.integers(0, 0xFFFF),
+        st.integers(0, 0xFF),
+    ),
+    st.integers(1, 10_000),
+    max_size=50,
+)
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        key = pack_key(0x0A000001, 0x0A000002, 1234, 80, 6)
+        text = records_to_csv({key: 42})
+        lines = text.strip().splitlines()
+        assert lines[0] == "src_ip,dst_ip,src_port,dst_port,proto,packets"
+        assert lines[1] == "10.0.0.1,10.0.0.2,1234,80,6,42"
+
+    def test_sorted_by_size_desc(self):
+        records = {pack_key(i, 0, 0, 0, 0): i for i in (1, 5, 3)}
+        lines = records_to_csv(records).strip().splitlines()[1:]
+        counts = [int(line.rsplit(",", 1)[1]) for line in lines]
+        assert counts == [5, 3, 1]
+
+    @settings(max_examples=20, deadline=None)
+    @given(record_dicts)
+    def test_roundtrip_property(self, tuples):
+        records = {pack_key(*t): c for t, c in tuples.items()}
+        assert records_from_csv(records_to_csv(records)) == records
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            records_from_csv("a,b,c\n1,2,3\n")
+
+    def test_empty(self):
+        assert records_from_csv(records_to_csv({})) == {}
+
+
+class TestJsonl:
+    def test_one_object_per_line(self):
+        records = {pack_key(1, 2, 3, 4, 6): 9, pack_key(5, 6, 7, 8, 17): 1}
+        lines = records_to_jsonl(records).strip().splitlines()
+        assert len(lines) == 2
+        assert all(line.startswith("{") for line in lines)
+
+    @settings(max_examples=20, deadline=None)
+    @given(record_dicts)
+    def test_roundtrip_property(self, tuples):
+        records = {pack_key(*t): c for t, c in tuples.items()}
+        assert records_from_jsonl(records_to_jsonl(records)) == records
+
+    def test_empty(self):
+        assert records_to_jsonl({}) == ""
+        assert records_from_jsonl("") == {}
+
+    def test_blank_lines_skipped(self):
+        records = {pack_key(1, 2, 3, 4, 6): 9}
+        text = records_to_jsonl(records) + "\n\n"
+        assert records_from_jsonl(text) == records

@@ -1,0 +1,112 @@
+"""Tests for repro.flow.key."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.flow.key import (
+    FLOW_KEY_BITS,
+    FLOW_KEY_MASK,
+    FlowKey,
+    format_ip,
+    pack_key,
+    parse_ip,
+    unpack_key,
+)
+
+five_tuples = st.tuples(
+    st.integers(0, 0xFFFFFFFF),
+    st.integers(0, 0xFFFFFFFF),
+    st.integers(0, 0xFFFF),
+    st.integers(0, 0xFFFF),
+    st.integers(0, 0xFF),
+)
+
+
+class TestPackUnpack:
+    def test_key_width(self):
+        assert FLOW_KEY_BITS == 104
+        key = pack_key(0xFFFFFFFF, 0xFFFFFFFF, 0xFFFF, 0xFFFF, 0xFF)
+        assert key == FLOW_KEY_MASK
+
+    def test_known_layout(self):
+        key = pack_key(1, 2, 3, 4, 5)
+        assert key == (1 << 72) | (2 << 40) | (3 << 24) | (4 << 8) | 5
+
+    @given(five_tuples)
+    def test_roundtrip_property(self, tup):
+        assert unpack_key(pack_key(*tup)) == tup
+
+    @given(st.integers(0, FLOW_KEY_MASK))
+    def test_reverse_roundtrip_property(self, key):
+        assert pack_key(*unpack_key(key)) == key
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            (2**32, 0, 0, 0, 0),
+            (0, 2**32, 0, 0, 0),
+            (0, 0, 2**16, 0, 0),
+            (0, 0, 0, 2**16, 0),
+            (0, 0, 0, 0, 256),
+            (-1, 0, 0, 0, 0),
+        ],
+    )
+    def test_out_of_range_fields_rejected(self, bad):
+        with pytest.raises(ValueError):
+            pack_key(*bad)
+
+    def test_unpack_rejects_oversized_key(self):
+        with pytest.raises(ValueError):
+            unpack_key(1 << 104)
+        with pytest.raises(ValueError):
+            unpack_key(-1)
+
+
+class TestIpText:
+    def test_format(self):
+        assert format_ip(0xC0A80101) == "192.168.1.1"
+        assert format_ip(0) == "0.0.0.0"
+
+    def test_parse(self):
+        assert parse_ip("10.0.0.255") == (10 << 24) | 255
+
+    @given(st.integers(0, 0xFFFFFFFF))
+    def test_roundtrip_property(self, addr):
+        assert parse_ip(format_ip(addr)) == addr
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "1.2.3.300", "a.b.c.d"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_ip(bad)
+
+
+class TestFlowKey:
+    def test_pack_unpack_roundtrip(self):
+        fk = FlowKey(0x0A000001, 0x0A000002, 1234, 80, 6)
+        assert FlowKey.unpack(fk.pack()) == fk
+
+    def test_from_text(self):
+        fk = FlowKey.from_text("10.0.0.1", "10.0.0.2", 1234, 443, 6)
+        assert fk.src_ip == 0x0A000001
+        assert fk.dst_port == 443
+
+    def test_str_names_protocol(self):
+        fk = FlowKey.from_text("1.2.3.4", "5.6.7.8", 1, 2, 17)
+        assert "udp" in str(fk)
+        assert "1.2.3.4:1" in str(fk)
+
+    def test_str_unknown_protocol_numeric(self):
+        fk = FlowKey.from_text("1.2.3.4", "5.6.7.8", 1, 2, 99)
+        assert "99" in str(fk)
+
+    def test_frozen(self):
+        fk = FlowKey(1, 2, 3, 4, 5)
+        with pytest.raises(AttributeError):
+            fk.src_ip = 9
+
+    def test_hashable_and_equal(self):
+        assert FlowKey(1, 2, 3, 4, 5) == FlowKey(1, 2, 3, 4, 5)
+        assert len({FlowKey(1, 2, 3, 4, 5), FlowKey(1, 2, 3, 4, 5)}) == 1

@@ -1,0 +1,34 @@
+"""Tests for repro.flow.packet."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flow.key import FlowKey
+from repro.flow.packet import DEFAULT_PACKET_BYTES, Packet
+
+
+class TestPacket:
+    def test_defaults(self):
+        p = Packet(key=123)
+        assert p.timestamp == 0.0
+        assert p.size == DEFAULT_PACKET_BYTES
+
+    def test_default_size_is_paper_average(self):
+        assert DEFAULT_PACKET_BYTES == 700
+
+    def test_flow_property(self):
+        fk = FlowKey.from_text("10.1.1.1", "10.2.2.2", 1000, 53, 17)
+        p = Packet(key=fk.pack())
+        assert p.flow == fk
+
+    def test_str_mentions_flow(self):
+        fk = FlowKey.from_text("10.1.1.1", "10.2.2.2", 1000, 53, 17)
+        text = str(Packet(key=fk.pack(), timestamp=1.5, size=64))
+        assert "10.1.1.1" in text
+        assert "64B" in text
+
+    def test_frozen(self):
+        p = Packet(key=1)
+        with pytest.raises(AttributeError):
+            p.key = 2

@@ -1,0 +1,128 @@
+"""Tests for repro.sketches.flowradar."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches.flowradar import FlowRadar
+
+
+class TestDecodeExactness:
+    def test_single_flow(self):
+        fr = FlowRadar(counting_cells=64)
+        for _ in range(5):
+            fr.process(42)
+        assert fr.decode() == {42: 5}
+
+    def test_light_load_decodes_everything(self, small_trace):
+        """Below the peeling threshold, decode recovers all flows with
+        exact counts (FlowRadar's headline property)."""
+        fr = FlowRadar(counting_cells=2 * small_trace.num_flows, seed=1)
+        fr.process_all(small_trace.keys())
+        assert fr.decode() == small_trace.true_sizes()
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.dictionaries(st.integers(1, 10_000), st.integers(1, 20), min_size=1, max_size=60))
+    def test_decoded_counts_always_exact_property(self, truth):
+        """Any flow that decodes must decode with its exact count."""
+        fr = FlowRadar(counting_cells=256, seed=2)
+        for key, count in truth.items():
+            for _ in range(count):
+                fr.process(key)
+        for key, count in fr.decode().items():
+            assert truth.get(key) == count
+
+    def test_overload_decode_collapses(self):
+        """Past the k=3 peeling threshold (~0.82 flows/cell), decode
+        recovers almost nothing — the cliff in paper Figs. 6/8."""
+        fr = FlowRadar(counting_cells=200, seed=3)
+        n = 600  # load 3.0
+        for key in range(1, n + 1):
+            fr.process(key)
+        assert fr.decode_fraction(n) < 0.2
+
+    def test_near_threshold_transition(self):
+        """Decode fraction degrades monotonically-ish across the threshold."""
+        fractions = []
+        for n in (100, 160, 260, 400):
+            fr = FlowRadar(counting_cells=200, seed=4)
+            for key in range(1, n + 1):
+                fr.process(key)
+            fractions.append(fr.decode_fraction(n))
+        assert fractions[0] > 0.95
+        assert fractions[-1] < 0.5
+
+
+class TestReporting:
+    def test_records_are_decoded_flows(self):
+        fr = FlowRadar(counting_cells=128, seed=1)
+        for key in (1, 2, 3):
+            fr.process(key)
+        assert set(fr.records()) == {1, 2, 3}
+
+    def test_query_unrecoverable_is_zero(self):
+        fr = FlowRadar(counting_cells=100, seed=3)
+        for key in range(400):
+            fr.process(key)
+        zeroes = sum(1 for key in range(400) if fr.query(key) == 0)
+        assert zeroes > 200
+
+    def test_decode_cache_invalidated_by_updates(self):
+        fr = FlowRadar(counting_cells=64)
+        fr.process(1)
+        assert fr.decode() == {1: 1}
+        fr.process(1)
+        assert fr.decode() == {1: 2}
+
+
+class TestCardinality:
+    def test_bloom_based_estimate(self, small_trace):
+        fr = FlowRadar(counting_cells=small_trace.num_flows, seed=5)
+        fr.process_all(small_trace.keys())
+        est = fr.estimate_cardinality()
+        assert est == pytest.approx(small_trace.num_flows, rel=0.1)
+
+    def test_estimate_survives_decode_failure(self):
+        """Even when decode collapses, the Bloom estimate stays accurate
+        (paper §IV-C: 'not sensitive to flow sizes')."""
+        fr = FlowRadar(counting_cells=100, seed=6)
+        n = 500
+        for key in range(n):
+            fr.process(key)
+        assert fr.decode_fraction(n) < 0.3
+        assert fr.estimate_cardinality() == pytest.approx(n, rel=0.15)
+
+
+class TestConfiguration:
+    def test_paper_defaults(self):
+        fr = FlowRadar(counting_cells=100)
+        assert fr.counting_hashes == 3
+        assert fr.bloom.n_hashes == 4
+        assert fr.bloom.n_bits == 40 * 100
+
+    def test_memory_bits(self):
+        fr = FlowRadar(counting_cells=100)
+        assert fr.memory_bits == 100 * 168 + 4000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowRadar(counting_cells=0)
+        with pytest.raises(ValueError):
+            FlowRadar(counting_cells=10, counting_hashes=0)
+
+    def test_reset(self):
+        fr = FlowRadar(counting_cells=64)
+        fr.process(1)
+        fr.reset()
+        assert fr.decode() == {}
+        assert fr.bloom.set_bits == 0
+        assert fr.meter.packets == 0
+
+    def test_meter_counts(self):
+        fr = FlowRadar(counting_cells=64)
+        fr.process(1)
+        # 4 bloom hashes + 3 counting hashes per packet.
+        assert fr.meter.hashes == 7
+        assert fr.meter.packets == 1

@@ -1,0 +1,192 @@
+"""Tests for repro.core.hashflow: Algorithm 1 end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.model import pipelined_utilization, predicted_records
+from repro.core.hashflow import HashFlow
+
+
+class TestBasics:
+    def test_single_flow_exact(self):
+        hf = HashFlow(main_cells=64)
+        for _ in range(10):
+            hf.process(42)
+        assert hf.query(42) == 10
+        assert hf.records() == {42: 10}
+
+    def test_query_unknown_zero(self):
+        assert HashFlow(main_cells=64).query(5) == 0
+
+    def test_variants(self):
+        for variant in ("pipelined", "multihash"):
+            hf = HashFlow(main_cells=64, variant=variant)
+            hf.process(1)
+            assert hf.query(1) == 1
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            HashFlow(main_cells=64, variant="bogus")
+
+    def test_default_config_is_paper_config(self):
+        hf = HashFlow(main_cells=300)
+        assert hf.variant == "pipelined"
+        assert hf.main.depth == 3
+        assert hf.main.alpha == 0.7
+        assert hf.ancillary.n_cells == 300  # same cells in both tables
+        assert hf.ancillary.digest.bits == 8
+        assert hf.ancillary.counter_bits == 8
+
+
+class TestMainTableAccuracy:
+    def test_resident_records_are_exact_without_promotion_pressure(self):
+        """Flows that win a main bucket and are never displaced have
+        exact counts — HashFlow's core accuracy claim."""
+        hf = HashFlow(main_cells=4096, seed=1)
+        truth = {}
+        stream = []
+        for key in range(500):
+            count = (key % 7) + 1
+            truth[key] = count
+            stream.extend([key] * count)
+        # Uniformly interleave.
+        import random
+
+        random.Random(0).shuffle(stream)
+        hf.process_all(stream)
+        records = hf.records()
+        for key, count in records.items():
+            assert truth[key] == count  # every reported record is exact
+
+    def test_no_flow_splitting(self):
+        """A flow appears in at most one main-table record."""
+        hf = HashFlow(main_cells=128, seed=2)
+        stream = [i % 300 for i in range(3000)]
+        hf.process_all(stream)
+        records = hf.records()
+        # Every occupied cell holds a distinct flow: no record splitting.
+        assert len(records) == hf.main.occupancy()
+
+
+class TestPromotion:
+    def test_elephant_in_ancillary_gets_promoted(self):
+        """A flow stuck in the ancillary table that outgrows the sentinel
+        must be bounced back into the main table."""
+        hf = HashFlow(main_cells=8, ancillary_cells=64, seed=3)
+        # Fill the main table with small flows (count 2 each).
+        for key in range(200):
+            hf.process(key)
+            hf.process(key)
+        # Now hammer one flow; it eventually exceeds every sentinel.
+        elephant = 10_001
+        for _ in range(50):
+            hf.process(elephant)
+        assert hf.promotions > 0
+        assert hf.main.query(elephant) > 0
+
+    def test_promoted_count_close_to_true(self):
+        hf = HashFlow(main_cells=8, ancillary_cells=64, seed=3)
+        for key in range(200):
+            hf.process(key)
+            hf.process(key)
+        elephant = 10_001
+        for _ in range(50):
+            hf.process(elephant)
+        est = hf.query(elephant)
+        assert est <= 50
+        assert est >= 3  # grew past the sentinel (min count 2) at least
+
+    def test_clear_promoted_variant(self):
+        hf = HashFlow(main_cells=8, ancillary_cells=64, seed=3, clear_promoted=True)
+        for key in range(200):
+            hf.process(key)
+            hf.process(key)
+        for _ in range(50):
+            hf.process(10_001)
+        assert hf.promotions > 0
+        assert hf.ancillary.query(10_001) == 0  # stale record cleared
+
+
+class TestUtilizationMatchesPaperModel:
+    @pytest.mark.parametrize("load", [1.0, 2.0, 4.0])
+    def test_distinct_flow_fill_matches_model(self, load):
+        """Feeding m distinct flows, main-table utilization follows
+        Eq. (5) — this is Section III-B's 'concrete prediction'."""
+        n = 3000
+        hf = HashFlow(main_cells=n, seed=7)
+        m = int(load * n)
+        for key in range(m):
+            hf.process(1_000_000 + key)
+        model = pipelined_utilization(m, n, 3, 0.7)
+        assert hf.utilization() == pytest.approx(model, abs=0.04)
+
+    def test_predicted_records_helper(self):
+        n, m = 3000, 6000
+        hf = HashFlow(main_cells=n, seed=8)
+        for key in range(m):
+            hf.process(key)
+        assert len(hf.records()) == pytest.approx(
+            predicted_records(m, n, 3, 0.7), rel=0.05
+        )
+
+
+class TestQueryFallback:
+    def test_ancillary_answers_for_overflow_flows(self):
+        hf = HashFlow(main_cells=16, ancillary_cells=512, seed=4)
+        flows = list(range(300))
+        for f in flows:
+            hf.process(f)
+        in_main = set(hf.records())
+        overflow = [f for f in flows if f not in in_main]
+        answered = sum(1 for f in overflow if hf.query(f) > 0)
+        # Most overflow flows should still answer from the ancillary table.
+        assert answered > len(overflow) * 0.5
+
+
+class TestCardinality:
+    def test_estimate_accuracy_moderate_load(self, small_trace):
+        hf = HashFlow(main_cells=small_trace.num_flows, seed=5)
+        hf.process_all(small_trace.keys())
+        est = hf.estimate_cardinality()
+        assert est == pytest.approx(small_trace.num_flows, rel=0.2)
+
+
+class TestHeavyHitters:
+    def test_detects_all_heavy_hitters(self, small_trace):
+        hf = HashFlow(main_cells=small_trace.num_flows // 2, seed=6)
+        hf.process_all(small_trace.keys())
+        truth = {k for k, v in small_trace.true_sizes().items() if v > 30}
+        reported = set(hf.heavy_hitters(30))
+        if truth:
+            recall = len(truth & reported) / len(truth)
+            assert recall > 0.85
+
+
+class TestAccounting:
+    def test_memory_bits_formula(self):
+        hf = HashFlow(main_cells=100, ancillary_cells=100)
+        assert hf.memory_bits == 100 * 136 + 100 * 16
+
+    def test_meter_tracks_costs(self, tiny_trace):
+        hf = HashFlow(main_cells=64)
+        hf.process_all(tiny_trace.keys())
+        assert hf.meter.packets == len(tiny_trace)
+        assert hf.meter.hashes >= len(tiny_trace)
+        pp = hf.meter.per_packet()
+        assert 1.0 <= pp["hashes"] <= 5.0  # d + 2 worst case
+
+    def test_reset(self):
+        hf = HashFlow(main_cells=64)
+        hf.process(1)
+        hf.reset()
+        assert hf.records() == {}
+        assert hf.promotions == 0
+        assert hf.meter.packets == 0
+
+    def test_worst_case_hashes_bounded(self):
+        """Constant worst-case work per packet: at most d + 2 hashes
+        (d probes + g1 + digest)."""
+        hf = HashFlow(main_cells=4, ancillary_cells=4, seed=1)
+        hf.process_all(range(1000))
+        assert hf.meter.hashes <= 1000 * (3 + 2)

@@ -1,0 +1,50 @@
+"""Tests for repro.hashing.digest."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing.digest import DEFAULT_DIGEST_BITS, DigestFunction
+from repro.hashing.families import HashFunction
+
+
+class TestDigestFunction:
+    def test_default_width_is_paper_value(self):
+        assert DEFAULT_DIGEST_BITS == 8
+
+    def test_range(self):
+        dig = DigestFunction(HashFunction(1), bits=8)
+        for key in range(1000):
+            assert 0 <= dig(key) < 256
+
+    @given(st.integers(min_value=0, max_value=(1 << 104) - 1), st.integers(1, 16))
+    def test_range_property(self, key, bits):
+        dig = DigestFunction(HashFunction(3), bits=bits)
+        assert 0 <= dig(key) < (1 << bits)
+
+    def test_digest_is_truncated_base_hash(self):
+        base = HashFunction(42)
+        dig = DigestFunction(base, bits=8)
+        key = 123456
+        assert dig(key) == base(key) % 256
+
+    def test_collision_probability(self):
+        assert DigestFunction(HashFunction(0), bits=8).collision_probability() == 1 / 256
+        assert DigestFunction(HashFunction(0), bits=4).collision_probability() == 1 / 16
+
+    def test_empirical_collision_rate_near_theory(self):
+        dig = DigestFunction(HashFunction(5), bits=8)
+        digests = [dig(i) for i in range(20_000)]
+        # Each value should appear ~ 20000/256 ≈ 78 times.
+        from collections import Counter
+
+        counts = Counter(digests)
+        assert len(counts) == 256
+        assert max(counts.values()) < 78 * 1.6
+
+    @pytest.mark.parametrize("bits", [0, 65, -3])
+    def test_invalid_bits_rejected(self, bits):
+        with pytest.raises(ValueError):
+            DigestFunction(HashFunction(0), bits=bits)

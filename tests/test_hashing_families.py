@@ -1,0 +1,79 @@
+"""Tests for repro.hashing.families."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing.families import HashFamily, HashFunction
+
+
+class TestHashFunction:
+    def test_callable_and_bucket_consistent(self):
+        h = HashFunction(seed=11)
+        key = 987654321
+        assert h.bucket(key, 100) == h(key) % 100
+
+    def test_bucket_in_range(self):
+        h = HashFunction(seed=3)
+        for key in range(200):
+            assert 0 <= h.bucket(key, 7) < 7
+
+    @given(st.integers(min_value=0, max_value=(1 << 104) - 1))
+    def test_bucket_range_property(self, key):
+        h = HashFunction(seed=1)
+        assert 0 <= h.bucket(key, 1000) < 1000
+
+
+class TestHashFamily:
+    def test_len_and_indexing(self):
+        fam = HashFamily(4, master_seed=9)
+        assert len(fam) == 4
+        assert fam[0] is not fam[1]
+
+    def test_members_are_independent_ish(self):
+        """Different members should map a key set differently."""
+        fam = HashFamily(2, master_seed=5)
+        keys = range(1000)
+        same = sum(1 for k in keys if fam[0].bucket(k, 64) == fam[1].bucket(k, 64))
+        # Expected agreement for independent functions: ~1000/64 ≈ 16.
+        assert same < 60
+
+    def test_values_and_buckets_lengths(self):
+        fam = HashFamily(3, master_seed=0)
+        assert len(fam.values(123)) == 3
+        assert len(fam.buckets(123, 50)) == 3
+
+    def test_reproducible_across_instances(self):
+        a = HashFamily(5, master_seed=42)
+        b = HashFamily(5, master_seed=42)
+        assert a.values(777) == b.values(777)
+
+    def test_master_seed_changes_everything(self):
+        a = HashFamily(3, master_seed=1)
+        b = HashFamily(3, master_seed=2)
+        assert a.values(777) != b.values(777)
+
+    def test_zero_size_family(self):
+        fam = HashFamily(0)
+        assert len(fam) == 0
+        assert fam.values(1) == []
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            HashFamily(-1)
+
+    def test_iteration(self):
+        fam = HashFamily(3, master_seed=8)
+        assert [h.seed for h in fam] == [fam[i].seed for i in range(3)]
+
+    def test_uniformity_of_each_member(self):
+        fam = HashFamily(3, master_seed=17)
+        n, buckets = 8000, 8
+        for h in fam:
+            counts = [0] * buckets
+            for i in range(n):
+                counts[h.bucket(i, buckets)] += 1
+            expected = n / buckets
+            assert all(abs(c - expected) < 0.15 * expected for c in counts)

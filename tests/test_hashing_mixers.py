@@ -1,0 +1,115 @@
+"""Tests for repro.hashing.mixers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing.mixers import (
+    MASK64,
+    derive_seeds,
+    mix128,
+    murmur64,
+    splitmix64,
+)
+
+
+class TestSplitmix64:
+    def test_deterministic(self):
+        assert splitmix64(12345) == splitmix64(12345)
+
+    def test_range_is_64_bits(self):
+        for x in (0, 1, 2**63, 2**64 - 1):
+            assert 0 <= splitmix64(x) <= MASK64
+
+    def test_distinct_inputs_distinct_outputs_smoke(self):
+        outputs = {splitmix64(i) for i in range(10_000)}
+        assert len(outputs) == 10_000  # bijection on the sampled domain
+
+    @given(st.integers(min_value=0, max_value=MASK64))
+    def test_output_in_range_property(self, x):
+        assert 0 <= splitmix64(x) <= MASK64
+
+    def test_avalanche_single_bit_flip(self):
+        """Flipping one input bit should flip roughly half the output bits."""
+        base = splitmix64(0xDEADBEEF)
+        total = 0
+        for bit in range(64):
+            flipped = splitmix64(0xDEADBEEF ^ (1 << bit))
+            total += bin(base ^ flipped).count("1")
+        average = total / 64
+        assert 24 < average < 40
+
+
+class TestMurmur64:
+    def test_deterministic(self):
+        assert murmur64(999) == murmur64(999)
+
+    def test_range(self):
+        assert 0 <= murmur64(2**64 - 1) <= MASK64
+
+    def test_differs_from_splitmix(self):
+        # Two independent finalizers should not agree on typical inputs.
+        disagreements = sum(1 for i in range(1, 100) if murmur64(i) != splitmix64(i))
+        assert disagreements == 99
+
+    @given(st.integers(min_value=0, max_value=MASK64))
+    def test_output_in_range_property(self, x):
+        assert 0 <= murmur64(x) <= MASK64
+
+
+class TestMix128:
+    def test_uses_high_bits(self):
+        """Keys differing only above bit 64 must hash differently."""
+        lo = 0x1234
+        assert mix128(lo, seed=7) != mix128(lo | (1 << 100), seed=7)
+
+    def test_seed_changes_output(self):
+        assert mix128(42, seed=1) != mix128(42, seed=2)
+
+    def test_deterministic(self):
+        key = (1 << 103) | 0xABCDEF
+        assert mix128(key, seed=99) == mix128(key, seed=99)
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 128) - 1),
+        st.integers(min_value=0, max_value=MASK64),
+    )
+    def test_range_property(self, key, seed):
+        assert 0 <= mix128(key, seed) <= MASK64
+
+    def test_bucket_uniformity_chi_square_like(self):
+        """Bucketed outputs should be roughly uniform across 16 buckets."""
+        n, buckets = 32_000, 16
+        counts = [0] * buckets
+        for i in range(n):
+            counts[mix128(i, seed=5) % buckets] += 1
+        expected = n / buckets
+        for c in counts:
+            assert abs(c - expected) < 0.1 * expected
+
+
+class TestDeriveSeeds:
+    def test_count(self):
+        assert len(derive_seeds(0, 5)) == 5
+
+    def test_empty(self):
+        assert derive_seeds(123, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            derive_seeds(0, -1)
+
+    def test_deterministic_and_distinct(self):
+        a = derive_seeds(77, 16)
+        b = derive_seeds(77, 16)
+        assert a == b
+        assert len(set(a)) == 16
+
+    def test_different_masters_differ(self):
+        assert derive_seeds(1, 4) != derive_seeds(2, 4)
+
+    def test_prefix_stability(self):
+        """Seeds are a stream: asking for more extends the same prefix."""
+        assert derive_seeds(9, 8)[:4] == derive_seeds(9, 4)

@@ -1,0 +1,82 @@
+"""Tests for repro.analysis.heavy_hitters and repro.analysis.cardinality."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.cardinality import evaluate_cardinality
+from repro.analysis.heavy_hitters import evaluate_heavy_hitters, threshold_sweep
+from repro.sketches.exact import ExactCollector
+
+
+def exact_for(sizes: dict[int, int]) -> ExactCollector:
+    c = ExactCollector()
+    for key, count in sizes.items():
+        for _ in range(count):
+            c.process(key)
+    return c
+
+
+class TestEvaluateHeavyHitters:
+    def test_exact_collector_perfect(self):
+        sizes = {1: 100, 2: 50, 3: 5, 4: 1}
+        c = exact_for(sizes)
+        result = evaluate_heavy_hitters(c, sizes, threshold=10)
+        assert result.f1 == 1.0
+        assert result.precision == 1.0
+        assert result.recall == 1.0
+        assert result.are == 0.0
+        assert result.actual == 2
+        assert result.correct == 2
+
+    def test_no_heavy_hitters(self):
+        sizes = {1: 2, 2: 3}
+        c = exact_for(sizes)
+        result = evaluate_heavy_hitters(c, sizes, threshold=10)
+        assert result.actual == 0
+        assert result.reported == 0
+        assert result.f1 == 1.0  # vacuous perfection
+        assert math.isnan(result.are)
+
+    def test_imperfect_detector(self):
+        sizes = {1: 100, 2: 100}
+
+        class HalfDetector(ExactCollector):
+            def heavy_hitters(self, threshold):
+                return {1: 120}  # one correct report, overestimated
+
+        c = HalfDetector()
+        for key, count in sizes.items():
+            for _ in range(count):
+                c.process(key)
+        result = evaluate_heavy_hitters(c, sizes, threshold=10)
+        assert result.precision == 1.0
+        assert result.recall == 0.5
+        assert result.are == pytest.approx(0.2)
+
+    def test_threshold_sweep_shapes(self):
+        sizes = {i: i for i in range(1, 101)}
+        c = exact_for(sizes)
+        results = threshold_sweep(c, sizes, [10, 50, 90])
+        assert [r.threshold for r in results] == [10, 50, 90]
+        assert [r.actual for r in results] == [90, 50, 10]
+        assert all(r.f1 == 1.0 for r in results)
+
+
+class TestEvaluateCardinality:
+    def test_exact(self):
+        c = exact_for({1: 1, 2: 1, 3: 1})
+        result = evaluate_cardinality(c, 3)
+        assert result.estimated == 3.0
+        assert result.re == 0.0
+
+    def test_relative_error_value(self):
+        c = exact_for({1: 1, 2: 1})
+        result = evaluate_cardinality(c, 4)
+        assert result.re == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            evaluate_cardinality(exact_for({}), 0)

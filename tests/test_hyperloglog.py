@@ -1,0 +1,83 @@
+"""Tests for repro.sketches.hyperloglog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sketches.hyperloglog import HyperLogLog
+
+
+class TestEstimates:
+    def test_empty_is_zero(self):
+        assert HyperLogLog(precision=10).estimate() == pytest.approx(0.0, abs=1e-9)
+
+    def test_duplicates_ignored(self):
+        hll = HyperLogLog(precision=10, seed=1)
+        for _ in range(1000):
+            hll.add(42)
+        assert hll.estimate() == pytest.approx(1.0, abs=0.5)
+
+    @pytest.mark.parametrize("n", [100, 5_000, 200_000])
+    def test_accuracy_across_ranges(self, n):
+        hll = HyperLogLog(precision=12, seed=2)
+        for key in range(n):
+            hll.add(key)
+        err = abs(hll.estimate() / n - 1.0)
+        assert err < 4 * hll.standard_error(), (n, err)
+
+    def test_standard_error_formula(self):
+        assert HyperLogLog(precision=12).standard_error() == pytest.approx(
+            1.04 / 64.0
+        )
+
+    def test_beats_linear_counting_beyond_saturation(self):
+        """At loads where a same-memory linear counter saturates, HLL
+        still answers — the reason to offer both estimators."""
+        from repro.sketches.linear_counting import LinearCounter
+
+        hll = HyperLogLog(precision=10, seed=3)  # 1024 registers
+        lc = LinearCounter(1024 * 6, seed=3)  # same memory in bitmap bits
+        n = 500_000
+        for key in range(n):
+            hll.add(key)
+            lc.add(key)
+        import math
+
+        assert math.isinf(lc.estimate())  # bitmap saturated
+        assert abs(hll.estimate() / n - 1.0) < 0.15
+
+
+class TestMerge:
+    def test_union_semantics(self):
+        a = HyperLogLog(precision=11, seed=5)
+        b = HyperLogLog(precision=11, seed=5)
+        for key in range(0, 4000):
+            a.add(key)
+        for key in range(2000, 6000):
+            b.add(key)
+        a.merge(b)
+        assert a.estimate() == pytest.approx(6000, rel=0.12)
+
+    def test_merge_mismatched_precision_rejected(self):
+        with pytest.raises(ValueError, match="precision"):
+            HyperLogLog(precision=10).merge(HyperLogLog(precision=11))
+
+    def test_merge_mismatched_seed_rejected(self):
+        with pytest.raises(ValueError, match="seed"):
+            HyperLogLog(precision=10, seed=1).merge(HyperLogLog(precision=10, seed=2))
+
+
+class TestLifecycle:
+    def test_reset(self):
+        hll = HyperLogLog(precision=8)
+        hll.add(1)
+        hll.reset()
+        assert hll.estimate() == pytest.approx(0.0, abs=1e-9)
+
+    def test_memory_bits(self):
+        assert HyperLogLog(precision=10).memory_bits == 1024 * 6
+
+    @pytest.mark.parametrize("p", [3, 19])
+    def test_precision_validation(self, p):
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=p)

@@ -1,0 +1,76 @@
+"""Tests for repro.sketches.linear_counting."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches.linear_counting import LinearCounter, linear_counting_estimate
+
+
+class TestEstimateFunction:
+    def test_all_empty_is_zero(self):
+        assert linear_counting_estimate(100, 100) == 0.0
+
+    def test_saturated_is_inf(self):
+        assert math.isinf(linear_counting_estimate(100, 0))
+
+    def test_known_value(self):
+        # half-empty: n = -m ln(1/2) = m ln 2
+        assert linear_counting_estimate(1000, 500) == pytest.approx(1000 * math.log(2))
+
+    @pytest.mark.parametrize("m,e", [(0, 0), (-5, 0), (10, 11), (10, -1)])
+    def test_validation(self, m, e):
+        with pytest.raises(ValueError):
+            linear_counting_estimate(m, e)
+
+    @given(st.integers(1, 10_000), st.data())
+    def test_monotone_in_occupancy(self, m, data):
+        """Fewer empty cells => larger estimate."""
+        e1 = data.draw(st.integers(1, m))
+        e2 = data.draw(st.integers(1, e1))
+        assert linear_counting_estimate(m, e2) >= linear_counting_estimate(m, e1)
+
+
+class TestLinearCounter:
+    def test_empty(self):
+        lc = LinearCounter(1000)
+        assert lc.estimate() == 0.0
+        assert lc.occupied == 0
+
+    def test_duplicates_do_not_move_estimate(self):
+        lc = LinearCounter(1000, seed=2)
+        for _ in range(50):
+            lc.add(7)
+        assert lc.occupied == 1
+
+    def test_accuracy_at_moderate_load(self):
+        lc = LinearCounter(10_000, seed=3)
+        n = 5000
+        for k in range(n):
+            lc.add(k)
+        assert lc.estimate() == pytest.approx(n, rel=0.05)
+
+    def test_accuracy_beyond_capacity(self):
+        """Linear counting stays usable past m cells (load < ln m)."""
+        lc = LinearCounter(2000, seed=5)
+        n = 6000
+        for k in range(n):
+            lc.add(k)
+        assert lc.estimate() == pytest.approx(n, rel=0.15)
+
+    def test_reset(self):
+        lc = LinearCounter(100)
+        lc.add(1)
+        lc.reset()
+        assert lc.occupied == 0
+
+    def test_memory_bits_is_cells(self):
+        assert LinearCounter(512).memory_bits == 512
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearCounter(0)

@@ -1,0 +1,124 @@
+"""Tests for repro.analysis.metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import (
+    average_relative_error,
+    f1_score,
+    flow_set_coverage,
+    precision_recall_f1,
+    relative_error,
+)
+
+
+class TestFlowSetCoverage:
+    def test_full_coverage(self):
+        assert flow_set_coverage([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_partial(self):
+        assert flow_set_coverage([1, 2], [1, 2, 3, 4]) == 0.5
+
+    def test_spurious_reports_do_not_help(self):
+        assert flow_set_coverage([1, 99, 98, 97], [1, 2]) == 0.5
+
+    def test_duplicates_count_once(self):
+        assert flow_set_coverage([1, 1, 1], [1, 2]) == 0.5
+
+    def test_empty_truth(self):
+        assert flow_set_coverage([1], []) == 1.0
+
+    @given(st.sets(st.integers(0, 100)), st.sets(st.integers(0, 100)))
+    def test_bounded_property(self, reported, truth):
+        assert 0.0 <= flow_set_coverage(reported, truth) <= 1.0
+
+
+class TestRelativeError:
+    def test_exact(self):
+        assert relative_error(10, 10) == 0.0
+
+    def test_overestimate(self):
+        assert relative_error(15, 10) == pytest.approx(0.5)
+
+    def test_underestimate(self):
+        assert relative_error(5, 10) == pytest.approx(0.5)
+
+    def test_zero_truth_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error(5, 0)
+
+    def test_infinite_estimate(self):
+        assert math.isinf(relative_error(math.inf, 10))
+
+
+class TestAverageRelativeError:
+    def test_perfect_estimates(self):
+        truth = {1: 10, 2: 20}
+        assert average_relative_error(lambda k: truth[k], truth) == 0.0
+
+    def test_missing_flow_contributes_one(self):
+        """Paper: 'if no result can be reported, we use 0 as the default
+        value' — a missing flow has relative error exactly 1."""
+        truth = {1: 10, 2: 20}
+        assert average_relative_error(lambda k: 0, truth) == 1.0
+
+    def test_mixed(self):
+        truth = {1: 10, 2: 10}
+        estimates = {1: 10, 2: 0}
+        assert average_relative_error(lambda k: estimates[k], truth) == 0.5
+
+    def test_empty_truth(self):
+        assert average_relative_error(lambda k: 0, {}) == 0.0
+
+    @given(st.dictionaries(st.integers(0, 50), st.integers(1, 100), min_size=1))
+    def test_nonnegative_property(self, truth):
+        are = average_relative_error(lambda k: truth[k] + 1, truth)
+        assert are >= 0.0
+
+
+class TestPrecisionRecallF1:
+    def test_perfect(self):
+        assert precision_recall_f1([1, 2], [1, 2]) == (1.0, 1.0, 1.0)
+
+    def test_half_precision(self):
+        p, r, f1 = precision_recall_f1([1, 2, 3, 4], [1, 2])
+        assert p == 0.5
+        assert r == 1.0
+        assert f1 == pytest.approx(2 / 3)
+
+    def test_half_recall(self):
+        p, r, f1 = precision_recall_f1([1], [1, 2])
+        assert p == 1.0
+        assert r == 0.5
+
+    def test_disjoint(self):
+        p, r, f1 = precision_recall_f1([3, 4], [1, 2])
+        assert (p, r, f1) == (0.0, 0.0, 0.0)
+
+    def test_empty_report(self):
+        p, r, f1 = precision_recall_f1([], [1])
+        assert p == 1.0
+        assert r == 0.0
+        assert f1 == 0.0
+
+    def test_empty_truth(self):
+        p, r, f1 = precision_recall_f1([1], [])
+        assert r == 1.0
+
+    def test_both_empty(self):
+        assert precision_recall_f1([], []) == (1.0, 1.0, 1.0)
+
+    def test_f1_score_wrapper(self):
+        assert f1_score([1, 2], [1, 2]) == 1.0
+
+    @given(st.sets(st.integers(0, 40)), st.sets(st.integers(0, 40)))
+    def test_f1_bounded_property(self, reported, truth):
+        p, r, f1 = precision_recall_f1(reported, truth)
+        eps = 1e-12
+        assert 0.0 <= f1 <= 1.0 + eps
+        assert (min(p, r) - eps <= f1 <= max(p, r) + eps) or f1 == 0.0

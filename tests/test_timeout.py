@@ -1,0 +1,156 @@
+"""Tests for repro.core.timeout (NetFlow-style record expiry)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hashflow import HashFlow
+from repro.core.timeout import TimeoutHashFlow
+from repro.flow.packet import Packet
+from repro.traces.trace import Trace
+
+
+def make(inactive=10.0, active=100.0, interval=4, cells=256) -> TimeoutHashFlow:
+    return TimeoutHashFlow(
+        HashFlow(main_cells=cells, seed=1),
+        inactive_timeout=inactive,
+        active_timeout=active,
+        expiry_interval=interval,
+    )
+
+
+class TestEvict:
+    def test_hashflow_evict_clears_record(self):
+        hf = HashFlow(main_cells=64, seed=1)
+        hf.process(42)
+        assert hf.evict(42) is True
+        assert hf.query(42) == 0
+        assert hf.evict(42) is False  # already gone
+
+    def test_evict_is_unmetered(self):
+        hf = HashFlow(main_cells=64, seed=1)
+        hf.process(42)
+        before = (hf.meter.hashes, hf.meter.reads, hf.meter.writes)
+        hf.evict(42)
+        assert (hf.meter.hashes, hf.meter.reads, hf.meter.writes) == before
+
+    def test_evicted_cell_reusable(self):
+        hf = HashFlow(main_cells=64, seed=1)
+        hf.process(42)
+        occupancy = hf.main.occupancy()
+        hf.evict(42)
+        assert hf.main.occupancy() == occupancy - 1
+        hf.process(43)
+        assert hf.query(43) == 1
+
+
+class TestInactiveTimeout:
+    def test_idle_flow_exported(self):
+        t = make(inactive=10.0, interval=1)
+        t.process_packet(Packet(key=7, timestamp=0.0))
+        t.process_packet(Packet(key=8, timestamp=20.0))  # sweeps at now=20
+        exported = [r for r in t.exported if r.key == 7]
+        assert len(exported) == 1
+        assert exported[0].reason == "inactive"
+        assert exported[0].packets == 1
+        assert t.inner.query(7) == 0  # cell freed
+
+    def test_busy_flow_not_exported(self):
+        t = make(inactive=10.0, interval=1)
+        for ts in (0.0, 5.0, 9.0, 13.0):
+            t.process_packet(Packet(key=7, timestamp=ts))
+        assert not t.exported
+        assert t.inner.query(7) == 4
+
+
+class TestActiveTimeout:
+    def test_long_lived_flow_exported_midstream(self):
+        t = make(inactive=10.0, active=50.0, interval=1)
+        for ts in np.arange(0.0, 70.0, 5.0):
+            t.process_packet(Packet(key=7, timestamp=float(ts)))
+        reasons = {r.reason for r in t.exported if r.key == 7}
+        assert "active" in reasons
+
+    def test_counts_preserved_across_export(self):
+        t = make(inactive=10.0, active=50.0, interval=1)
+        total = 0
+        for ts in np.arange(0.0, 120.0, 5.0):
+            t.process_packet(Packet(key=7, timestamp=float(ts)))
+            total += 1
+        t.flush()
+        assert t.query(7) == total  # exported segments + live sum up
+
+
+class TestFlush:
+    def test_flush_drains_everything(self):
+        t = make(interval=10_000)  # never sweeps on its own
+        for key in range(20):
+            t.process_packet(Packet(key=key, timestamp=1.0))
+        drained = t.flush()
+        assert len(drained) == 20
+        assert t.inner.records() == {}
+
+    def test_records_merge_exported_and_live(self):
+        t = make(inactive=10.0, interval=1)
+        t.process_packet(Packet(key=1, timestamp=0.0))
+        t.process_packet(Packet(key=2, timestamp=20.0))  # exports key 1
+        records = t.records()
+        assert records[1] == 1  # from the archive
+        assert records[2] == 1  # still live
+
+
+class TestLongRunBehaviour:
+    def make_temporal_trace(self, n_flows=400, seed=3) -> Trace:
+        from repro.traces.profiles import CAIDA
+
+        return CAIDA.generate(n_flows=n_flows, seed=seed, interleave="temporal")
+
+    def test_expiry_keeps_small_table_usable(self):
+        """With expiry, a small table keeps reporting flows long after a
+        plain HashFlow of the same size has saturated."""
+        trace = self.make_temporal_trace(n_flows=1200)
+        plain = HashFlow(main_cells=256, seed=2)
+        plain.process_all(trace.keys())
+
+        timed = TimeoutHashFlow(
+            HashFlow(main_cells=256, seed=2),
+            inactive_timeout=2.0,
+            active_timeout=30.0,
+            expiry_interval=64,
+        )
+        timed.process_trace(trace)
+        timed.flush()
+        assert len(timed.records()) > len(plain.records())
+
+    def test_cardinality_estimate_reasonable(self):
+        trace = self.make_temporal_trace(n_flows=800)
+        timed = make(inactive=5.0, active=30.0, interval=64, cells=1024)
+        timed.process_trace(trace)
+        timed.flush()
+        assert timed.estimate_cardinality() == pytest.approx(
+            trace.num_flows, rel=0.3
+        )
+
+    def test_reset(self):
+        t = make(interval=1)
+        t.process_packet(Packet(key=1, timestamp=0.0))
+        t.reset()
+        assert t.records() == {}
+        assert t.exported == []
+
+    def test_memory_is_dataplane_only(self):
+        t = make()
+        assert t.memory_bits == t.inner.memory_bits
+
+
+class TestValidation:
+    def test_bad_timeouts(self):
+        with pytest.raises(ValueError):
+            make(inactive=0)
+        with pytest.raises(ValueError):
+            TimeoutHashFlow(
+                HashFlow(main_cells=8), inactive_timeout=100.0, active_timeout=10.0
+            )
+        with pytest.raises(ValueError):
+            make(interval=0)

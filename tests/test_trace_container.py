@@ -1,0 +1,117 @@
+"""Tests for repro.traces.trace."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces.trace import Trace, trace_from_keys
+
+
+class TestTraceFromKeys:
+    def test_ground_truth(self, tiny_trace):
+        assert tiny_trace.true_sizes() == {11: 4, 22: 2, 33: 1, 44: 1}
+
+    def test_order_preserved(self, tiny_trace):
+        assert list(tiny_trace.keys()) == [11, 22, 11, 33, 11, 22, 44, 11]
+
+    def test_key_list_matches_keys(self, tiny_trace):
+        assert tiny_trace.key_list() == list(tiny_trace.keys())
+
+    def test_counts(self, tiny_trace):
+        assert len(tiny_trace) == 8
+        assert tiny_trace.num_flows == 4
+
+    def test_empty(self):
+        t = trace_from_keys([])
+        assert len(t) == 0
+        assert t.num_flows == 0
+        assert t.true_sizes() == {}
+
+
+class TestTraceValidation:
+    def test_order_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Trace([1, 2], np.array([0, 2]))
+
+    def test_timestamp_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Trace([1], np.array([0, 0]), timestamps=np.array([0.0]))
+
+
+class TestStats:
+    def test_stats_of_tiny(self, tiny_trace):
+        stats = tiny_trace.stats()
+        assert stats.flows == 4
+        assert stats.packets == 8
+        assert stats.max_flow_size == 4
+        assert stats.mean_flow_size == 2.0
+
+    def test_cdf_of_tiny(self, tiny_trace):
+        cdf = tiny_trace.cdf()
+        assert cdf[0] == (1, 0.5)
+        assert cdf[-1] == (4, 1.0)
+
+    def test_flow_size_array_alignment(self, tiny_trace):
+        sizes = tiny_trace.flow_size_array()
+        assert sizes[tiny_trace.flow_keys.index(11)] == 4
+
+
+class TestSubsetFlows:
+    def test_first_seen_selection(self, tiny_trace):
+        sub = tiny_trace.subset_flows(2)
+        assert set(sub.flow_keys) == {11, 22}
+        assert list(sub.keys()) == [11, 22, 11, 11, 22, 11]
+
+    def test_random_selection_deterministic(self, small_trace):
+        a = small_trace.subset_flows(100, seed=5)
+        b = small_trace.subset_flows(100, seed=5)
+        assert a.flow_keys == b.flow_keys
+        assert a.num_flows == 100
+
+    def test_subset_preserves_flow_sizes(self, small_trace):
+        sub = small_trace.subset_flows(50, seed=1)
+        full = small_trace.true_sizes()
+        for key, count in sub.true_sizes().items():
+            assert full[key] == count
+
+    def test_subset_too_large_rejected(self, tiny_trace):
+        with pytest.raises(ValueError):
+            tiny_trace.subset_flows(99)
+
+    def test_subset_keeps_relative_order(self, small_trace):
+        sub = small_trace.subset_flows(10, seed=3)
+        chosen = set(sub.flow_keys)
+        expected = [k for k in small_trace.keys() if k in chosen]
+        assert sub.key_list() == expected
+
+
+class TestTruncatePackets:
+    def test_truncate(self, tiny_trace):
+        t = tiny_trace.truncate_packets(3)
+        assert list(t.keys()) == [11, 22, 11]
+        assert t.num_flows == 2
+
+    def test_truncate_beyond_length(self, tiny_trace):
+        t = tiny_trace.truncate_packets(100)
+        assert len(t) == len(tiny_trace)
+
+    def test_truncate_zero(self, tiny_trace):
+        assert len(tiny_trace.truncate_packets(0)) == 0
+
+    def test_negative_rejected(self, tiny_trace):
+        with pytest.raises(ValueError):
+            tiny_trace.truncate_packets(-1)
+
+
+class TestPacketsIterator:
+    def test_without_timestamps(self, tiny_trace):
+        pkts = list(tiny_trace.packets(size=100))
+        assert len(pkts) == 8
+        assert all(p.timestamp == 0.0 and p.size == 100 for p in pkts)
+
+    def test_with_timestamps(self):
+        t = Trace([5, 6], np.array([0, 1, 0]), timestamps=np.array([0.1, 0.2, 0.3]))
+        pkts = list(t.packets())
+        assert [p.timestamp for p in pkts] == [0.1, 0.2, 0.3]
+        assert [p.key for p in pkts] == [5, 6, 5]

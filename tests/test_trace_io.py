@@ -1,0 +1,54 @@
+"""Tests for repro.traces.io (npz persistence)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces.io import load_trace, save_trace
+from repro.traces.trace import Trace
+
+
+class TestSaveLoad:
+    def test_roundtrip_exact(self, small_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(small_trace, path)
+        back = load_trace(path)
+        assert back.name == small_trace.name
+        assert back.flow_keys == small_trace.flow_keys
+        assert np.array_equal(back.order, small_trace.order)
+        assert back.true_sizes() == small_trace.true_sizes()
+
+    def test_roundtrip_with_timestamps(self, tmp_path):
+        t = Trace(
+            [1 << 100, 42],
+            np.array([0, 1, 1]),
+            timestamps=np.array([0.5, 0.75, 1.0]),
+            name="ts",
+        )
+        path = tmp_path / "ts.npz"
+        save_trace(t, path)
+        back = load_trace(path)
+        assert np.allclose(back.timestamps, t.timestamps)
+
+    def test_104_bit_keys_preserved(self, tmp_path):
+        """Keys above 64 bits must survive the hi/lo split."""
+        big = (1 << 103) | 0xDEADBEEF
+        t = Trace([big], np.array([0, 0]))
+        path = tmp_path / "big.npz"
+        save_trace(t, path)
+        assert load_trace(path).flow_keys == [big]
+
+    def test_no_timestamps_loads_as_none(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace(tiny_trace, path)
+        assert load_trace(path).timestamps is None
+
+    def test_bad_version_rejected(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace(tiny_trace, path)
+        data = dict(np.load(path, allow_pickle=False))
+        data["version"] = np.array([999])
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)

@@ -1,0 +1,106 @@
+"""Tests for repro.traces.mixer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flow.key import parse_ip, unpack_key
+from repro.traces.mixer import (
+    inject_elephants,
+    merge_traces,
+    port_scan,
+    syn_flood,
+)
+from repro.traces.trace import trace_from_keys
+
+
+class TestMergeTraces:
+    def test_counts_summed_for_shared_flows(self):
+        a = trace_from_keys([1, 1, 2])
+        b = trace_from_keys([1, 3])
+        merged = merge_traces([a, b], seed=0)
+        assert merged.true_sizes() == {1: 3, 2: 1, 3: 1}
+
+    def test_total_packets_preserved(self, small_trace, tiny_trace):
+        merged = merge_traces([small_trace, tiny_trace], seed=1)
+        assert len(merged) == len(small_trace) + len(tiny_trace)
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            merge_traces([])
+
+    def test_deterministic(self, tiny_trace):
+        a = merge_traces([tiny_trace, tiny_trace], seed=5)
+        b = merge_traces([tiny_trace, tiny_trace], seed=5)
+        assert a.key_list() == b.key_list()
+
+
+class TestInjectElephants:
+    def test_adds_flows_of_given_size(self, tiny_trace):
+        boosted = inject_elephants(tiny_trace, n_elephants=3, size=50, seed=2)
+        sizes = boosted.true_sizes()
+        new_flows = [k for k in boosted.flow_keys if k not in tiny_trace.flow_keys]
+        assert len(new_flows) == 3
+        assert all(sizes[k] == 50 for k in new_flows)
+
+    def test_original_flows_unchanged(self, tiny_trace):
+        boosted = inject_elephants(tiny_trace, 2, 10, seed=2)
+        original = tiny_trace.true_sizes()
+        for key, count in original.items():
+            assert boosted.true_sizes()[key] == count
+
+    def test_zero_elephants(self, tiny_trace):
+        boosted = inject_elephants(tiny_trace, 0, 10)
+        assert boosted.true_sizes() == tiny_trace.true_sizes()
+
+    def test_validation(self, tiny_trace):
+        with pytest.raises(ValueError):
+            inject_elephants(tiny_trace, -1, 10)
+        with pytest.raises(ValueError):
+            inject_elephants(tiny_trace, 1, 0)
+
+
+class TestSynFlood:
+    def test_all_flows_target_victim(self):
+        victim = parse_ip("10.0.0.99")
+        flood = syn_flood(victim, n_sources=500, seed=1)
+        for key in flood.flow_keys:
+            _src, dst, _sp, dport, proto = unpack_key(key)
+            assert dst == victim
+            assert dport == 80
+            assert proto == 6
+
+    def test_single_packet_flows(self):
+        flood = syn_flood(parse_ip("1.2.3.4"), n_sources=200, seed=1)
+        assert all(v == 1 for v in flood.true_sizes().values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            syn_flood(1, 0)
+
+    def test_detectable_as_cardinality_surge(self, small_trace):
+        """The operational use: a flood shows up as a flow-count spike in
+        HashFlow's cardinality estimate."""
+        from repro.core.hashflow import HashFlow
+        from repro.traces.mixer import merge_traces
+
+        base = HashFlow(main_cells=4096, seed=1)
+        base.process_all(small_trace.keys())
+        baseline = base.estimate_cardinality()
+
+        attacked = HashFlow(main_cells=4096, seed=1)
+        flood = syn_flood(parse_ip("10.0.0.1"), n_sources=4000, seed=2)
+        attacked.process_all(merge_traces([small_trace, flood], seed=3).keys())
+        assert attacked.estimate_cardinality() > baseline * 1.8
+
+
+class TestPortScan:
+    def test_one_flow_per_port(self):
+        scan = port_scan(parse_ip("6.6.6.6"), parse_ip("10.0.0.1"), n_ports=100)
+        assert scan.num_flows == 100
+        ports = {unpack_key(k)[3] for k in scan.flow_keys}
+        assert ports == set(range(1, 101))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            port_scan(1, 2, n_ports=0)

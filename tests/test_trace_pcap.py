@@ -1,0 +1,84 @@
+"""Tests for repro.traces.pcap."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.flow.key import pack_key
+from repro.traces.pcap import PCAP_MAGIC, read_pcap, write_pcap
+from repro.traces.trace import trace_from_keys
+
+
+class TestRoundTrip:
+    def test_keys_survive(self, tmp_path):
+        keys = [
+            pack_key(0x0A000001, 0x0A000002, 1234, 80, 6),
+            pack_key(0xC0A80101, 0x08080808, 5353, 53, 17),
+        ]
+        trace = trace_from_keys(keys * 3)
+        path = tmp_path / "t.pcap"
+        written = write_pcap(trace, path)
+        assert written == 6
+        back = read_pcap(path)
+        assert back.key_list() == trace.key_list()
+
+    def test_small_trace_roundtrip(self, small_trace, tmp_path):
+        sub = small_trace.truncate_packets(500)
+        path = tmp_path / "sub.pcap"
+        write_pcap(sub, path)
+        back = read_pcap(path)
+        assert back.key_list() == sub.key_list()
+        assert back.true_sizes() == sub.true_sizes()
+
+    def test_name_defaults_to_stem(self, tiny_trace, tmp_path):
+        path = tmp_path / "mytrace.pcap"
+        write_pcap(tiny_trace, path)
+        assert read_pcap(path).name == "mytrace"
+
+
+class TestFileFormat:
+    def test_magic_and_linktype(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.pcap"
+        write_pcap(tiny_trace, path)
+        data = path.read_bytes()
+        magic, _, _, _, _, snaplen, linktype = struct.unpack_from("<IHHiIII", data, 0)
+        assert magic == PCAP_MAGIC
+        assert linktype == 1  # Ethernet
+        assert snaplen == 65535
+
+    def test_rejects_non_pcap(self, tmp_path):
+        path = tmp_path / "junk.pcap"
+        path.write_bytes(b"\x00" * 64)
+        with pytest.raises(ValueError, match="magic"):
+            read_pcap(path)
+
+    def test_rejects_truncated_header(self, tmp_path):
+        path = tmp_path / "short.pcap"
+        path.write_bytes(b"\x01\x02")
+        with pytest.raises(ValueError, match="too short"):
+            read_pcap(path)
+
+    def test_skips_non_ipv4_frames(self, tiny_trace, tmp_path):
+        path = tmp_path / "mixed.pcap"
+        write_pcap(tiny_trace, path)
+        # Append a bogus ARP frame record.
+        arp_frame = b"\xff" * 12 + b"\x08\x06" + b"\x00" * 28
+        with path.open("ab") as fh:
+            fh.write(struct.pack("<IIII", 0, 0, len(arp_frame), len(arp_frame)))
+            fh.write(arp_frame)
+        back = read_pcap(path)
+        assert len(back) == len(tiny_trace)  # ARP frame ignored
+
+    def test_timestamps_written(self, tmp_path):
+        import numpy as np
+
+        from repro.traces.trace import Trace
+
+        t = Trace([7], np.array([0, 0]), timestamps=np.array([1.25, 2.5]))
+        path = tmp_path / "ts.pcap"
+        write_pcap(t, path)
+        data = path.read_bytes()
+        sec, usec, _, _ = struct.unpack_from("<IIII", data, 24)
+        assert (sec, usec) == (1, 250_000)

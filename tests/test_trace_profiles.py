@@ -1,0 +1,90 @@
+"""Tests for repro.traces.profiles: Table I calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flow.stats import cdf_at, size_cdf, top_fraction_share
+from repro.traces.profiles import PROFILES, TraceProfile, get_profile
+
+
+class TestRegistry:
+    def test_all_four_paper_traces_present(self):
+        assert set(PROFILES) == {"caida", "campus", "isp1", "isp2"}
+
+    def test_get_profile_case_insensitive(self):
+        assert get_profile("CAIDA") is PROFILES["caida"]
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(KeyError, match="unknown trace profile"):
+            get_profile("nope")
+
+    def test_table1_metadata(self):
+        assert PROFILES["caida"].target_mean == 3.2
+        assert PROFILES["caida"].max_size == 110_900
+        assert PROFILES["campus"].target_mean == 15.1
+        assert PROFILES["campus"].max_size == 289_877
+        assert PROFILES["isp1"].target_mean == 5.2
+        assert PROFILES["isp1"].max_size == 84_357
+        assert PROFILES["isp2"].target_mean == 1.3
+        assert PROFILES["isp2"].max_size == 2_441
+
+
+@pytest.mark.parametrize("name", ["caida", "campus", "isp1", "isp2"])
+class TestCalibration:
+    def test_mean_flow_size_near_table1(self, name):
+        profile = PROFILES[name]
+        trace = profile.generate(n_flows=20_000, seed=11)
+        mean = trace.stats().mean_flow_size
+        assert mean == pytest.approx(profile.target_mean, rel=0.25)
+
+    def test_max_respects_cap(self, name):
+        profile = PROFILES[name]
+        trace = profile.generate(n_flows=5_000, seed=11)
+        assert trace.stats().max_flow_size <= profile.max_size
+
+    def test_skewed_cdf(self, name):
+        """Fig. 3: most flows are mice in every trace."""
+        profile = PROFILES[name]
+        trace = profile.generate(n_flows=10_000, seed=11)
+        cdf = size_cdf(trace.true_sizes())
+        assert cdf_at(cdf, 10) > 0.75
+
+
+class TestPaperSpecificShape:
+    def test_campus_top_flows_dominate(self):
+        """Section II: 7.7% of campus flows carry >85% of packets."""
+        trace = PROFILES["campus"].generate(n_flows=20_000, seed=13)
+        share = top_fraction_share(trace.true_sizes(), 0.077)
+        assert share > 0.78
+
+    def test_isp2_nearly_all_mice(self):
+        """Section IV-A: >99% of ISP2 flows have fewer than 5 packets."""
+        trace = PROFILES["isp2"].generate(n_flows=20_000, seed=13)
+        cdf = size_cdf(trace.true_sizes())
+        assert cdf_at(cdf, 4) > 0.99
+
+    def test_force_max_pins_table1_maximum(self):
+        profile = PROFILES["isp2"]
+        trace = profile.generate(n_flows=2_000, seed=5, force_max=True)
+        assert trace.stats().max_flow_size == profile.max_size
+
+    def test_profiles_generate_independent_traces(self):
+        a = PROFILES["caida"].generate(n_flows=100, seed=0)
+        b = PROFILES["isp1"].generate(n_flows=100, seed=0)
+        assert set(a.flow_keys) != set(b.flow_keys)
+
+
+class TestCustomProfile:
+    def test_size_model_round_trip(self):
+        profile = TraceProfile(
+            name="custom",
+            date="2026/01/01",
+            target_mean=4.0,
+            max_size=10_000,
+            mice_p=0.7,
+            tail_alpha=1.5,
+            tail_min=10.0,
+        )
+        model = profile.size_model()
+        assert model.mean() == pytest.approx(4.0, rel=1e-9)

@@ -1,0 +1,170 @@
+"""Tests for repro.traces.synthetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.synthetic import (
+    SizeModel,
+    generate_flow_keys,
+    interleave_temporal,
+    interleave_uniform,
+    sample_truncated_pareto,
+    solve_tail_weight,
+    synthesize,
+    truncated_pareto_mean,
+)
+
+
+class TestTruncatedParetoMean:
+    def test_degenerate_interval(self):
+        assert truncated_pareto_mean(1.5, 10, 10) == 10
+
+    def test_alpha_one_special_case(self):
+        mean = truncated_pareto_mean(1.0, 1.0, np.e)
+        # For alpha=1 on [1, e]: E = ln(e/1)/(1 - 1/e) = 1/(1-1/e).
+        assert mean == pytest.approx(1 / (1 - 1 / np.e), rel=1e-9)
+
+    def test_mean_between_bounds(self):
+        mean = truncated_pareto_mean(1.5, 10, 10_000)
+        assert 10 < mean < 10_000
+
+    def test_monte_carlo_agreement(self, rng):
+        alpha, lo, hi = 1.7, 5.0, 5000.0
+        samples = sample_truncated_pareto(alpha, lo, hi, 200_000, rng)
+        theory = truncated_pareto_mean(alpha, lo, hi)
+        # Discretization (rounding) shifts the mean slightly; allow 5%.
+        assert np.mean(samples) == pytest.approx(theory, rel=0.05)
+
+
+class TestSampleTruncatedPareto:
+    def test_bounds(self, rng):
+        s = sample_truncated_pareto(1.5, 10, 1000, 10_000, rng)
+        assert s.min() >= 10
+        assert s.max() <= 1000
+
+    def test_integer_output(self, rng):
+        s = sample_truncated_pareto(2.0, 1, 100, 100, rng)
+        assert s.dtype == np.int64
+
+    def test_heavy_tail_orders_sizes(self, rng):
+        """Smaller alpha => heavier tail => larger high quantiles."""
+        light = sample_truncated_pareto(2.5, 10, 100_000, 50_000, rng)
+        heavy = sample_truncated_pareto(1.2, 10, 100_000, 50_000, rng)
+        assert np.quantile(heavy, 0.99) > np.quantile(light, 0.99)
+
+
+class TestSolveTailWeight:
+    def test_weight_in_unit_interval(self):
+        w = solve_tail_weight(3.2, 0.75, 1.5, 10, 110_900)
+        assert 0 < w < 1
+
+    def test_achieves_target_mean(self):
+        w = solve_tail_weight(5.0, 0.7, 1.5, 10, 50_000)
+        model = SizeModel(
+            mice_p=0.7, tail_alpha=1.5, tail_min=10, max_size=50_000, tail_weight=w
+        )
+        assert model.mean() == pytest.approx(5.0, rel=1e-9)
+
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(ValueError):
+            solve_tail_weight(0.5, 0.9, 1.5, 10, 1000)  # below mice mean
+
+
+class TestSizeModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SizeModel(mice_p=0.0, tail_alpha=1.5, tail_min=10, max_size=100, tail_weight=0.1)
+        with pytest.raises(ValueError):
+            SizeModel(mice_p=0.5, tail_alpha=-1, tail_min=10, max_size=100, tail_weight=0.1)
+        with pytest.raises(ValueError):
+            SizeModel(mice_p=0.5, tail_alpha=1.5, tail_min=10, max_size=5, tail_weight=0.1)
+        with pytest.raises(ValueError):
+            SizeModel(mice_p=0.5, tail_alpha=1.5, tail_min=10, max_size=100, tail_weight=1.5)
+
+    def test_sample_positive_sizes(self, small_model, rng):
+        sizes = small_model.sample(10_000, rng)
+        assert sizes.min() >= 1
+
+    def test_sample_mean_matches_model(self, small_model, rng):
+        sizes = small_model.sample(100_000, rng)
+        assert np.mean(sizes) == pytest.approx(small_model.mean(), rel=0.1)
+
+
+class TestGenerateFlowKeys:
+    def test_distinct(self, rng):
+        keys = generate_flow_keys(5000, rng)
+        assert len(set(keys)) == 5000
+
+    def test_valid_104_bit_keys(self, rng):
+        keys = generate_flow_keys(100, rng)
+        assert all(0 <= k < (1 << 104) for k in keys)
+
+    def test_zero(self, rng):
+        assert generate_flow_keys(0, rng) == []
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            generate_flow_keys(-1, rng)
+
+    def test_port_bias(self, rng):
+        """~70% of flows should use a well-known destination port."""
+        from repro.flow.key import unpack_key
+        from repro.traces.synthetic import COMMON_PORTS
+
+        keys = generate_flow_keys(2000, rng)
+        common = sum(1 for k in keys if unpack_key(k)[3] in COMMON_PORTS)
+        assert 0.6 < common / 2000 < 0.8
+
+
+class TestInterleave:
+    def test_uniform_preserves_multiset(self, rng):
+        sizes = np.array([3, 1, 2])
+        order = interleave_uniform(sizes, rng)
+        assert sorted(order.tolist()) == [0, 0, 0, 1, 2, 2]
+
+    def test_temporal_sorted_and_complete(self, rng):
+        sizes = np.array([5, 2, 7])
+        order, ts = interleave_temporal(sizes, rng)
+        assert len(order) == 14
+        assert np.all(np.diff(ts) >= 0)
+        assert sorted(order.tolist()) == [0] * 5 + [1] * 2 + [2] * 7
+
+
+class TestSynthesize:
+    def test_deterministic(self, small_model):
+        a = synthesize(500, small_model, seed=9)
+        b = synthesize(500, small_model, seed=9)
+        assert a.flow_keys == b.flow_keys
+        assert np.array_equal(a.order, b.order)
+
+    def test_seed_changes_trace(self, small_model):
+        a = synthesize(500, small_model, seed=1)
+        b = synthesize(500, small_model, seed=2)
+        assert a.flow_keys != b.flow_keys
+
+    def test_force_max(self, small_model):
+        t = synthesize(200, small_model, seed=3, force_max=True)
+        assert t.stats().max_flow_size == small_model.max_size
+
+    def test_temporal_mode_has_timestamps(self, small_model):
+        t = synthesize(100, small_model, seed=3, interleave="temporal")
+        assert t.timestamps is not None
+        assert np.all(np.diff(t.timestamps) >= 0)
+
+    def test_unknown_interleave_rejected(self, small_model):
+        with pytest.raises(ValueError):
+            synthesize(10, small_model, interleave="bogus")
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, 300))
+    def test_flow_count_property(self, n):
+        model = SizeModel(
+            mice_p=0.8, tail_alpha=2.0, tail_min=5, max_size=100, tail_weight=0.05
+        )
+        t = synthesize(n, model, seed=0)
+        assert t.num_flows == n
+        assert len(t) >= n  # every flow has at least one packet
