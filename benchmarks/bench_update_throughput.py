@@ -4,14 +4,30 @@ Not a paper figure: measures this implementation's raw update speed so
 regressions in the hot paths are visible.  Absolute numbers are Python
 numbers, not line-rate claims — the paper's throughput experiment is
 ``bench_fig11_throughput.py``.
+
+Two paths are measured per collector (see DESIGN.md §2):
+
+* **scalar** — one ``process(key)`` call per packet, the seed code path;
+* **batched** — ``process_all``, which chunks the stream through
+  ``process_batch`` and engages the vectorized batch-update engine for
+  collectors that implement it (HashFlow, HashPipe, CountMinSketch).
+
+``test_batch_speedup_recorded`` persists the scalar/batched ratio under
+``benchmarks/results/`` and fails if the engine regresses below the
+floor, so hot-path slowdowns are caught loudly.
 """
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
+from benchmarks.conftest import RESULTS_DIR
 from repro.experiments.config import build_all
-from repro.experiments.runner import make_workload
+from repro.experiments.report import save_result
+from repro.experiments.runner import ExperimentResult, make_workload
+from repro.sketches.countmin import CountMinSketch
 from repro.sketches.exact import ExactCollector
 from repro.sketches.sampled import SampledNetFlow
 from repro.sketches.spacesaving import SpaceSaving
@@ -19,6 +35,11 @@ from repro.traces.profiles import CAIDA
 
 MEMORY = 64 * 1024
 N_FLOWS = 4000
+
+#: Minimum acceptable batched/scalar speedup for HashFlow.  Measured
+#: ~4-5x; the floor is deliberately lower so slower CI machines do not
+#: flake, while a real engine regression (ratio -> ~1) still fails.
+SPEEDUP_FLOOR = 1.5
 
 
 @pytest.fixture(scope="module")
@@ -37,8 +58,24 @@ def _bench_collector(benchmark, collector, stream):
 
 @pytest.mark.parametrize("algo", ["HashFlow", "HashPipe", "ElasticSketch", "FlowRadar"])
 def test_update_throughput(benchmark, stream, algo):
+    """Batched path: process_all chunks through the batch engine."""
     collector = build_all(MEMORY, seed=0)[algo]
     _bench_collector(benchmark, collector, stream)
+
+
+@pytest.mark.parametrize("algo", ["HashFlow", "HashPipe"])
+def test_update_throughput_scalar(benchmark, stream, algo):
+    """Scalar path: one process() call per packet (the seed code path)."""
+    collector = build_all(MEMORY, seed=0)[algo]
+
+    def run():
+        collector.reset()
+        process = collector.process
+        for key in stream:
+            process(key)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    assert collector.meter.packets == len(stream)
 
 
 def test_update_throughput_exact(benchmark, stream):
@@ -51,3 +88,84 @@ def test_update_throughput_sampled(benchmark, stream):
 
 def test_update_throughput_spacesaving(benchmark, stream):
     _bench_collector(benchmark, SpaceSaving(capacity=MEMORY * 8 // 168), stream)
+
+
+# ----------------------------------------------------------------------
+# Scalar-vs-batched speedup, persisted under benchmarks/results/
+# ----------------------------------------------------------------------
+def _best_of(n_rounds, run):
+    best = float("inf")
+    for _ in range(n_rounds):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_batch_speedup_recorded(stream):
+    """Record the batched/scalar speedup of every batched update path.
+
+    The batched engine must produce bit-identical state (enforced by
+    ``tests/test_batch_engine.py``); this bench guards its reason to
+    exist — the speedup — and persists the measured ratios.
+    """
+    result = ExperimentResult(
+        experiment_id="update_throughput_batch_speedup",
+        title="Batched vs scalar update throughput (best of 3)",
+        columns=["algorithm", "scalar_mpps", "batched_mpps", "speedup"],
+        params={"memory_bytes": MEMORY, "n_flows": N_FLOWS, "packets": len(stream)},
+        notes="scalar = per-packet process()/add(); batched = "
+        "process_all()/add_batch() through the batch-update engine.",
+    )
+    n = len(stream)
+    speedups = {}
+    for algo in ["HashFlow", "HashPipe"]:
+        collector = build_all(MEMORY, seed=0)[algo]
+
+        def run_scalar():
+            collector.reset()
+            process = collector.process
+            for key in stream:
+                process(key)
+
+        def run_batched():
+            collector.reset()
+            collector.process_all(stream)
+
+        scalar = _best_of(3, run_scalar)
+        batched = _best_of(3, run_batched)
+        speedups[algo] = scalar / batched
+        result.add_row(
+            algorithm=algo,
+            scalar_mpps=round(n / scalar / 1e6, 3),
+            batched_mpps=round(n / batched / 1e6, 3),
+            speedup=round(scalar / batched, 2),
+        )
+
+    sketch_args = dict(width=MEMORY // 4, depth=3, counter_bits=8, seed=0)
+    cms = CountMinSketch(**sketch_args)
+
+    def cms_scalar():
+        cms.reset()
+        add = cms.add
+        for key in stream:
+            add(key)
+
+    def cms_batched():
+        cms.reset()
+        cms.add_batch(stream)
+
+    scalar = _best_of(3, cms_scalar)
+    batched = _best_of(3, cms_batched)
+    result.add_row(
+        algorithm="CountMinSketch",
+        scalar_mpps=round(n / scalar / 1e6, 3),
+        batched_mpps=round(n / batched / 1e6, 3),
+        speedup=round(scalar / batched, 2),
+    )
+
+    save_result(result, RESULTS_DIR)
+    assert speedups["HashFlow"] >= SPEEDUP_FLOOR, (
+        f"HashFlow batched path is only {speedups['HashFlow']:.2f}x the "
+        f"scalar path (floor {SPEEDUP_FLOOR}x) — batch engine regression"
+    )

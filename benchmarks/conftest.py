@@ -4,7 +4,8 @@ Every bench regenerates one of the paper's tables/figures via
 ``repro.experiments.figures``, prints the rows the paper reports, and
 writes them under ``benchmarks/results/``.  Sizes follow the
 ``REPRO_SCALE`` environment variable (default 0.1; 1.0 = paper scale —
-see DESIGN.md section 4 for why ratios are preserved at any scale).
+see DESIGN.md §4 "Scaling convention" for why the paper's ratios are
+preserved at any scale).
 """
 
 from __future__ import annotations

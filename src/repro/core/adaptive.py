@@ -167,6 +167,12 @@ class AdaptiveHashFlow(HashFlow):
         if self._window_offers >= self.window:
             self._adapt()
 
+    def process_batch(self, keys) -> None:
+        """Per-packet loop: the margin adapts mid-batch, so the base
+        class's vectorized Algorithm 1 (which assumes the exact
+        promotion rule throughout) must not engage."""
+        FlowCollector.process_batch(self, keys)
+
     def _adapt(self) -> None:
         """Update the margin from the last window's replacement share."""
         share = self._window_replacements / self._window_offers

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from repro.hashing.digest import DEFAULT_DIGEST_BITS, DigestFunction
 from repro.hashing.families import HashFunction
+from repro.hashing.mixers import mix128
 from repro.sketches.base import CostMeter
 from repro.sketches.linear_counting import linear_counting_estimate
 
@@ -62,6 +63,19 @@ class AncillaryTable:
         self.index_hash = index_hash
         self.digest = digest
         self.meter = meter if meter is not None else CostMeter()
+        # The hot path inlines `mix128(key, seed)` with prebound seeds,
+        # which is only valid for plain (non-subclassed) HashFunction /
+        # DigestFunction instances; anything else — e.g. a TabulationHash
+        # drop-in — dispatches through the injected objects instead.
+        self._fast_hashes = (
+            type(index_hash) is HashFunction
+            and type(digest) is DigestFunction
+            and type(digest.base) is HashFunction
+        )
+        if self._fast_hashes:
+            self._index_seed = index_hash.seed
+            self._digest_seed = digest.base.seed
+            self._digest_mask = (1 << digest.bits) - 1
         self._digests = [0] * n_cells
         self._counts = [0] * n_cells
 
@@ -79,8 +93,12 @@ class AncillaryTable:
             (``new_count = count + 1``, counting this packet).
         """
         meter = self.meter
-        idx = self.index_hash.bucket(key, self.n_cells)
-        dig = self.digest(key)
+        if self._fast_hashes:
+            idx = mix128(key, self._index_seed) % self.n_cells
+            dig = mix128(key, self._digest_seed) & self._digest_mask
+        else:
+            idx = self.index_hash.bucket(key, self.n_cells)
+            dig = self.digest(key)
         meter.hashes += 2
         meter.reads += 1
         count = self._counts[idx]
@@ -96,6 +114,22 @@ class AncillaryTable:
             meter.writes += 1
             return STORED, 0
         return PROMOTE, count + 1
+
+    def bucket_digest_rows(self, batch) -> tuple[list[int], list[int]]:
+        """Precompute bucket indices and digests for a whole key batch.
+
+        Returns:
+            ``(indices, digests)`` lists of Python ints, bit-identical
+            to what :meth:`offer` would compute per key.
+        """
+        if self._fast_hashes:
+            idx = self.index_hash.buckets_batch(batch, self.n_cells).tolist()
+            dig = self.digest.values_batch(batch).tolist()
+        else:
+            n = self.n_cells
+            idx = [self.index_hash.bucket(k, n) for k in batch.keys]
+            dig = [self.digest(k) for k in batch.keys]
+        return idx, dig
 
     def query(self, key: int) -> int:
         """Summarized count for ``key`` (0 unless its digest matches)."""

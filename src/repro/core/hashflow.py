@@ -32,6 +32,7 @@ Fidelity notes:
 
 from __future__ import annotations
 
+from repro.flow.batch import KeyBatch
 from repro.hashing.digest import DEFAULT_DIGEST_BITS, DigestFunction
 from repro.hashing.families import HashFamily
 from repro.sketches.base import FlowCollector
@@ -149,6 +150,103 @@ class HashFlow(FlowCollector):
     def process_packet(self, packet) -> None:
         """Process a :class:`~repro.flow.packet.Packet`, counting bytes."""
         self.process(packet.key, packet.size)
+
+    # ------------------------------------------------------------------
+    # Batched update path
+    # ------------------------------------------------------------------
+    def process_batch(self, keys) -> None:
+        """Run Algorithm 1 over a whole batch with precomputed hashes.
+
+        All main-table probe indices, ancillary bucket indices and
+        digests are computed for the batch in a few vectorized passes;
+        the remaining per-packet loop is pure list indexing.  Packets
+        are applied strictly in arrival order and the cost meter is
+        settled once per batch, so records, query answers, promotions
+        and meter totals are bit-identical to the scalar path.
+        """
+        batch = KeyBatch.coerce(keys)
+        if not len(batch):
+            return
+        if self.track_bytes:
+            # Byte counters need per-packet sizes, which the key-only
+            # batch API does not carry; stay on the scalar path.
+            process = self.process
+            for key in batch.keys:
+                process(key)
+            return
+        self._process_batch(batch)
+
+    def _process_batch(self, batch: KeyBatch) -> None:
+        main = self.main
+        anc = self.ancillary
+        anc_idx, anc_dig = anc.bucket_digest_rows(batch)
+        # One loop serves any main-table layout: stage_views pairs each
+        # precomputed index row with that stage's cell storage.
+        stage_rows = main.stage_views(main.bucket_rows(batch))
+        a_digests = anc._digests
+        a_counts = anc._counts
+        a_max = anc.max_count
+        promote_enabled = self.promote_enabled
+        clear_promoted = self.clear_promoted
+        hashes = reads = writes = promotions = 0
+        for i, key in enumerate(batch.keys):
+            # Main-table probe (MainTable.probe, inlined).
+            min_count = -1
+            sen_keys = sen_counts = None
+            sen_idx = -1
+            absorbed = False
+            for row, s_keys, s_counts in stage_rows:
+                idx = row[i]
+                hashes += 1
+                reads += 1
+                count = s_counts[idx]
+                if count == 0:
+                    s_keys[idx] = key
+                    s_counts[idx] = 1
+                    writes += 1
+                    absorbed = True
+                    break
+                if s_keys[idx] == key:
+                    s_counts[idx] = count + 1
+                    writes += 1
+                    absorbed = True
+                    break
+                if min_count < 0 or count < min_count:
+                    min_count = count
+                    sen_keys, sen_counts, sen_idx = s_keys, s_counts, idx
+            if absorbed:
+                continue
+            if not promote_enabled:
+                min_count = 1 << 62
+            # Ancillary offer (AncillaryTable.offer, inlined).
+            ai = anc_idx[i]
+            dig = anc_dig[i]
+            hashes += 2
+            reads += 1
+            acount = a_counts[ai]
+            if acount == 0 or a_digests[ai] != dig:
+                a_digests[ai] = dig
+                a_counts[ai] = 1
+                writes += 1
+                continue
+            if acount < min_count:
+                if acount < a_max:
+                    a_counts[ai] = acount + 1
+                writes += 1
+                continue
+            # Promotion: overwrite the sentinel record.
+            sen_keys[sen_idx] = key
+            sen_counts[sen_idx] = acount + 1
+            writes += 1
+            promotions += 1
+            if clear_promoted:
+                a_digests[ai] = 0
+                a_counts[ai] = 0
+                writes += 1
+        self.promotions += promotions
+        self.meter.add(
+            packets=len(batch), hashes=hashes, reads=reads, writes=writes
+        )
 
     def byte_records(self) -> dict[int, int]:
         """Per-flow byte counts (requires ``track_bytes=True``).

@@ -23,6 +23,7 @@ from abc import ABC, abstractmethod
 
 from repro.flow.key import FLOW_KEY_BITS
 from repro.hashing.families import HashFamily
+from repro.hashing.mixers import mix128
 from repro.sketches.base import CostMeter
 
 _COUNTER_BITS = 32
@@ -75,6 +76,35 @@ class MainTable(ABC):
         With byte tracking, the promoted record's byte counter restarts
         at ``size`` (earlier bytes were lost to ancillary churn — a
         documented lower bound).
+        """
+
+    @abstractmethod
+    def bucket_rows(self, batch) -> list[list[int]]:
+        """Precompute every probe index for a whole key batch.
+
+        Args:
+            batch: a :class:`~repro.flow.batch.KeyBatch`.
+
+        Returns:
+            ``d`` lists of ``len(batch)`` Python-int indices; entry
+            ``[s][i]`` is the bucket the stage-``s`` hash maps key ``i``
+            to — exactly what the scalar :meth:`probe` would compute.
+        """
+
+    @abstractmethod
+    def stage_views(self, rows: list[list[int]]) -> list[tuple]:
+        """Pair precomputed index rows with each probe stage's storage.
+
+        Args:
+            rows: the output of :meth:`bucket_rows` for the same batch.
+
+        Returns:
+            One ``(index_row, keys_list, counts_list)`` tuple per probe
+            stage, where ``keys_list[index_row[i]]`` /
+            ``counts_list[index_row[i]]`` are the cells the stage-``s``
+            probe of key ``i`` touches.  This is the layout-agnostic
+            handle the batched update loop iterates, so engine code
+            never reaches into a concrete table's internals.
         """
 
     def byte_records(self) -> dict[int, int]:
@@ -151,6 +181,9 @@ class MultiHashTable(MainTable):
         self._n = n_cells
         self.depth = depth
         self._hashes = HashFamily(depth, master_seed=seed)
+        # Seeds prebound for the hot path: `mix128(key, seed) % n` inline
+        # skips the HashFunction.bucket call per probe stage.
+        self._seeds = [h.seed for h in self._hashes]
         self._keys = [_EMPTY] * n_cells
         self._counts = [0] * n_cells
         self._bytes = [0] * n_cells if track_bytes else None
@@ -160,10 +193,11 @@ class MultiHashTable(MainTable):
         n = self._n
         keys = self._keys
         counts = self._counts
+        mix = mix128
         min_count = -1
         pos = -1
-        for h in self._hashes:
-            idx = h.bucket(key, n)
+        for seed in self._seeds:
+            idx = mix(key, seed) % n
             meter.hashes += 1
             meter.reads += 1
             count = counts[idx]
@@ -184,6 +218,13 @@ class MultiHashTable(MainTable):
                 min_count = count
                 pos = idx
         return MISSED, min_count, pos
+
+    def bucket_rows(self, batch) -> list[list[int]]:
+        return self._hashes.bucket_matrix(batch, self._n).tolist()
+
+    def stage_views(self, rows: list[list[int]]) -> list[tuple]:
+        # Every probe stage addresses the same flat arrays.
+        return [(row, self._keys, self._counts) for row in rows]
 
     def promote(self, sentinel: object, key: int, count: int, size: int = 0) -> None:
         idx = sentinel
@@ -285,22 +326,27 @@ class PipelinedTables(MainTable):
         self.sizes = pipeline_sizes(n_cells, depth, alpha)
         self._n = n_cells
         self._hashes = HashFamily(depth, master_seed=seed)
+        # (seed, size) pairs prebound for the hot path, as in
+        # MultiHashTable.probe.
+        self._seeds = [h.seed for h in self._hashes]
         self._keys = [[_EMPTY] * size for size in self.sizes]
         self._counts = [[0] * size for size in self.sizes]
         self._bytes = (
             [[0] * size for size in self.sizes] if track_bytes else None
         )
+        self._stages = list(
+            zip(self._seeds, self.sizes, self._keys, self._counts)
+        )
 
     def probe(self, key: int, size: int = 0) -> tuple[int, int, object]:
         meter = self.meter
+        mix = mix128
         min_count = -1
         sentinel: tuple[int, int] | None = None
-        for s, (h, table_size) in enumerate(zip(self._hashes, self.sizes)):
-            idx = h.bucket(key, table_size)
+        for s, (seed, table_size, keys, counts) in enumerate(self._stages):
+            idx = mix(key, seed) % table_size
             meter.hashes += 1
             meter.reads += 1
-            keys = self._keys[s]
-            counts = self._counts[s]
             count = counts[idx]
             if count == 0:
                 keys[idx] = key
@@ -319,6 +365,12 @@ class PipelinedTables(MainTable):
                 min_count = count
                 sentinel = (s, idx)
         return MISSED, min_count, sentinel
+
+    def bucket_rows(self, batch) -> list[list[int]]:
+        return self._hashes.bucket_matrix(batch, self.sizes).tolist()
+
+    def stage_views(self, rows: list[list[int]]) -> list[tuple]:
+        return list(zip(rows, self._keys, self._counts))
 
     def promote(self, sentinel: object, key: int, count: int, size: int = 0) -> None:
         s, idx = sentinel
@@ -379,6 +431,9 @@ class PipelinedTables(MainTable):
         self._counts = [[0] * size for size in self.sizes]
         if self._bytes is not None:
             self._bytes = [[0] * size for size in self.sizes]
+        self._stages = list(
+            zip(self._seeds, self.sizes, self._keys, self._counts)
+        )
 
     @property
     def n_cells(self) -> int:

@@ -62,12 +62,16 @@ class Workload:
 
     Feeding the *same* packet stream to each algorithm (as the paper
     does) is the expensive part of every experiment; this class
-    materializes it once and reuses it.
+    materializes it once and reuses it.  The stream is kept as a
+    :class:`~repro.flow.batch.KeyBatch` whose pre-split 64-bit halves
+    are shared by every collector fed through :meth:`feed`, so the
+    vectorized update paths never re-split keys per algorithm.
     """
 
     def __init__(self, trace: Trace):
         self.trace = trace
-        self.keys = trace.key_list()
+        self.batch = trace.key_batch()
+        self.keys = self.batch.keys
         self.true_sizes = trace.true_sizes()
 
     @property
@@ -82,7 +86,7 @@ class Workload:
 
     def feed(self, collector: FlowCollector) -> FlowCollector:
         """Feed the full stream into a collector and return it."""
-        collector.process_all(self.keys)
+        collector.process_all(self.batch)
         return collector
 
 

@@ -1,5 +1,6 @@
 """Flow and packet model: 104-bit 5-tuple keys, packets, flow statistics."""
 
+from repro.flow.batch import DEFAULT_CHUNK_SIZE, KeyBatch, iter_key_chunks
 from repro.flow.key import (
     FLOW_KEY_BITS,
     FLOW_KEY_MASK,
@@ -20,11 +21,14 @@ from repro.flow.stats import (
 )
 
 __all__ = [
+    "DEFAULT_CHUNK_SIZE",
     "DEFAULT_PACKET_BYTES",
     "FLOW_KEY_BITS",
     "FLOW_KEY_MASK",
     "FlowKey",
+    "KeyBatch",
     "Packet",
+    "iter_key_chunks",
     "TraceStats",
     "cdf_at",
     "flow_sizes",

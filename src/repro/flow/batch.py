@@ -1,0 +1,165 @@
+"""Key batches: the unit of work of the batch-update engine.
+
+Flow keys are packed 104-bit integers (see :mod:`repro.flow.key`), so a
+packet stream cannot live in a single ``np.uint64`` array.  A
+:class:`KeyBatch` therefore carries the stream twice:
+
+* ``keys`` — the Python-int sequence, used by table code (bucket
+  contents are compared and stored as exact Python ints);
+* ``lo`` / ``hi`` — the 64-bit halves of every key as ``np.uint64``
+  arrays, the representation the vectorized mixers in
+  :mod:`repro.hashing.mixers` consume.
+
+The halves are built lazily: collectors without a vectorized update
+path never pay for them.  :func:`iter_key_chunks` is the engine's
+front door — it slices any key source (list, tuple, ``np.ndarray``,
+prebuilt :class:`KeyBatch`, or arbitrary iterable) into bounded
+chunks, converting numpy scalars to Python ints exactly once per
+chunk (iterating an ``np.ndarray`` directly would yield ``np.int64``
+objects whose arbitrary-precision arithmetic is several times slower
+than built-in ints inside the mixers).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from itertools import islice
+
+import numpy as np
+
+from repro.hashing.mixers import split_keys
+
+#: Default packets per chunk fed to ``FlowCollector.process_batch``.
+#: Large enough to amortize numpy call overhead over the whole chunk,
+#: small enough that the per-chunk index matrices stay cache-friendly.
+DEFAULT_CHUNK_SIZE = 4096
+
+
+class KeyBatch:
+    """A batch of packed flow keys with lazily-split 64-bit halves.
+
+    Args:
+        keys: per-packet flow keys in arrival order (Python ints).
+        lo: optional precomputed low halves (``np.uint64``, same length).
+        hi: optional precomputed high halves (``np.uint64``, same length).
+    """
+
+    __slots__ = ("keys", "_lo", "_hi")
+
+    def __init__(
+        self,
+        keys: Sequence[int],
+        lo: np.ndarray | None = None,
+        hi: np.ndarray | None = None,
+    ):
+        if (lo is None) != (hi is None):
+            raise ValueError("lo and hi must be provided together")
+        if lo is not None and (len(lo) != len(keys) or len(hi) != len(keys)):
+            raise ValueError(
+                f"halves length ({len(lo)}, {len(hi)}) != keys length {len(keys)}"
+            )
+        self.keys = keys
+        self._lo = lo
+        self._hi = hi
+
+    @classmethod
+    def coerce(cls, keys) -> KeyBatch:
+        """Wrap any key source in a :class:`KeyBatch` (no-op if already one)."""
+        if isinstance(keys, cls):
+            return keys
+        if isinstance(keys, np.ndarray):
+            return cls(keys.tolist())
+        if isinstance(keys, (list, tuple)):
+            return cls(keys)
+        return cls(list(keys))
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.keys)
+
+    def _split(self) -> None:
+        # split_keys sees a plain sequence (not self), so it builds the
+        # arrays rather than recursing into halves().
+        self._lo, self._hi = split_keys(self.keys)
+
+    @property
+    def lo(self) -> np.ndarray:
+        """Low 64 bits of every key (``np.uint64``)."""
+        if self._lo is None:
+            self._split()
+        return self._lo
+
+    @property
+    def hi(self) -> np.ndarray:
+        """High bits (bit 64 and up) of every key (``np.uint64``)."""
+        if self._hi is None:
+            self._split()
+        return self._hi
+
+    def halves(self) -> tuple[np.ndarray, np.ndarray]:
+        """Both 64-bit half arrays, building them on first use."""
+        if self._lo is None:
+            self._split()
+        return self._lo, self._hi
+
+    def chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[KeyBatch]:
+        """Yield consecutive sub-batches of at most ``chunk_size`` keys.
+
+        Materialized halves are sliced (cheap numpy views), not rebuilt.
+        """
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        n = len(self.keys)
+        if n <= chunk_size:
+            if n:
+                yield self
+            return
+        lo, hi = self._lo, self._hi
+        for start in range(0, n, chunk_size):
+            stop = start + chunk_size
+            yield KeyBatch(
+                self.keys[start:stop],
+                None if lo is None else lo[start:stop],
+                None if hi is None else hi[start:stop],
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        split = "split" if self._lo is not None else "lazy"
+        return f"KeyBatch(len={len(self.keys)}, {split})"
+
+
+def iter_key_chunks(
+    keys: Iterable[int], chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> Iterator[KeyBatch]:
+    """Slice any packet-key source into :class:`KeyBatch` chunks.
+
+    Accepts a prebuilt :class:`KeyBatch`, a ``np.ndarray`` (converted to
+    Python ints once per chunk), a list/tuple (sliced, no copy of the
+    whole stream), or any other iterable (drained through ``islice``).
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    if isinstance(keys, KeyBatch):
+        yield from keys.chunks(chunk_size)
+        return
+    if isinstance(keys, np.ndarray):
+        for start in range(0, len(keys), chunk_size):
+            yield KeyBatch(keys[start : start + chunk_size].tolist())
+        return
+    if isinstance(keys, (list, tuple)):
+        n = len(keys)
+        if n <= chunk_size:
+            if n:
+                yield KeyBatch(keys)
+            return
+        for start in range(0, n, chunk_size):
+            yield KeyBatch(keys[start : start + chunk_size])
+        return
+    it = iter(keys)
+    while True:
+        chunk = list(islice(it, chunk_size))
+        if not chunk:
+            return
+        yield KeyBatch(chunk)

@@ -7,7 +7,17 @@ units a P4 switch would use.
 
 from repro.hashing.digest import DEFAULT_DIGEST_BITS, DigestFunction
 from repro.hashing.families import HashFamily, HashFunction
-from repro.hashing.mixers import MASK64, derive_seeds, mix128, murmur64, splitmix64
+from repro.hashing.mixers import (
+    MASK64,
+    derive_seeds,
+    mix128,
+    mix128_batch,
+    murmur64,
+    murmur64_batch,
+    split_keys,
+    splitmix64,
+    splitmix64_batch,
+)
 from repro.hashing.tabulation import TabulationFamily, TabulationHash
 
 __all__ = [
@@ -20,6 +30,10 @@ __all__ = [
     "TabulationHash",
     "derive_seeds",
     "mix128",
+    "mix128_batch",
     "murmur64",
+    "murmur64_batch",
+    "split_keys",
     "splitmix64",
+    "splitmix64_batch",
 ]

@@ -9,6 +9,8 @@ digests two random flows collide with probability 2**-w.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.hashing.families import HashFunction
 
 DEFAULT_DIGEST_BITS = 8
@@ -35,6 +37,14 @@ class DigestFunction:
     def __call__(self, key: int) -> int:
         """Return the digest of ``key``: ``base(key) mod 2**bits``."""
         return self.base(key) & self._mask
+
+    def values_batch(self, keys):
+        """Digests for a whole key batch (``np.uint64`` array).
+
+        Bit-identical to calling the digest on each key; used by the
+        batch-update engine to precompute ancillary-table digests.
+        """
+        return self.base.values_batch(keys) & np.uint64(self._mask)
 
     def collision_probability(self) -> float:
         """Probability that two distinct random flows share a digest."""

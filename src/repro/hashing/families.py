@@ -11,7 +11,15 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.hashing.mixers import MASK64, derive_seeds, mix128
+import numpy as np
+
+from repro.hashing.mixers import (
+    MASK64,
+    derive_seeds,
+    mix128,
+    mix128_batch,
+    split_keys,
+)
 
 
 class HashFunction:
@@ -32,6 +40,27 @@ class HashFunction:
     def bucket(self, key: int, n: int) -> int:
         """Map ``key`` to a bucket index in ``[0, n)``."""
         return mix128(key, self.seed) % n
+
+    def values_batch(self, keys) -> np.ndarray:
+        """Raw 64-bit hash values for a whole key batch.
+
+        Args:
+            keys: a :class:`~repro.flow.batch.KeyBatch` or sequence of
+                Python-int keys.
+
+        Returns:
+            ``np.uint64`` array, bit-identical to calling the scalar
+            function on each key.
+        """
+        lo, hi = split_keys(keys)
+        return mix128_batch(lo, hi, self.seed)
+
+    def buckets_batch(self, keys, n: int) -> np.ndarray:
+        """Bucket indices in ``[0, n)`` for a whole key batch.
+
+        Bit-identical to :meth:`bucket` applied per key.
+        """
+        return self.values_batch(keys) % np.uint64(n)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"HashFunction(seed={self.seed:#018x})"
@@ -70,6 +99,37 @@ class HashFamily(Sequence):
     def buckets(self, key: int, n: int) -> list[int]:
         """Return the bucket indices of all members for ``key`` in ``[0, n)``."""
         return [h.bucket(key, n) for h in self._functions]
+
+    def bucket_matrix(self, keys, n) -> np.ndarray:
+        """Bucket indices of all members for a whole key batch.
+
+        The 64-bit halves of the batch are split once and reused for
+        every member function, so a ``d``-member family costs ``d``
+        vectorized mixing passes over the batch.
+
+        Args:
+            keys: a :class:`~repro.flow.batch.KeyBatch` or sequence of
+                Python-int keys (N keys).
+            n: common bucket count, or a per-function sequence of bucket
+                counts (e.g. pipelined sub-table sizes), length ``d``.
+
+        Returns:
+            ``(d, N)`` ``np.uint64`` matrix; row ``i`` equals
+            ``[self[i].bucket(k, n_i) for k in keys]``.
+        """
+        lo, hi = split_keys(keys)
+        d = len(self._functions)
+        sizes = [n] * d if isinstance(n, int) else list(n)
+        if len(sizes) != d:
+            raise ValueError(f"expected {d} bucket counts, got {len(sizes)}")
+        if not d:
+            return np.empty((0, len(lo)), dtype=np.uint64)
+        return np.stack(
+            [
+                mix128_batch(lo, hi, h.seed) % np.uint64(size)
+                for h, size in zip(self._functions, sizes)
+            ]
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"HashFamily(size={len(self)}, master_seed={self.master_seed:#x})"

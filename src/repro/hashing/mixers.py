@@ -11,9 +11,18 @@ seedable, fast in pure Python, and pass the avalanche sanity checks in
 
 All arithmetic is performed modulo 2**64, mirroring unsigned 64-bit
 integer behaviour.
+
+Each mixer has a ``*_batch`` twin operating on ``np.uint64`` arrays.
+The batch variants are bit-identical to the scalar ones (numpy's
+fixed-width integer arithmetic wraps modulo 2**64 exactly like the
+masked Python-int arithmetic here) and amortize the per-call Python
+overhead across a whole packet chunk — they are the substrate of the
+batch-update engine used by the collector hot paths.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 MASK64 = 0xFFFFFFFFFFFFFFFF
 
@@ -25,6 +34,19 @@ _SM64_M2 = 0x94D049BB133111EB
 # Constants from the murmur3 64-bit finalizer.
 _MM3_M1 = 0xFF51AFD7ED558CCD
 _MM3_M2 = 0xC4CEB9FE1A85EC53
+
+# The same constants as np.uint64, prebuilt so the batch mixers do no
+# per-call conversions.
+_U64_GAMMA = np.uint64(_SM64_GAMMA)
+_U64_SM_M1 = np.uint64(_SM64_M1)
+_U64_SM_M2 = np.uint64(_SM64_M2)
+_U64_MM_M1 = np.uint64(_MM3_M1)
+_U64_MM_M2 = np.uint64(_MM3_M2)
+_U64_ZERO = np.uint64(0)
+_SHIFT_27 = np.uint64(27)
+_SHIFT_30 = np.uint64(30)
+_SHIFT_31 = np.uint64(31)
+_SHIFT_33 = np.uint64(33)
 
 
 def splitmix64(x: int) -> int:
@@ -83,6 +105,79 @@ def mix128(key: int, seed: int) -> int:
     if hi:
         h = splitmix64(h ^ (hi * _SM64_GAMMA & MASK64))
     return h
+
+
+def splitmix64_batch(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`splitmix64` over a ``np.uint64`` array.
+
+    Bit-identical to the scalar mixer: for every element,
+    ``splitmix64_batch(a)[i] == splitmix64(int(a[i]))``.
+
+    Args:
+        x: array of 64-bit values (coerced to ``np.uint64``).
+
+    Returns:
+        New ``np.uint64`` array of mixed values.
+    """
+    x = np.asarray(x, dtype=np.uint64)
+    x = x + _U64_GAMMA
+    x = (x ^ (x >> _SHIFT_30)) * _U64_SM_M1
+    x = (x ^ (x >> _SHIFT_27)) * _U64_SM_M2
+    return x ^ (x >> _SHIFT_31)
+
+
+def murmur64_batch(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`murmur64` over a ``np.uint64`` array."""
+    x = np.asarray(x, dtype=np.uint64)
+    x = (x ^ (x >> _SHIFT_33)) * _U64_MM_M1
+    x = (x ^ (x >> _SHIFT_33)) * _U64_MM_M2
+    return x ^ (x >> _SHIFT_33)
+
+
+def mix128_batch(lo: np.ndarray, hi: np.ndarray, seed: int) -> np.ndarray:
+    """Vectorized :func:`mix128` over keys split into 64-bit halves.
+
+    Bit-identical to the scalar mixer, including the conditional
+    high-half fold: elements with ``hi == 0`` take exactly the scalar
+    single-round path.
+
+    Args:
+        lo: low 64 bits of every key (``np.uint64`` array).
+        hi: high bits (bit 64 and up) of every key (``np.uint64`` array).
+        seed: per-hash-function seed material.
+
+    Returns:
+        ``np.uint64`` array of 64-bit mixed values.
+    """
+    lo = np.asarray(lo, dtype=np.uint64)
+    hi = np.asarray(hi, dtype=np.uint64)
+    h = splitmix64_batch(lo ^ np.uint64(seed & MASK64))
+    nonzero = hi != _U64_ZERO
+    if nonzero.any():
+        folded = splitmix64_batch(h ^ (hi * _U64_GAMMA))
+        h = np.where(nonzero, folded, h)
+    return h
+
+
+def split_keys(keys) -> tuple[np.ndarray, np.ndarray]:
+    """Split up-to-128-bit Python-int keys into ``np.uint64`` half arrays.
+
+    Accepts any object exposing ``halves()`` (e.g. a
+    :class:`~repro.flow.batch.KeyBatch`, whose precomputed halves are
+    reused), otherwise builds the arrays from the int sequence.
+
+    Returns:
+        ``(lo, hi)`` arrays suitable for :func:`mix128_batch`.
+    """
+    halves = getattr(keys, "halves", None)
+    if halves is not None:
+        return halves()
+    if not isinstance(keys, (list, tuple)):
+        keys = list(keys)
+    n = len(keys)
+    lo = np.fromiter((k & MASK64 for k in keys), np.uint64, count=n)
+    hi = np.fromiter((k >> 64 for k in keys), np.uint64, count=n)
+    return lo, hi
 
 
 def derive_seeds(master_seed: int, count: int) -> list[int]:

@@ -15,6 +15,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections.abc import Iterable
 
+from repro.flow.batch import DEFAULT_CHUNK_SIZE, KeyBatch, iter_key_chunks
+
 
 class CostMeter:
     """Counts hash operations and memory reads/writes.
@@ -40,6 +42,20 @@ class CostMeter:
         self.reads = 0
         self.writes = 0
         self.packets = 0
+
+    def add(
+        self, packets: int = 0, hashes: int = 0, reads: int = 0, writes: int = 0
+    ) -> None:
+        """Add batch-aggregated costs in one call.
+
+        Batched update paths accumulate counts in locals inside their
+        hot loop and settle them here once per batch, instead of
+        touching four attributes per packet.
+        """
+        self.packets += packets
+        self.hashes += hashes
+        self.reads += reads
+        self.writes += writes
 
     @property
     def memory_accesses(self) -> int:
@@ -87,13 +103,41 @@ class FlowCollector(ABC):
     def process(self, key: int) -> None:
         """Process one packet belonging to flow ``key``."""
 
-    def process_all(self, keys: Iterable[int]) -> int:
-        """Feed a packet-key stream; returns the number of packets fed."""
+    def process_batch(self, keys) -> None:
+        """Process a batch of packet keys in arrival order.
+
+        The generic fallback simply loops over :meth:`process`;
+        collectors with a vectorized update path (HashFlow, HashPipe)
+        override this to precompute all hash indices for the batch at
+        once.  Overrides must be bit-identical to the scalar path:
+        same records, same query answers, same meter totals.
+
+        Args:
+            keys: a :class:`~repro.flow.batch.KeyBatch` or any sequence
+                of Python-int keys.
+        """
         process = self.process
-        n = 0
-        for key in keys:
+        for key in keys.keys if isinstance(keys, KeyBatch) else keys:
             process(key)
-            n += 1
+
+    def process_all(
+        self, keys: Iterable[int], chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> int:
+        """Feed a packet-key stream; returns the number of packets fed.
+
+        The stream is sliced into chunks and fed through
+        :meth:`process_batch`, so collectors with a batched update path
+        engage it automatically.  ``np.ndarray`` inputs are converted
+        to Python ints once per chunk — iterating an array directly
+        would hand ``np.int64`` scalars to the mixers, whose
+        arbitrary-precision arithmetic is several times slower than
+        built-in ints.
+        """
+        process_batch = self.process_batch
+        n = 0
+        for chunk in iter_key_chunks(keys, chunk_size):
+            process_batch(chunk)
+            n += len(chunk)
         return n
 
     # ------------------------------------------------------------------

@@ -8,6 +8,9 @@ switch would.
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.flow.batch import KeyBatch
 from repro.hashing.families import HashFamily
 from repro.sketches.base import CostMeter
 
@@ -80,6 +83,48 @@ class CountMinSketch:
             meter.hashes += self.depth
             meter.reads += self.depth
             meter.writes += self.depth
+
+    def add_batch(self, keys, amount: int = 1) -> None:
+        """Add ``amount`` occurrences of every key in a batch.
+
+        Bit-identical to calling :meth:`add` per key in order (counter
+        saturation commutes with equal positive increments), with the
+        meter settled once per batch.
+
+        The plain variant collapses each row's updates to one pass over
+        the *distinct* buckets hit — ``min(c + k·amount, max)`` equals
+        ``k`` sequential saturating adds.  The conservative variant
+        depends on the evolving row minima, so it keeps a per-packet
+        loop over precomputed indices.
+        """
+        if amount < 0:
+            raise ValueError(f"amount must be >= 0, got {amount}")
+        batch = KeyBatch.coerce(keys)
+        n = len(batch)
+        if n == 0:
+            return
+        width = self.width
+        depth = self.depth
+        max_count = self.max_count
+        if self.conservative:
+            rows_idx = [h.buckets_batch(batch, width).tolist() for h in self._hashes]
+            rows = self._rows
+            writes = 0
+            for i in range(n):
+                idxs = [r[i] for r in rows_idx]
+                target = min(row[j] for row, j in zip(rows, idxs)) + amount
+                for row, j in zip(rows, idxs):
+                    if row[j] < target:
+                        row[j] = target if target < max_count else max_count
+                        writes += 1
+            self.meter.add(hashes=n * depth, reads=n * depth, writes=writes)
+        else:
+            for h, row in zip(self._hashes, self._rows):
+                uniq, hits = np.unique(h.buckets_batch(batch, width), return_counts=True)
+                for j, k in zip(uniq.tolist(), hits.tolist()):
+                    value = row[j] + k * amount
+                    row[j] = value if value < max_count else max_count
+            self.meter.add(hashes=n * depth, reads=n * depth, writes=n * depth)
 
     def query(self, key: int) -> int:
         """Point query: the minimum counter across rows (never underestimates

@@ -16,8 +16,10 @@ re-insert it at stage 1 with a fresh count).
 
 from __future__ import annotations
 
+from repro.flow.batch import KeyBatch
 from repro.flow.key import FLOW_KEY_BITS
 from repro.hashing.families import HashFamily
+from repro.hashing.mixers import mix128
 from repro.sketches.base import FlowCollector
 
 _COUNTER_BITS = 32
@@ -47,6 +49,9 @@ class HashPipe(FlowCollector):
         self.stages = stages
         self.seed = seed
         self._hashes = HashFamily(stages, master_seed=seed)
+        # Seeds prebound for the hot path: `mix128(key, seed) % n` inline
+        # skips the HashFunction.bucket call per stage.
+        self._seeds = [h.seed for h in self._hashes]
         self._keys = [[_EMPTY] * cells_per_stage for _ in range(stages)]
         self._counts = [[0] * cells_per_stage for _ in range(stages)]
 
@@ -55,12 +60,12 @@ class HashPipe(FlowCollector):
         meter = self.meter
         meter.packets += 1
         n = self.cells_per_stage
-        hashes = self._hashes
+        seeds = self._seeds
         keys = self._keys
         counts = self._counts
 
         # Stage 1: always insert, evicting whatever is there.
-        idx = hashes[0].bucket(key, n)
+        idx = mix128(key, seeds[0]) % n
         meter.hashes += 1
         meter.reads += 1
         stage_keys = keys[0]
@@ -82,7 +87,7 @@ class HashPipe(FlowCollector):
 
         # Later stages: keep the larger record, carry the smaller onward.
         for s in range(1, self.stages):
-            idx = hashes[s].bucket(carry_key, n)
+            idx = mix128(carry_key, seeds[s]) % n
             meter.hashes += 1
             meter.reads += 1
             stage_keys = keys[s]
@@ -102,6 +107,76 @@ class HashPipe(FlowCollector):
                 stage_counts[idx], carry_count = carry_count, occupant_count
                 meter.writes += 1
         # Carry evicted from the final stage is discarded.
+
+    def process_batch(self, keys) -> None:
+        """Batched HashPipe update.
+
+        Stage-1 indices depend only on the incoming keys, so they are
+        precomputed for the whole batch in one vectorized pass.  Later
+        stages hash the *evicted carry* record, which depends on table
+        state and cannot be precomputed — those hashes run inline with
+        prebound seeds.  Packet order is preserved and the meter is
+        settled once per batch, so results are bit-identical to the
+        scalar path.
+        """
+        batch = KeyBatch.coerce(keys)
+        if not len(batch):
+            return
+        n = self.cells_per_stage
+        seeds = self._seeds
+        row0 = self._hashes[0].buckets_batch(batch, n).tolist()
+        keys_ = self._keys
+        counts_ = self._counts
+        stages = self.stages
+        mix = mix128
+        hashes = reads = writes = 0
+        stage0_keys = keys_[0]
+        stage0_counts = counts_[0]
+        for i, key in enumerate(batch.keys):
+            # Stage 1: always insert, evicting whatever is there.
+            idx = row0[i]
+            hashes += 1
+            reads += 1
+            occupant_count = stage0_counts[idx]
+            if occupant_count == 0:
+                stage0_keys[idx] = key
+                stage0_counts[idx] = 1
+                writes += 1
+                continue
+            if stage0_keys[idx] == key:
+                stage0_counts[idx] = occupant_count + 1
+                writes += 1
+                continue
+            carry_key, carry_count = stage0_keys[idx], occupant_count
+            stage0_keys[idx] = key
+            stage0_counts[idx] = 1
+            writes += 1
+
+            # Later stages: keep the larger record, carry the smaller.
+            for s in range(1, stages):
+                idx = mix(carry_key, seeds[s]) % n
+                hashes += 1
+                reads += 1
+                stage_keys = keys_[s]
+                stage_counts = counts_[s]
+                occupant_count = stage_counts[idx]
+                if occupant_count == 0:
+                    stage_keys[idx] = carry_key
+                    stage_counts[idx] = carry_count
+                    writes += 1
+                    break
+                if stage_keys[idx] == carry_key:
+                    stage_counts[idx] = occupant_count + carry_count
+                    writes += 1
+                    break
+                if occupant_count < carry_count:
+                    stage_keys[idx], carry_key = carry_key, stage_keys[idx]
+                    stage_counts[idx], carry_count = carry_count, occupant_count
+                    writes += 1
+            # Carry evicted from the final stage is discarded.
+        self.meter.add(
+            packets=len(batch), hashes=hashes, reads=reads, writes=writes
+        )
 
     def records(self) -> dict[int, int]:
         """Reported records: per-flow sums of the (possibly split) cells."""

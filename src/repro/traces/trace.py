@@ -15,6 +15,7 @@ from collections.abc import Iterator
 
 import numpy as np
 
+from repro.flow.batch import KeyBatch
 from repro.flow.packet import DEFAULT_PACKET_BYTES, Packet
 from repro.flow.stats import TraceStats, size_cdf
 
@@ -73,6 +74,17 @@ class Trace:
         """Materialize the per-packet key stream as a list (fast feeding)."""
         flow_keys = self.flow_keys
         return [flow_keys[idx] for idx in self.order.tolist()]
+
+    def key_batch(self) -> KeyBatch:
+        """Materialize the stream as a :class:`~repro.flow.batch.KeyBatch`.
+
+        The 64-bit halves every vectorized update path consumes are
+        gathered per *flow* and broadcast to packets with one numpy
+        indexing pass, so feeding a collector through the batch engine
+        never splits keys packet-by-packet.
+        """
+        flow_lo, flow_hi = KeyBatch(self.flow_keys).halves()
+        return KeyBatch(self.key_list(), flow_lo[self.order], flow_hi[self.order])
 
     def packets(self, size: int = DEFAULT_PACKET_BYTES) -> Iterator[Packet]:
         """Iterate :class:`~repro.flow.packet.Packet` objects in order."""

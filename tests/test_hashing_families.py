@@ -77,3 +77,51 @@ class TestHashFamily:
                 counts[h.bucket(i, buckets)] += 1
             expected = n / buckets
             assert all(abs(c - expected) < 0.15 * expected for c in counts)
+
+
+class TestBatchAPI:
+    """buckets_batch / bucket_matrix must be bit-identical to scalar calls."""
+
+    KEYS = [0, 1, (1 << 104) - 1, 12345, 1 << 64] + [
+        (i * 0x9E3779B97F4A7C15) & ((1 << 104) - 1) for i in range(200)
+    ]
+
+    def test_values_batch_matches_scalar(self):
+        h = HashFunction(seed=11)
+        assert h.values_batch(self.KEYS).tolist() == [h(k) for k in self.KEYS]
+
+    def test_buckets_batch_matches_scalar(self):
+        h = HashFunction(seed=23)
+        out = h.buckets_batch(self.KEYS, 97)
+        assert out.tolist() == [h.bucket(k, 97) for k in self.KEYS]
+
+    def test_bucket_matrix_common_size(self):
+        fam = HashFamily(4, master_seed=6)
+        matrix = fam.bucket_matrix(self.KEYS, 53)
+        assert matrix.shape == (4, len(self.KEYS))
+        for i, h in enumerate(fam):
+            assert matrix[i].tolist() == [h.bucket(k, 53) for k in self.KEYS]
+
+    def test_bucket_matrix_per_function_sizes(self):
+        fam = HashFamily(3, master_seed=9)
+        sizes = [101, 71, 49]  # pipelined sub-table shapes
+        matrix = fam.bucket_matrix(self.KEYS, sizes)
+        for i, (h, n) in enumerate(zip(fam, sizes)):
+            assert matrix[i].tolist() == [h.bucket(k, n) for k in self.KEYS]
+
+    def test_bucket_matrix_size_count_mismatch_rejected(self):
+        fam = HashFamily(3, master_seed=9)
+        with pytest.raises(ValueError):
+            fam.bucket_matrix(self.KEYS, [10, 20])
+
+    def test_bucket_matrix_empty_family(self):
+        fam = HashFamily(0)
+        assert fam.bucket_matrix(self.KEYS, 10).shape == (0, len(self.KEYS))
+
+    def test_bucket_matrix_accepts_key_batch(self):
+        from repro.flow.batch import KeyBatch
+
+        fam = HashFamily(2, master_seed=4)
+        direct = fam.bucket_matrix(self.KEYS, 31)
+        via_batch = fam.bucket_matrix(KeyBatch(self.KEYS), 31)
+        assert (direct == via_batch).all()

@@ -113,3 +113,56 @@ class TestDeriveSeeds:
     def test_prefix_stability(self):
         """Seeds are a stream: asking for more extends the same prefix."""
         assert derive_seeds(9, 8)[:4] == derive_seeds(9, 4)
+
+
+class TestBatchMixers:
+    """The vectorized mixers must be bit-identical to the scalar ones."""
+
+    EDGE_CASES = [0, 1, 2**31, 2**63, 2**64 - 1]
+
+    def test_splitmix64_batch_matches_scalar(self):
+        import numpy as np
+
+        from repro.hashing.mixers import splitmix64_batch
+
+        xs = self.EDGE_CASES + [splitmix64(i) for i in range(500)]
+        out = splitmix64_batch(np.array(xs, dtype=np.uint64))
+        assert out.tolist() == [splitmix64(x) for x in xs]
+
+    def test_murmur64_batch_matches_scalar(self):
+        import numpy as np
+
+        from repro.hashing.mixers import murmur64_batch
+
+        xs = self.EDGE_CASES + [splitmix64(i) for i in range(500)]
+        out = murmur64_batch(np.array(xs, dtype=np.uint64))
+        assert out.tolist() == [murmur64(x) for x in xs]
+
+    @pytest.mark.parametrize("seed", [0, 42, MASK64])
+    def test_mix128_batch_matches_scalar(self, seed):
+        from repro.hashing.mixers import mix128_batch, split_keys
+
+        # Mix of 64-bit-only keys (hi == 0, the conditional-fold branch)
+        # and full-width keys.
+        keys = (
+            self.EDGE_CASES
+            + [1 << 64, (1 << 104) - 1, (1 << 128) - 1]
+            + [splitmix64(i) | (murmur64(i) << 64) for i in range(300)]
+        )
+        lo, hi = split_keys(keys)
+        out = mix128_batch(lo, hi, seed)
+        assert out.tolist() == [mix128(k, seed) for k in keys]
+
+    def test_split_keys_roundtrip(self):
+        from repro.hashing.mixers import split_keys
+
+        keys = [0, 5, (1 << 104) - 1, 1 << 64]
+        lo, hi = split_keys(keys)
+        assert [(int(h) << 64) | int(l) for l, h in zip(lo, hi)] == keys
+
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_mix128_batch_property(self, key):
+        from repro.hashing.mixers import mix128_batch, split_keys
+
+        lo, hi = split_keys([key])
+        assert int(mix128_batch(lo, hi, 99)[0]) == mix128(key, 99)
