@@ -18,7 +18,7 @@ import pytest
 
 from benchmarks.conftest import RESULTS_DIR
 from repro.analysis.heavy_hitters import evaluate_heavy_hitters
-from repro.analysis.metrics import average_relative_error, flow_set_coverage
+from repro.analysis.metrics import flow_set_coverage
 from repro.core.hashflow import HashFlow
 from repro.experiments.runner import ExperimentResult, make_workload
 from repro.experiments.report import render_table, save_result
@@ -34,12 +34,13 @@ def workload():
 
 
 def _evaluate(collector, workload):
-    collector.process_all(workload.keys)
+    workload.feed(collector)
     truth = workload.true_sizes
     hh = evaluate_heavy_hitters(collector, truth, threshold=50)
     return {
         "fsc": round(flow_set_coverage(collector.records(), truth), 4),
-        "are": round(average_relative_error(collector.query, truth), 4),
+        # ARE through the batch-query engine (one query_batch sweep).
+        "are": round(workload.size_are(collector), 4),
         "hh_f1": round(hh.f1, 4),
         "promotions": collector.promotions,
     }

@@ -10,7 +10,7 @@ hides — and checks the paper's conclusions survive the change.
 from __future__ import annotations
 
 from benchmarks.conftest import RESULTS_DIR
-from repro.analysis.metrics import average_relative_error, flow_set_coverage
+from repro.analysis.metrics import flow_set_coverage
 from repro.experiments.config import build_all
 from repro.experiments.report import render_table, save_result
 from repro.experiments.runner import ExperimentResult, Workload
@@ -40,10 +40,8 @@ def test_interleave_robustness(benchmark, emit):
                     fsc=round(
                         flow_set_coverage(collector.records(), workload.true_sizes), 4
                     ),
-                    size_are=round(
-                        average_relative_error(collector.query, workload.true_sizes),
-                        4,
-                    ),
+                    # Batched query sweep over the cached truth batch.
+                    size_are=round(workload.size_are(collector), 4),
                 )
 
     benchmark.pedantic(run, rounds=1, iterations=1)

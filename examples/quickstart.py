@@ -51,7 +51,9 @@ def main() -> None:
     some_flow = trace.flow_keys[0]
     print(f"flow {FlowKey.unpack(some_flow)}: "
           f"estimated {collector.query(some_flow)}, true {truth[some_flow]}")
-    are = average_relative_error(collector.query, truth)
+    # Passing the collector queries every true flow in one vectorized
+    # query_batch sweep (a scalar `collector.query` callable works too).
+    are = average_relative_error(collector, truth)
     print(f"size-estimation ARE over all flows: {are:.3f}")
 
     # 4c. Cardinality (occupied main cells + linear counting on the

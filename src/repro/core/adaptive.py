@@ -16,8 +16,11 @@ the traffic-variation half:
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.hashflow import HashFlow
-from repro.sketches.base import FlowCollector
+from repro.flow.batch import KeyBatch
+from repro.sketches.base import FlowCollector, gather_estimates
 
 
 def merge_records(into: dict[int, int], records: dict[int, int]) -> None:
@@ -88,6 +91,12 @@ class EpochedHashFlow(FlowCollector):
     def query(self, key: int) -> int:
         """Archived count plus the live epoch's estimate."""
         return self._archive.get(key, 0) + self.inner.query(key)
+
+    def query_batch(self, keys) -> np.ndarray:
+        """Batched :meth:`query`: one archive dict-gather plus the inner
+        collector's vectorized batch query."""
+        batch = KeyBatch.coerce(keys)
+        return gather_estimates(self._archive, batch) + self.inner.query_batch(batch)
 
     def estimate_cardinality(self) -> float:
         """Archived distinct flows plus the live epoch's estimate.
@@ -170,7 +179,9 @@ class AdaptiveHashFlow(HashFlow):
     def process_batch(self, keys) -> None:
         """Per-packet loop: the margin adapts mid-batch, so the base
         class's vectorized Algorithm 1 (which assumes the exact
-        promotion rule throughout) must not engage."""
+        promotion rule throughout) must not engage.  The *query* side
+        has no such state dependence — the margin only shapes updates —
+        so the inherited vectorized ``query_batch`` stays valid."""
         FlowCollector.process_batch(self, keys)
 
     def _adapt(self) -> None:

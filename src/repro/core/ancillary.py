@@ -19,6 +19,8 @@ probe:
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.hashing.digest import DEFAULT_DIGEST_BITS, DigestFunction
 from repro.hashing.families import HashFunction
 from repro.hashing.mixers import mix128
@@ -137,6 +139,26 @@ class AncillaryTable:
         if self._counts[idx] > 0 and self._digests[idx] == self.digest(key):
             return self._counts[idx]
         return 0
+
+    def query_batch(self, batch) -> np.ndarray:
+        """Summarized counts for a whole key batch (``np.int64``).
+
+        Digest comparison is exact integer work, so the whole query
+        collapses into vectorized passes: batched bucket indices,
+        batched digests, one gather of the (counts, digests) cells and
+        one masked select.  Injected hashes without a batched form
+        (e.g. a TabulationHash drop-in) fall back to the scalar query.
+        """
+        n = len(batch)
+        if not self._fast_hashes:
+            query = self.query
+            return np.fromiter((query(k) for k in batch.keys), np.int64, count=n)
+        idx = self.index_hash.buckets_batch(batch, self.n_cells)
+        dig = self.digest.values_batch(batch)
+        counts = np.fromiter(self._counts, np.int64, count=self.n_cells)
+        digests = np.fromiter(self._digests, np.uint64, count=self.n_cells)
+        hit = counts[idx]
+        return np.where((hit > 0) & (digests[idx] == dig), hit, np.int64(0))
 
     def clear_cell(self, key: int) -> None:
         """Erase the cell ``key`` maps to (used by the promotion-clearing

@@ -32,6 +32,8 @@ Fidelity notes:
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.flow.batch import KeyBatch
 from repro.hashing.digest import DEFAULT_DIGEST_BITS, DigestFunction
 from repro.hashing.families import HashFamily
@@ -272,6 +274,19 @@ class HashFlow(FlowCollector):
         if count:
             return count
         return self.ancillary.query(key)
+
+    def query_batch(self, keys) -> np.ndarray:
+        """Batched :meth:`query`: vectorized main probe, then ancillary.
+
+        Both tables answer the whole batch with precomputed hash rows
+        (reusing the batch's 64-bit halves across every hash function);
+        the scalar main-then-ancillary precedence becomes one masked
+        select.  Bit-identical to the scalar query per key.
+        """
+        batch = KeyBatch.coerce(keys)
+        main = self.main.query_batch(batch)
+        ancillary = self.ancillary.query_batch(batch)
+        return np.where(main != 0, main, ancillary)
 
     def estimate_cardinality(self) -> float:
         """Occupied main cells + linear counting over the ancillary table

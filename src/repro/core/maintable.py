@@ -21,9 +21,12 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+import numpy as np
+
+from repro.flow.batch import KeyBatch
 from repro.flow.key import FLOW_KEY_BITS
 from repro.hashing.families import HashFamily
-from repro.hashing.mixers import mix128
+from repro.hashing.mixers import low_halves, mix128
 from repro.sketches.base import CostMeter
 
 _COUNTER_BITS = 32
@@ -36,6 +39,53 @@ MISSED = 1
 
 DEFAULT_DEPTH = 3
 DEFAULT_ALPHA = 0.7
+
+
+def _query_batch_stages(batch: KeyBatch, stages) -> np.ndarray:
+    """Vectorized first-match point queries over probe stages.
+
+    The scalar :meth:`MainTable.query` checks the key's probe bucket in
+    each stage *in order* and returns the first resident match.  This
+    helper reproduces that exactly for a whole batch:
+
+    * every probe index is precomputed (``stages`` pairs an index row
+      with that stage's cell storage, like ``stage_views``);
+    * the stored keys' low 64-bit halves are compared against the
+      batch's precomputed ``lo`` halves in one vectorized pass, so only
+      real candidates (occupied bucket, matching low half) reach the
+      exact Python-int comparison;
+    * a resolved mask enforces first-match-wins across stages, keeping
+      the answer bit-identical even if control-plane evictions ever
+      leave a flow resident in more than one probe bucket.
+
+    Args:
+        batch: the query keys (halves are materialized on first use).
+        stages: iterable of ``(index_row, keys_list, counts_list,
+            keys_lo, counts_arr)`` per probe stage, where ``index_row``
+            is an integer ndarray of ``len(batch)`` bucket indices,
+            ``keys_lo`` is ``low_halves(keys_list)`` and ``counts_arr``
+            the counts as ``np.int64`` (both passed in so a shared flat
+            table is converted only once, not once per stage).
+
+    Returns:
+        ``np.int64`` array; entry ``i`` equals the scalar query of
+        ``batch.keys[i]``.
+    """
+    n = len(batch)
+    out = np.zeros(n, dtype=np.int64)
+    unresolved = np.ones(n, dtype=bool)
+    lo = batch.lo
+    keys = batch.keys
+    for row, s_keys, s_counts, s_lo, counts_arr in stages:
+        if not unresolved.any():
+            break
+        candidates = unresolved & (counts_arr[row] > 0) & (s_lo[row] == lo)
+        for i in np.nonzero(candidates)[0].tolist():
+            idx = int(row[i])
+            if s_keys[idx] == keys[i]:
+                out[i] = s_counts[idx]
+                unresolved[i] = False
+    return out
 
 
 class MainTable(ABC):
@@ -118,6 +168,18 @@ class MainTable(ABC):
     @abstractmethod
     def query(self, key: int) -> int:
         """The flow's recorded count, or 0 if absent."""
+
+    def query_batch(self, batch: KeyBatch) -> np.ndarray:
+        """Recorded counts for a whole key batch (``np.int64``).
+
+        Bit-identical to the scalar :meth:`query` per key; both layouts
+        override this with a :func:`_query_batch_stages` pass over
+        precomputed probe-index rows.
+        """
+        query = self.query
+        return np.fromiter(
+            (query(k) for k in batch.keys), np.int64, count=len(batch)
+        )
 
     @abstractmethod
     def records(self) -> dict[int, int]:
@@ -250,6 +312,17 @@ class MultiHashTable(MainTable):
             if self._counts[idx] and self._keys[idx] == key:
                 return self._counts[idx]
         return 0
+
+    def query_batch(self, batch: KeyBatch) -> np.ndarray:
+        # All probe stages address the same flat arrays, so the stored
+        # keys' low halves and the counts are converted exactly once.
+        rows = self._hashes.bucket_matrix(batch, self._n)
+        table_lo = low_halves(self._keys)
+        counts_arr = np.fromiter(self._counts, np.int64, count=self._n)
+        return _query_batch_stages(
+            batch,
+            ((row, self._keys, self._counts, table_lo, counts_arr) for row in rows),
+        )
 
     def records(self) -> dict[int, int]:
         return {k: c for k, c in zip(self._keys, self._counts) if c > 0}
@@ -396,6 +469,22 @@ class PipelinedTables(MainTable):
             if self._counts[s][idx] and self._keys[s][idx] == key:
                 return self._counts[s][idx]
         return 0
+
+    def query_batch(self, batch: KeyBatch) -> np.ndarray:
+        rows = self._hashes.bucket_matrix(batch, self.sizes)
+        return _query_batch_stages(
+            batch,
+            (
+                (
+                    row,
+                    keys,
+                    counts,
+                    low_halves(keys),
+                    np.fromiter(counts, np.int64, count=len(counts)),
+                )
+                for row, keys, counts in zip(rows, self._keys, self._counts)
+            ),
+        )
 
     def records(self) -> dict[int, int]:
         result: dict[int, int] = {}

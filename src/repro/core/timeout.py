@@ -18,9 +18,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.hashflow import HashFlow
+from repro.flow.batch import KeyBatch
 from repro.flow.packet import Packet
-from repro.sketches.base import FlowCollector
+from repro.sketches.base import FlowCollector, gather_estimates
 
 
 @dataclass(frozen=True, slots=True)
@@ -169,6 +172,20 @@ class TimeoutHashFlow(FlowCollector):
         """Exported count plus the live estimate."""
         exported = sum(r.packets for r in self.exported if r.key == key)
         return exported + self.inner.query(key)
+
+    def query_batch(self, keys) -> np.ndarray:
+        """Batched :meth:`query`.
+
+        The scalar path scans the export archive once *per query*; here
+        the per-flow export sums are folded into a dict once per batch
+        and gathered, with the live tables answering through the inner
+        collector's vectorized batch query.
+        """
+        batch = KeyBatch.coerce(keys)
+        exported: dict[int, int] = {}
+        for record in self.exported:
+            exported[record.key] = exported.get(record.key, 0) + record.packets
+        return gather_estimates(exported, batch) + self.inner.query_batch(batch)
 
     def estimate_cardinality(self) -> float:
         """Distinct exported flows plus the live estimate (flows spanning

@@ -35,11 +35,7 @@ from __future__ import annotations
 import math
 
 from repro.analysis.heavy_hitters import threshold_sweep
-from repro.analysis.metrics import (
-    average_relative_error,
-    flow_set_coverage,
-    relative_error,
-)
+from repro.analysis.metrics import flow_set_coverage, relative_error
 from repro.analysis.model import (
     multihash_utilization,
     pipelined_improvement,
@@ -273,7 +269,7 @@ def fig4(scale: float | None = None, seed: int = 0) -> ExperimentResult:
         for depth in (1, 2, 3, 4):
             collector = build_hashflow(memory, depth=depth, seed=seed)
             workload.feed(collector)
-            are = average_relative_error(collector.query, workload.true_sizes)
+            are = workload.size_are(collector)
             result.add_row(trace=name, depth=depth, are=round(are, 4))
     return result
 
@@ -311,7 +307,7 @@ def fig5(scale: float | None = None, seed: int = 0) -> ExperimentResult:
             )
             workload.feed(collector)
             fsc = flow_set_coverage(collector.records(), workload.true_sizes)
-            are = average_relative_error(collector.query, workload.true_sizes)
+            are = workload.size_are(collector)
             result.add_row(
                 config=label, n_flows=n_flows, fsc=round(fsc, 4), are=round(are, 4)
             )
@@ -357,8 +353,10 @@ def _application_sweep(
                 workload.feed(collector)
                 row = {"trace": name, "n_flows": n_flows, "algorithm": algo_name}
                 if "fsc" in metrics:
+                    # One records() build serves the FSC set intersection.
+                    records = collector.records()
                     row["fsc"] = round(
-                        flow_set_coverage(collector.records(), workload.true_sizes), 4
+                        flow_set_coverage(records, workload.true_sizes), 4
                     )
                 if "cardinality_re" in metrics:
                     est = collector.estimate_cardinality()
@@ -367,9 +365,7 @@ def _application_sweep(
                         round(re, 4) if math.isfinite(re) else math.inf
                     )
                 if "size_are" in metrics:
-                    row["size_are"] = round(
-                        average_relative_error(collector.query, workload.true_sizes), 4
-                    )
+                    row["size_are"] = round(workload.size_are(collector), 4)
                 result.add_row(**row)
     return result
 
@@ -534,9 +530,8 @@ def headline(scale: float | None = None, seed: int = 0) -> ExperimentResult:
         workload.feed(collector)
         hh_collectors[algo_name] = collector
         truth = workload.true_sizes
-        accurate = sum(
-            1 for k, v in collector.records().items() if truth.get(k) == v
-        )
+        records = collector.records()
+        accurate = sum(1 for k, v in records.items() if truth.get(k) == v)
         result.add_row(
             claim="accurate_records", algorithm=algo_name, value=accurate
         )
@@ -560,7 +555,7 @@ def headline(scale: float | None = None, seed: int = 0) -> ExperimentResult:
     workload = make_workload(PROFILES["caida"], medium_n, seed=seed + 1)
     for algo_name, collector in build_all(memory, seed=seed).items():
         workload.feed(collector)
-        are = average_relative_error(collector.query, workload.true_sizes)
+        are = workload.size_are(collector)
         result.add_row(
             claim="size_are_50k", algorithm=algo_name, value=round(are, 4)
         )

@@ -10,6 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.analysis.metrics import average_relative_error
+from repro.flow.batch import KeyBatch
 from repro.sketches.base import FlowCollector
 from repro.traces.profiles import TraceProfile
 from repro.traces.trace import Trace
@@ -66,6 +70,13 @@ class Workload:
     :class:`~repro.flow.batch.KeyBatch` whose pre-split 64-bit halves
     are shared by every collector fed through :meth:`feed`, so the
     vectorized update paths never re-split keys per algorithm.
+
+    The evaluation side is materialized once too: ``truth_batch`` holds
+    the distinct true flows (halves shared with the stream batch, so
+    they are never re-split per metric) and ``truth_counts`` their
+    ground-truth sizes as one ``np.int64`` vector — the inputs of the
+    batch-query metrics path (:meth:`query_estimates` /
+    :meth:`size_are`).
     """
 
     def __init__(self, trace: Trace):
@@ -73,6 +84,21 @@ class Workload:
         self.batch = trace.key_batch()
         self.keys = self.batch.keys
         self.true_sizes = trace.true_sizes()
+        counts = trace.flow_size_array()
+        flow_lo, flow_hi = trace.flow_batch().halves()
+        if counts.all():
+            self.truth_batch = trace.flow_batch()
+            self.truth_counts = counts.astype(np.int64)
+        else:
+            # Flows with zero packets (possible after subsetting) are
+            # not part of the ground truth, exactly as in true_sizes().
+            present = np.nonzero(counts)[0]
+            self.truth_batch = KeyBatch(
+                [trace.flow_keys[i] for i in present.tolist()],
+                flow_lo[present],
+                flow_hi[present],
+            )
+            self.truth_counts = counts[present].astype(np.int64)
 
     @property
     def num_flows(self) -> int:
@@ -88,6 +114,22 @@ class Workload:
         """Feed the full stream into a collector and return it."""
         collector.process_all(self.batch)
         return collector
+
+    def query_estimates(self, collector: FlowCollector) -> np.ndarray:
+        """Batched point queries for every true flow, in truth order.
+
+        One ``query_batch`` call over the cached truth batch — the
+        query-side twin of :meth:`feed` — aligned with
+        ``truth_counts``.
+        """
+        return collector.query_batch(self.truth_batch)
+
+    def size_are(self, collector: FlowCollector) -> float:
+        """Size-estimation ARE of a fed collector over all true flows,
+        computed through the batched query path."""
+        return average_relative_error(
+            self.query_estimates(collector), self.truth_counts
+        )
 
 
 def make_workload(

@@ -12,7 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.export.netflow_v5 import parse_datagram
+from repro.sketches.base import gather_estimates
 
 
 @dataclass
@@ -90,6 +93,15 @@ class CentralCollector:
             if count > best:
                 best = count
         return best
+
+    def query_batch(self, keys) -> np.ndarray:
+        """Batched queries: merge the exporters once, then dict-gather.
+
+        The scalar query maxes over every exporter *per key*; here the
+        max-merge happens once per batch (:meth:`records`) and each key
+        is a single dict lookup — same answers, one pass.
+        """
+        return gather_estimates(self.records(), keys)
 
     def heavy_hitters(self, threshold: int) -> dict[int, int]:
         """Merged flows with more than ``threshold`` packets."""

@@ -13,6 +13,9 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
+import numpy as np
+
+from repro.flow.batch import KeyBatch
 from repro.hashing.families import HashFunction
 from repro.sketches.base import FlowCollector
 
@@ -63,6 +66,32 @@ class ShardedCollector(FlowCollector):
     def query(self, key: int) -> int:
         """Query the owner shard only."""
         return self.shards[self.shard_of(key)].query(key)
+
+    def query_batch(self, keys) -> np.ndarray:
+        """Batched queries routed per owner shard.
+
+        Shard assignments for the whole batch come from one vectorized
+        pass of the coordinator hash; each shard then answers its own
+        sub-batch (halves sliced, not re-split) through its collector's
+        batched query, and the results scatter back into key order.
+        """
+        batch = KeyBatch.coerce(keys)
+        n = len(batch)
+        out = np.zeros(n, dtype=np.int64)
+        if not n:
+            return out
+        owners = self._shard_hash.buckets_batch(batch, self.n_shards)
+        lo, hi = batch.halves()
+        keys_list = batch.keys
+        for s, shard in enumerate(self.shards):
+            members = np.nonzero(owners == np.uint64(s))[0]
+            if not len(members):
+                continue
+            sub = KeyBatch(
+                [keys_list[i] for i in members.tolist()], lo[members], hi[members]
+            )
+            out[members] = shard.query_batch(sub)
+        return out
 
     def estimate_cardinality(self) -> float:
         """Sum of the shards' estimates (flow spaces are disjoint)."""

@@ -13,9 +13,37 @@ these counters rather than estimated.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections.abc import Iterable
+from collections.abc import Iterable, Mapping
+
+import numpy as np
 
 from repro.flow.batch import DEFAULT_CHUNK_SIZE, KeyBatch, iter_key_chunks
+
+
+def gather_estimates(records: Mapping[int, int], keys, scale: int = 1) -> np.ndarray:
+    """Batched point queries against a ``{flow: count}`` mapping.
+
+    This is the shared *dict-gather* path of the batch-query engine:
+    any collector whose scalar :meth:`FlowCollector.query` is a plain
+    dictionary lookup (exact, sampled, Space-Saving, cuckoo, FlowRadar
+    decode, network-wide merges) answers a whole batch with one pass of
+    C-level ``dict.get`` calls instead of one Python call per key.
+
+    Args:
+        records: the estimate table (``query(k) == records.get(k, 0) * scale``).
+        keys: a :class:`~repro.flow.batch.KeyBatch` or sequence of keys.
+        scale: multiplier applied to every hit (e.g. the sampling period
+            of sampled NetFlow); misses stay 0.
+
+    Returns:
+        ``np.int64`` array, bit-identical to the scalar query per key.
+    """
+    if isinstance(keys, KeyBatch):
+        keys = keys.keys
+    get = records.get
+    if scale == 1:
+        return np.fromiter((get(k, 0) for k in keys), np.int64, count=len(keys))
+    return np.fromiter((get(k, 0) * scale for k in keys), np.int64, count=len(keys))
 
 
 class CostMeter:
@@ -155,6 +183,30 @@ class FlowCollector(ABC):
     def query(self, key: int) -> int:
         """Estimated packet count of ``key``; 0 if unknown (paper §IV-A)."""
 
+    def query_batch(self, keys) -> np.ndarray:
+        """Estimated packet counts for a whole key batch.
+
+        The generic fallback loops over :meth:`query`; collectors with
+        a vectorized read path override this to precompute all hash
+        indices for the batch at once (the query-side twin of
+        :meth:`process_batch`).  Overrides must be bit-identical to the
+        scalar path — ``query_batch(keys)[i] == query(keys[i])`` for
+        every key, seen or unseen — and must not touch the cost meter
+        (point queries are control-plane reads; the meter models the
+        dataplane update cost of paper Fig. 11).
+
+        Args:
+            keys: a :class:`~repro.flow.batch.KeyBatch` or any sequence
+                of Python-int keys.
+
+        Returns:
+            ``np.int64`` array of per-key estimates, in key order.
+        """
+        if isinstance(keys, KeyBatch):
+            keys = keys.keys
+        query = self.query
+        return np.fromiter((query(k) for k in keys), np.int64, count=len(keys))
+
     def estimate_cardinality(self) -> float:
         """Estimated number of distinct flows seen.
 
@@ -164,7 +216,16 @@ class FlowCollector(ABC):
         return float(len(self.records()))
 
     def heavy_hitters(self, threshold: int) -> dict[int, int]:
-        """Flows reported with more than ``threshold`` packets."""
+        """Flows reported with more than ``threshold`` packets.
+
+        Contract for overrides: the result must be a plain
+        ``estimate > threshold`` filter of a threshold-independent
+        estimate map (the paper's definition, §IV-A).
+        ``analysis.heavy_hitters.threshold_sweep`` relies on this to
+        extract the estimates once per sweep and re-filter per
+        threshold; ``tests/test_heavy_hitters_analysis.py`` enforces it
+        across the collector matrix.
+        """
         return {k: v for k, v in self.records().items() if v > threshold}
 
     # ------------------------------------------------------------------

@@ -11,6 +11,9 @@ from __future__ import annotations
 
 import statistics
 
+import numpy as np
+
+from repro.flow.batch import KeyBatch
 from repro.hashing.families import HashFamily
 from repro.sketches.base import CostMeter
 
@@ -63,6 +66,34 @@ class CountSketch:
             sign = 1 if sign_hash(key) & 1 else -1
             estimates.append(sign * row[idx])
         return int(statistics.median(estimates))
+
+    def query_batch(self, keys) -> np.ndarray:
+        """Batched point queries, fully vectorized.
+
+        Bucket indices and sign bits both come from vectorized mixing
+        passes; the per-key median over rows is one ``np.median`` along
+        the row axis.  The float median is truncated toward zero
+        exactly like the scalar ``int(statistics.median(...))``, so
+        results are bit-identical per key (counter magnitudes are far
+        below 2**53, where float64 medians are exact).
+        """
+        batch = KeyBatch.coerce(keys)
+        n = len(batch)
+        if not n:
+            return np.zeros(0, dtype=np.int64)
+        width = self.width
+        estimates = np.empty((self.depth, n), dtype=np.int64)
+        for r, (bucket_hash, sign_hash, row) in enumerate(
+            zip(self._buckets, self._signs, self._rows)
+        ):
+            values = np.fromiter(row, np.int64, count=width)[
+                bucket_hash.buckets_batch(batch, width)
+            ]
+            negative = (sign_hash.values_batch(batch) & np.uint64(1)) == 0
+            estimates[r] = np.where(negative, -values, values)
+        medians = np.median(estimates, axis=0)
+        # float -> int64 truncates toward zero, matching int() exactly.
+        return medians.astype(np.int64)
 
     def reset(self) -> None:
         """Clear all counters."""

@@ -15,9 +15,11 @@ dropped once the kick limit is hit.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.flow.key import FLOW_KEY_BITS
 from repro.hashing.families import HashFamily
-from repro.sketches.base import FlowCollector
+from repro.sketches.base import FlowCollector, gather_estimates
 
 _COUNTER_BITS = 32
 
@@ -141,6 +143,16 @@ class CuckooFlowCache(FlowCollector):
             if self._counts[idx] and self._keys[idx] == key:
                 return self._counts[idx]
         return 0
+
+    def query_batch(self, keys) -> np.ndarray:
+        """Batched queries via one records scan + dict-gather.
+
+        Every resident record is exact and a flow occupies at most one
+        cell (displacements move a record between its *own* candidate
+        positions, never duplicate it), so gathering from the record
+        dict is bit-identical to probing per key.
+        """
+        return gather_estimates(self.records(), keys)
 
     def occupancy(self) -> int:
         """Occupied buckets."""

@@ -21,6 +21,9 @@ implementation reproduces.
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.flow.batch import KeyBatch
 from repro.flow.key import FLOW_KEY_BITS
 from repro.hashing.families import HashFamily
 from repro.sketches.base import FlowCollector
@@ -159,6 +162,45 @@ class ElasticSketch(FlowCollector):
         if flagged:
             total += self.light.query(key)
         return total
+
+    def query_batch(self, keys) -> np.ndarray:
+        """Batched :meth:`query`: heavy dict-gather + batched light part.
+
+        The heavy part is folded into one ``{key: (vote+ sum, flag)}``
+        dict in a single scan of the sub-tables — bit-identical to the
+        per-key probe because a record only ever sits at its own hash
+        position in a stage (insertions happen at the carried flow's
+        bucket) and the lookup *sums* across stages, so gather order
+        does not matter.  The light count-min answers the whole batch
+        through its vectorized ``query_batch``.
+        """
+        batch = KeyBatch.coerce(keys)
+        n = len(batch)
+        if not n:
+            return np.zeros(0, dtype=np.int64)
+        heavy: dict[int, tuple[int, bool]] = {}
+        for stage_keys, stage_votes, stage_flags in zip(
+            self._keys, self._vote_plus, self._flags
+        ):
+            for key, vote_plus, flag in zip(stage_keys, stage_votes, stage_flags):
+                if vote_plus > 0:
+                    prior = heavy.get(key)
+                    if prior is None:
+                        heavy[key] = (vote_plus, flag)
+                    else:
+                        heavy[key] = (prior[0] + vote_plus, prior[1] or flag)
+        light = self.light.query_batch(batch)
+        out = np.empty(n, dtype=np.int64)
+        get = heavy.get
+        for i, key in enumerate(batch.keys):
+            entry = get(key)
+            if entry is None:
+                out[i] = light[i]
+            elif entry[1]:
+                out[i] = entry[0] + light[i]
+            else:
+                out[i] = entry[0]
+        return out
 
     def records(self) -> dict[int, int]:
         """Reportable records: flows resident in the heavy part.

@@ -7,8 +7,10 @@ against (its records equal :meth:`repro.traces.trace.Trace.true_sizes`).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.flow.key import FLOW_KEY_BITS
-from repro.sketches.base import FlowCollector
+from repro.sketches.base import FlowCollector, gather_estimates
 
 _COUNTER_BITS = 32
 
@@ -37,6 +39,10 @@ class ExactCollector(FlowCollector):
     def query(self, key: int) -> int:
         """Exact packet count (0 if never seen)."""
         return self._table.get(key, 0)
+
+    def query_batch(self, keys) -> np.ndarray:
+        """Batched exact counts (the shared dict-gather path)."""
+        return gather_estimates(self._table, keys)
 
     def estimate_cardinality(self) -> float:
         """Exact number of distinct flows."""

@@ -19,9 +19,11 @@ functions, 3 counting hashes, Bloom bit count = 40 x counting cells.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.flow.key import FLOW_KEY_BITS
 from repro.hashing.families import HashFamily
-from repro.sketches.base import FlowCollector
+from repro.sketches.base import FlowCollector, gather_estimates
 from repro.sketches.bloom import BloomFilter
 
 _COUNT_BITS = 32
@@ -151,6 +153,10 @@ class FlowRadar(FlowCollector):
     def query(self, key: int) -> int:
         """Decoded packet count of ``key`` (0 when not recoverable)."""
         return self.decode().get(key, 0)
+
+    def query_batch(self, keys) -> np.ndarray:
+        """Batched queries: decode once (cached), then dict-gather."""
+        return gather_estimates(self.decode(), keys)
 
     def estimate_cardinality(self) -> float:
         """Bloom-filter fill-fraction estimate of distinct flows.

@@ -16,10 +16,12 @@ re-insert it at stage 1 with a fresh count).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.flow.batch import KeyBatch
 from repro.flow.key import FLOW_KEY_BITS
 from repro.hashing.families import HashFamily
-from repro.hashing.mixers import mix128
+from repro.hashing.mixers import low_halves, mix128
 from repro.sketches.base import FlowCollector
 
 _COUNTER_BITS = 32
@@ -196,6 +198,35 @@ class HashPipe(FlowCollector):
             if self._counts[s][idx] and self._keys[s][idx] == key:
                 total += self._counts[s][idx]
         return total
+
+    def query_batch(self, keys) -> np.ndarray:
+        """Batched :meth:`query`: vectorized per-stage partial-record sum.
+
+        All stage indices come from one ``bucket_matrix`` pass over the
+        batch's 64-bit halves.  Each stage's stored keys are compared
+        against the batch's ``lo`` halves vectorized; only candidates
+        (occupied bucket, matching low half) pay for the exact
+        Python-int comparison, and matches accumulate — a split flow's
+        partial records sum exactly as in the scalar query.
+        """
+        batch = KeyBatch.coerce(keys)
+        n = len(batch)
+        out = np.zeros(n, dtype=np.int64)
+        if not n:
+            return out
+        rows = self._hashes.bucket_matrix(batch, self.cells_per_stage)
+        lo = batch.lo
+        query_keys = batch.keys
+        for row, stage_keys, stage_counts in zip(rows, self._keys, self._counts):
+            counts_arr = np.fromiter(
+                stage_counts, np.int64, count=self.cells_per_stage
+            )
+            candidates = (counts_arr[row] > 0) & (low_halves(stage_keys)[row] == lo)
+            for i in np.nonzero(candidates)[0].tolist():
+                idx = int(row[i])
+                if stage_keys[idx] == query_keys[i]:
+                    out[i] += stage_counts[idx]
+        return out
 
     def estimate_cardinality(self) -> float:
         """Distinct keys currently held.

@@ -8,9 +8,11 @@ flows are missed entirely and size estimates are noisy.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.flow.key import FLOW_KEY_BITS
 from repro.hashing.families import HashFunction
-from repro.sketches.base import FlowCollector
+from repro.sketches.base import FlowCollector, gather_estimates
 
 _COUNTER_BITS = 32
 
@@ -65,6 +67,11 @@ class SampledNetFlow(FlowCollector):
     def query(self, key: int) -> int:
         """Scaled-up size estimate (0 for unsampled flows)."""
         return self._table.get(key, 0) * self.every_n
+
+    def query_batch(self, keys) -> np.ndarray:
+        """Batched scaled-up estimates (dict-gather with the sampling
+        period folded into the gather)."""
+        return gather_estimates(self._table, keys, scale=self.every_n)
 
     def estimate_cardinality(self) -> float:
         """Scaled-up flow count.

@@ -10,8 +10,10 @@ record), which enables precision-guaranteed heavy-hitter reporting.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.flow.key import FLOW_KEY_BITS
-from repro.sketches.base import FlowCollector
+from repro.sketches.base import FlowCollector, gather_estimates
 
 _COUNTER_BITS = 32
 _ERROR_BITS = 32
@@ -67,6 +69,10 @@ class SpaceSaving(FlowCollector):
     def query(self, key: int) -> int:
         """Estimated count (an overestimate while tracked; 0 otherwise)."""
         return self._counts.get(key, 0)
+
+    def query_batch(self, keys) -> np.ndarray:
+        """Batched estimates (the shared dict-gather path)."""
+        return gather_estimates(self._counts, keys)
 
     def guaranteed_count(self, key: int) -> int:
         """Lower bound on the true count: ``estimate - error``."""

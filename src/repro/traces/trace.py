@@ -51,6 +51,7 @@ class Trace:
         self.timestamps = None if timestamps is None else np.asarray(timestamps, float)
         self.name = name
         self._sizes_cache: dict[int, int] | None = None
+        self._flow_batch: KeyBatch | None = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -75,6 +76,17 @@ class Trace:
         flow_keys = self.flow_keys
         return [flow_keys[idx] for idx in self.order.tolist()]
 
+    def flow_batch(self) -> KeyBatch:
+        """The distinct flow keys as a cached :class:`KeyBatch`.
+
+        Both the packet stream (:meth:`key_batch`) and the evaluation
+        truth vectors (``Workload.truth_batch``) derive from the same
+        per-flow 64-bit halves, so they are split once and cached here.
+        """
+        if self._flow_batch is None:
+            self._flow_batch = KeyBatch(self.flow_keys)
+        return self._flow_batch
+
     def key_batch(self) -> KeyBatch:
         """Materialize the stream as a :class:`~repro.flow.batch.KeyBatch`.
 
@@ -83,7 +95,7 @@ class Trace:
         indexing pass, so feeding a collector through the batch engine
         never splits keys packet-by-packet.
         """
-        flow_lo, flow_hi = KeyBatch(self.flow_keys).halves()
+        flow_lo, flow_hi = self.flow_batch().halves()
         return KeyBatch(self.key_list(), flow_lo[self.order], flow_hi[self.order])
 
     def packets(self, size: int = DEFAULT_PACKET_BYTES) -> Iterator[Packet]:

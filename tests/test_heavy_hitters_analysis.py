@@ -64,6 +64,61 @@ class TestEvaluateHeavyHitters:
         assert [r.actual for r in results] == [90, 50, 10]
         assert all(r.f1 == 1.0 for r in results)
 
+    def test_threshold_sweep_empty_and_unsorted(self):
+        sizes = {i: i for i in range(1, 51)}
+        c = exact_for(sizes)
+        assert threshold_sweep(c, sizes, []) == []
+        unsorted = threshold_sweep(c, sizes, [40, 5, 20])
+        assert [r.threshold for r in unsorted] == [40, 5, 20]
+        assert [r.actual for r in unsorted] == [10, 45, 30]
+
+
+class TestThresholdSweepMatchesPerThresholdEvaluation:
+    """threshold_sweep extracts a collector's estimates once (at the
+    lowest threshold) and re-filters per sweep point; this is exact
+    only while every ``heavy_hitters`` override stays a plain
+    ``estimate > T`` filter of a T-independent map (the contract on
+    ``FlowCollector.heavy_hitters``).  Enforce agreement with the
+    one-call-per-threshold path across the collector matrix."""
+
+    @pytest.mark.parametrize("name", ["hashflow", "hashpipe", "elastic",
+                                      "flowradar", "spacesaving", "exact"])
+    def test_sweep_equals_individual_evaluations(self, name):
+        import random
+
+        from repro.core.hashflow import HashFlow
+        from repro.sketches.elastic import ElasticSketch
+        from repro.sketches.flowradar import FlowRadar
+        from repro.sketches.hashpipe import HashPipe
+        from repro.sketches.spacesaving import SpaceSaving
+
+        factories = {
+            "hashflow": lambda: HashFlow(main_cells=128, seed=3),
+            "hashpipe": lambda: HashPipe(cells_per_stage=32, seed=3),
+            "elastic": lambda: ElasticSketch(
+                heavy_cells_per_stage=32, light_cells=96, seed=3
+            ),
+            "flowradar": lambda: FlowRadar(counting_cells=256, seed=3),
+            "spacesaving": lambda: SpaceSaving(capacity=64),
+            "exact": ExactCollector,
+        }
+        rng = random.Random(1)
+        flows = [rng.getrandbits(104) | 1 for _ in range(400)]
+        stream = [
+            flows[min(int(rng.expovariate(4.0 / 400)), 399)] for _ in range(8000)
+        ]
+        truth: dict[int, int] = {}
+        for key in stream:
+            truth[key] = truth.get(key, 0) + 1
+        collector = factories[name]()
+        collector.process_all(stream)
+        thresholds = [5, 20, 60, 150]
+        swept = threshold_sweep(collector, truth, thresholds)
+        individual = [
+            evaluate_heavy_hitters(collector, truth, t) for t in thresholds
+        ]
+        assert swept == individual
+
 
 class TestEvaluateCardinality:
     def test_exact(self):

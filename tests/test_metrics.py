@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -79,6 +80,97 @@ class TestAverageRelativeError:
     def test_nonnegative_property(self, truth):
         are = average_relative_error(lambda k: truth[k] + 1, truth)
         assert are >= 0.0
+
+    def test_zero_true_size_rejected(self):
+        """A zero true size is undefined — ValueError, not a crash."""
+        with pytest.raises(ValueError):
+            average_relative_error(lambda k: 1, {1: 10, 2: 0})
+
+    def test_zero_true_size_rejected_array_path(self):
+        with pytest.raises(ValueError):
+            average_relative_error(np.array([1.0, 2.0]), np.array([10, 0]))
+
+    def test_inf_estimate_propagates(self):
+        """An inf estimate yields an inf mean, like relative_error."""
+        truth = {1: 10, 2: 20}
+        assert math.isinf(average_relative_error(lambda k: math.inf, truth))
+        assert math.isinf(
+            average_relative_error(np.array([math.inf, 20.0]), np.array([10, 20]))
+        )
+
+
+class TestAverageRelativeErrorArrayNative:
+    """The batch-query signatures: estimate arrays and truth vectors."""
+
+    def test_estimates_array_against_truth_dict(self):
+        truth = {1: 10, 2: 10}
+        assert average_relative_error([10, 0], truth) == 0.5
+        assert average_relative_error(np.array([10, 0]), truth) == 0.5
+
+    def test_estimates_array_against_truth_vector(self):
+        est = np.array([10, 0, 30])
+        true = np.array([10, 10, 20])
+        assert average_relative_error(est, true) == pytest.approx((0 + 1 + 0.5) / 3)
+
+    def test_collector_against_truth_dict_uses_query_batch(self):
+        class _FakeCollector:
+            def query_batch(self, keys):
+                return np.array([truth[k] for k in keys], dtype=np.int64)
+
+        truth = {5: 4, 9: 8}
+        assert average_relative_error(_FakeCollector(), truth) == 0.0
+
+    def test_matches_scalar_path(self):
+        truth = {k: k + 1 for k in range(1, 200)}
+        estimates = {k: (k * 7) % 30 for k in truth}
+        scalar = average_relative_error(lambda k: estimates[k], truth)
+        vector = average_relative_error(
+            np.array([estimates[k] for k in truth]), truth
+        )
+        assert vector == pytest.approx(scalar, rel=1e-12)
+
+    def test_empty_arrays(self):
+        assert average_relative_error(np.array([]), np.array([])) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            average_relative_error(np.array([1.0]), np.array([1, 2]))
+
+    def test_truth_vector_needs_estimates_array(self):
+        """Without flow keys a collector/callable cannot be queried."""
+        with pytest.raises(TypeError):
+            average_relative_error(lambda k: 0, np.array([1, 2]))
+
+
+class TestSetMetricsInputTypes:
+    """Dicts, sets, ndarrays and duplicate-bearing iterables."""
+
+    def test_fsc_dict_views(self):
+        reported = {1: 5, 2: 6, 9: 1}
+        truth = {1: 5, 2: 6, 3: 7, 4: 8}
+        assert flow_set_coverage(reported, truth) == 0.5
+
+    def test_fsc_ndarray_inputs(self):
+        assert flow_set_coverage(np.array([1, 2, 9]), np.array([1, 2, 3, 4])) == 0.5
+
+    def test_fsc_duplicate_reported_ids_count_once(self):
+        assert flow_set_coverage([1, 1, 1, 2, 2], [1, 2, 3, 4]) == 0.5
+
+    def test_prf_empty_report_and_empty_truth(self):
+        assert precision_recall_f1([], [1, 2]) == (1.0, 0.0, 0.0)
+        p, r, f1 = precision_recall_f1([1], [])
+        assert r == 1.0
+        assert precision_recall_f1([], []) == (1.0, 1.0, 1.0)
+
+    def test_prf_duplicates_and_ndarrays(self):
+        p, r, f1 = precision_recall_f1(np.array([1, 1, 2, 7]), {1: 9, 2: 9})
+        assert p == pytest.approx(2 / 3)
+        assert r == 1.0
+
+    def test_prf_dict_inputs(self):
+        p, r, f1 = precision_recall_f1({1: 5, 3: 2}, {1: 5, 2: 9})
+        assert p == 0.5
+        assert r == 0.5
 
 
 class TestPrecisionRecallF1:
