@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from benchmarks.conftest import RESULTS_DIR
 from repro.analysis.metrics import flow_set_coverage
-from repro.experiments.config import build_all
+from repro.specs import build_evaluated
 from repro.experiments.report import render_table, save_result
 from repro.experiments.runner import ExperimentResult, Workload
 from repro.traces.profiles import CAMPUS
@@ -32,7 +32,7 @@ def test_interleave_robustness(benchmark, emit):
         for mode in ("uniform", "temporal"):
             trace = CAMPUS.generate(n_flows=N_FLOWS, seed=17, interleave=mode)
             workload = Workload(trace)
-            for name, collector in build_all(MEMORY, seed=4).items():
+            for name, collector in build_evaluated(MEMORY, seed=4).items():
                 workload.feed(collector)
                 result.add_row(
                     interleave=mode,

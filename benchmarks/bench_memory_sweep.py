@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from benchmarks.conftest import RESULTS_DIR
 from repro.analysis.metrics import flow_set_coverage
-from repro.experiments.config import build_all
+from repro.specs import build_evaluated
 from repro.experiments.report import render_table, save_result
 from repro.experiments.runner import ExperimentResult, make_workload
 from repro.traces.profiles import CAIDA
@@ -31,7 +31,7 @@ def test_memory_sweep(benchmark, emit):
 
     def run():
         for budget in BUDGETS:
-            for name, collector in build_all(budget, seed=3).items():
+            for name, collector in build_evaluated(budget, seed=3).items():
                 workload.feed(collector)
                 result.add_row(
                     memory_kb=budget // 1024,

@@ -19,6 +19,7 @@ from repro.experiments.runner import ExperimentResult, make_workload
 from repro.netwide.deployment import NetworkDeployment
 from repro.netwide.sharding import ShardedCollector
 from repro.netwide.topology import FlowRouter, fat_tree_core
+from repro.specs import CollectorSpec
 from repro.traces.profiles import CAIDA
 
 CELLS_PER_SWITCH = 2048
@@ -45,13 +46,12 @@ def test_network_wide_coverage(benchmark, emit):
             fsc=round(flow_set_coverage(single.records(), truth), 4),
             records=len(single.records()),
         )
-        # Redundant path-based deployment over a 4+2 fabric.
+        # Redundant path-based deployment over a 4+2 fabric: one spec
+        # describes every switch, seeds derived from switch names.
         router = FlowRouter(fat_tree_core(4, 2), seed=23)
         deployment = NetworkDeployment(
             router,
-            lambda name: HashFlow(
-                main_cells=CELLS_PER_SWITCH, seed=hash(name) & 0xFFFF
-            ),
+            CollectorSpec("hashflow", {"main_cells": CELLS_PER_SWITCH, "seed": 23}),
         )
         report = deployment.run(workload.trace)
         result.add_row(
@@ -60,9 +60,9 @@ def test_network_wide_coverage(benchmark, emit):
             fsc=round(report.coverage(set(truth)), 4),
             records=len(report.merged_records),
         )
-        # Sharded deployment: 6 owner switches.
+        # Sharded deployment: 6 owner switches from one spec.
         sharded = ShardedCollector(
-            lambda i: HashFlow(main_cells=CELLS_PER_SWITCH, seed=100 + i),
+            CollectorSpec("hashflow", {"main_cells": CELLS_PER_SWITCH, "seed": 100}),
             n_shards=6,
             seed=23,
         )

@@ -28,7 +28,7 @@ import time
 import pytest
 
 from benchmarks.conftest import RESULTS_DIR
-from repro.experiments.config import build_all
+from repro.specs import build_evaluated
 from repro.experiments.report import save_result
 from repro.experiments.runner import ExperimentResult, make_workload
 from repro.sketches.countmin import CountMinSketch
@@ -101,7 +101,7 @@ def test_query_speedup_recorded(workload):
     )
     speedups: dict[str, float] = {}
 
-    collectors = build_all(MEMORY, seed=0)
+    collectors = build_evaluated(MEMORY, seed=0)
     collectors["CountMinSketch"] = CountMinSketch(
         width=MEMORY // 4, depth=3, counter_bits=8, seed=0
     )

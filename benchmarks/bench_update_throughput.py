@@ -24,7 +24,7 @@ import time
 import pytest
 
 from benchmarks.conftest import RESULTS_DIR
-from repro.experiments.config import build_all
+from repro.specs import build_evaluated
 from repro.experiments.report import save_result
 from repro.experiments.runner import ExperimentResult, make_workload
 from repro.sketches.countmin import CountMinSketch
@@ -59,14 +59,14 @@ def _bench_collector(benchmark, collector, stream):
 @pytest.mark.parametrize("algo", ["HashFlow", "HashPipe", "ElasticSketch", "FlowRadar"])
 def test_update_throughput(benchmark, stream, algo):
     """Batched path: process_all chunks through the batch engine."""
-    collector = build_all(MEMORY, seed=0)[algo]
+    collector = build_evaluated(MEMORY, seed=0)[algo]
     _bench_collector(benchmark, collector, stream)
 
 
 @pytest.mark.parametrize("algo", ["HashFlow", "HashPipe"])
 def test_update_throughput_scalar(benchmark, stream, algo):
     """Scalar path: one process() call per packet (the seed code path)."""
-    collector = build_all(MEMORY, seed=0)[algo]
+    collector = build_evaluated(MEMORY, seed=0)[algo]
 
     def run():
         collector.reset()
@@ -120,7 +120,7 @@ def test_batch_speedup_recorded(stream):
     n = len(stream)
     speedups = {}
     for algo in ["HashFlow", "HashPipe"]:
-        collector = build_all(MEMORY, seed=0)[algo]
+        collector = build_evaluated(MEMORY, seed=0)[algo]
 
         def run_scalar():
             collector.reset()

@@ -40,8 +40,9 @@ def main() -> None:
     print(f"single table:      {len(single.records()):>6d} flows reported "
           f"(utilization {single.utilization():.2f} — saturated)")
 
-    # 2. Fresh tables per epoch, merged off-switch.
-    runner = EpochRunner(lambda: HashFlow(main_cells=CELLS, seed=4))
+    # 2. Fresh tables per epoch, merged off-switch.  The runner clones
+    #    the prototype's spec per epoch — no factory lambda needed.
+    runner = EpochRunner(HashFlow(main_cells=CELLS, seed=4))
     reports = runner.run(stream, epoch_packets=EPOCH_PACKETS)
     merged = EpochRunner.merge(reports)
     exact = sum(1 for k, v in merged.items() if truth.get(k) == v)

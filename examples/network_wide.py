@@ -12,8 +12,8 @@ Run:  python examples/network_wide.py
 
 from __future__ import annotations
 
-from repro.core.hashflow import HashFlow
 from repro.netwide import FlowRouter, NetworkDeployment, fat_tree_core
+from repro.specs import CollectorSpec
 from repro.traces import CAIDA
 
 N_FLOWS = 15_000
@@ -26,9 +26,11 @@ def main() -> None:
 
     topology = fat_tree_core(k_edge=4, k_core=2)
     router = FlowRouter(topology, seed=4)
+    # One declarative spec describes every switch's collector; each
+    # switch gets a seed derived deterministically from its name.
     deployment = NetworkDeployment(
         router,
-        lambda name: HashFlow(main_cells=CELLS_PER_SWITCH, seed=hash(name) & 0xFFFF),
+        CollectorSpec("hashflow", {"main_cells": CELLS_PER_SWITCH, "seed": 4}),
     )
 
     print(f"topology: {sorted(topology.nodes)}")

@@ -4,7 +4,8 @@
 Walks through the core API in five steps:
 
 1. generate a CAIDA-like packet trace,
-2. build a HashFlow collector under a memory budget,
+2. build a HashFlow collector under a memory budget via the
+   spec registry (``repro.build``),
 3. feed the packet stream,
 4. pull flow records / point queries / cardinality / heavy hitters,
 5. compare the occupancy against the paper's analytical model.
@@ -14,10 +15,9 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro import HashFlow
+from repro import build
 from repro.analysis.metrics import average_relative_error, flow_set_coverage
 from repro.analysis.model import pipelined_utilization
-from repro.experiments.config import build_hashflow
 from repro.flow.key import FlowKey
 from repro.traces import CAIDA
 
@@ -31,11 +31,14 @@ def main() -> None:
           f"mean size {stats.mean_flow_size:.1f}, max {stats.max_flow_size}")
 
     # 2. HashFlow under a 256 KB budget (paper default: 1 MB).  The
-    #    builder splits memory between the main table (3 pipelined
-    #    sub-tables, alpha = 0.7) and the ancillary table, as in the
-    #    paper's evaluation setup.
-    collector = build_hashflow(memory_bytes=256 * 1024, seed=0)
+    #    registry's sizing rule splits memory between the main table
+    #    (3 pipelined sub-tables, alpha = 0.7) and the ancillary table,
+    #    as in the paper's evaluation setup.  The collector's spec is
+    #    JSON-round-trippable: repro.build(collector.spec) rebuilds a
+    #    bit-identical twin anywhere.
+    collector = build("hashflow", memory_bytes=256 * 1024, seed=0)
     print(f"collector: {collector!r}")
+    print(f"spec: {collector.spec.to_json()}")
 
     # 3. Feed the packet stream (each element is a packed 104-bit 5-tuple).
     collector.process_all(trace.keys())

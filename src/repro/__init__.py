@@ -8,14 +8,15 @@ regenerating every table and figure of the paper's evaluation.
 
 Quickstart::
 
-    from repro import HashFlow
+    from repro import build
     from repro.traces import CAIDA
 
     trace = CAIDA.generate(n_flows=20_000, seed=1)
-    collector = HashFlow(main_cells=16_384)
+    collector = build("hashflow", memory_bytes=1 << 20)   # paper sizing
     collector.process_all(trace.keys())
     records = collector.records()          # accurate flow records
     estimate = collector.query(trace.flow_keys[0])
+    twin = build(collector.spec)           # spec round-trip (JSON-able)
 """
 
 from repro.core.hashflow import HashFlow
@@ -23,15 +24,19 @@ from repro.sketches.base import CostMeter, FlowCollector
 from repro.sketches.elastic import ElasticSketch
 from repro.sketches.flowradar import FlowRadar
 from repro.sketches.hashpipe import HashPipe
+from repro.specs import CollectorSpec, available_kinds, build
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CollectorSpec",
     "CostMeter",
     "ElasticSketch",
     "FlowCollector",
     "FlowRadar",
     "HashFlow",
     "HashPipe",
+    "available_kinds",
+    "build",
     "__version__",
 ]

@@ -87,11 +87,15 @@ def pipelined_empty_probs(m: int, n: int, d: int, alpha: float) -> list[float]:
 
 
 def pipelined_utilization(m: int, n: int, d: int, alpha: float) -> float:
-    """Model utilization of pipelined tables (Equation 5)."""
+    """Model utilization of pipelined tables (Equation 5).
+
+    Clamped to [0, 1]: the weighted empty-probability sum can overshoot
+    1.0 by one ulp at m = 0, leaking a negative utilization.
+    """
     probs = pipelined_empty_probs(m, n, d, alpha)
     factor = (1.0 - alpha) / (1.0 - alpha**d)
     weighted = sum(alpha**k * p for k, p in enumerate(probs))
-    return 1.0 - factor * weighted
+    return min(1.0, max(0.0, 1.0 - factor * weighted))
 
 
 def pipelined_improvement(m: int, n: int, d: int, alpha: float) -> float:

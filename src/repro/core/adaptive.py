@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.hashflow import HashFlow
 from repro.flow.batch import KeyBatch
 from repro.sketches.base import FlowCollector, gather_estimates
+from repro.specs import build, register
 
 
 def merge_records(into: dict[int, int], records: dict[int, int]) -> None:
@@ -125,7 +126,21 @@ class EpochedHashFlow(FlowCollector):
         off-switch at the collector, as in operational NetFlow)."""
         return self.inner.memory_bits
 
+    def spec_params(self) -> dict:
+        """Nested spec: the inner collector's spec plus the epoch size."""
+        return {
+            "inner": self.inner.spec.to_dict(),
+            "epoch_packets": self.epoch_packets,
+        }
 
+
+@register("epoched", cls=EpochedHashFlow)
+def _build_epoched(inner, epoch_packets) -> EpochedHashFlow:
+    """Registry builder: construct the inner collector from its spec."""
+    return EpochedHashFlow(build(inner), epoch_packets)
+
+
+@register("adaptive_hashflow")
 class AdaptiveHashFlow(HashFlow):
     """HashFlow with a promotion margin adapted to ancillary thrash.
 
@@ -147,6 +162,7 @@ class AdaptiveHashFlow(HashFlow):
             raise ValueError(f"window must be positive, got {window}")
         if max_margin < 0:
             raise ValueError(f"max_margin must be >= 0, got {max_margin}")
+        self._spec_params.update(window=window, max_margin=max_margin)
         self.window = window
         self.max_margin = max_margin
         self.margin = 0

@@ -38,6 +38,7 @@ from repro.flow.batch import KeyBatch
 from repro.hashing.digest import DEFAULT_DIGEST_BITS, DigestFunction
 from repro.hashing.families import HashFamily
 from repro.sketches.base import FlowCollector
+from repro.specs import register
 from repro.core.ancillary import PROMOTE, AncillaryTable, DEFAULT_COUNTER_BITS
 from repro.core.maintable import (
     ABSORBED,
@@ -49,6 +50,7 @@ from repro.core.maintable import (
 )
 
 
+@register("hashflow")
 class HashFlow(FlowCollector):
     """The HashFlow collector.
 
@@ -93,6 +95,19 @@ class HashFlow(FlowCollector):
         super().__init__()
         if ancillary_cells is None:
             ancillary_cells = main_cells
+        self._record_spec(
+            main_cells=main_cells,
+            ancillary_cells=ancillary_cells,
+            depth=depth,
+            variant=variant,
+            alpha=alpha,
+            digest_bits=digest_bits,
+            ancillary_counter_bits=ancillary_counter_bits,
+            clear_promoted=clear_promoted,
+            promote=promote,
+            track_bytes=track_bytes,
+            seed=seed,
+        )
         self.variant = variant
         self.clear_promoted = clear_promoted
         self.promote_enabled = promote
@@ -327,9 +342,3 @@ class HashFlow(FlowCollector):
     def memory_bits(self) -> int:
         """Main records + ancillary (digest, counter) cells."""
         return self.main.memory_bits + self.ancillary.memory_bits
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"HashFlow(variant={self.variant!r}, main={self.main.n_cells}, "
-            f"ancillary={self.ancillary.n_cells}, memory={self.memory_bytes:.0f}B)"
-        )

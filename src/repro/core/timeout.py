@@ -24,6 +24,7 @@ from repro.core.hashflow import HashFlow
 from repro.flow.batch import KeyBatch
 from repro.flow.packet import Packet
 from repro.sketches.base import FlowCollector, gather_estimates
+from repro.specs import build, register
 
 
 @dataclass(frozen=True, slots=True)
@@ -208,3 +209,28 @@ class TimeoutHashFlow(FlowCollector):
     def memory_bits(self) -> int:
         """Dataplane memory only (timestamps live control-plane side)."""
         return self.inner.memory_bits
+
+    def spec_params(self) -> dict:
+        """Nested spec: the inner collector's spec plus the timeouts."""
+        return {
+            "inner": self.inner.spec.to_dict(),
+            "inactive_timeout": self.inactive_timeout,
+            "active_timeout": self.active_timeout,
+            "expiry_interval": self.expiry_interval,
+        }
+
+
+@register("timeout", cls=TimeoutHashFlow)
+def _build_timeout(
+    inner,
+    inactive_timeout: float = 15.0,
+    active_timeout: float = 1800.0,
+    expiry_interval: int = 1024,
+) -> TimeoutHashFlow:
+    """Registry builder: construct the inner collector from its spec."""
+    return TimeoutHashFlow(
+        build(inner),
+        inactive_timeout=inactive_timeout,
+        active_timeout=active_timeout,
+        expiry_interval=expiry_interval,
+    )

@@ -1,5 +1,11 @@
-"""Experiment harness: memory budgeting, runners, figure regeneration."""
+"""Experiment harness: runners, figure regeneration, reporting.
 
+Collector construction now goes through the spec registry
+(:mod:`repro.specs`); the ``build_*`` names re-exported here are the
+deprecated shims from :mod:`repro.experiments.config`.
+"""
+
+from repro.experiments.ascii_plot import line_chart, plot_result
 from repro.experiments.config import (
     DEFAULT_MEMORY_BYTES,
     build_all,
@@ -9,18 +15,20 @@ from repro.experiments.config import (
     build_hashpipe,
     resolve_scale,
 )
-from repro.experiments.ascii_plot import line_chart, plot_result
 from repro.experiments.figures import EXPERIMENTS
 from repro.experiments.report import pivot, render_table, save_result
 from repro.experiments.runner import ExperimentResult, Workload, make_workload
+from repro.specs import build, build_evaluated
 
 __all__ = [
     "DEFAULT_MEMORY_BYTES",
     "EXPERIMENTS",
     "ExperimentResult",
     "Workload",
+    "build",
     "build_all",
     "build_elastic",
+    "build_evaluated",
     "build_flowradar",
     "build_hashflow",
     "build_hashpipe",

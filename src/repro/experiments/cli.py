@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate any table or figure.
+"""Command-line entry point: experiments, figures, and spec-driven runs.
 
 Examples::
 
@@ -6,6 +6,8 @@ Examples::
     repro-experiments run fig6 --scale 0.1 --plot
     repro-experiments run all --out results/
     repro-experiments sweep fig4 --seeds 0 1 2 --metric are
+    repro-experiments collect --collector hashflow --memory 262144 --flows 20000
+    repro-experiments collect --spec collector.json --trace campus
 """
 
 from __future__ import annotations
@@ -14,10 +16,14 @@ import argparse
 import sys
 import time
 
+from repro.analysis.metrics import flow_set_coverage
 from repro.analysis.significance import summarize
 from repro.experiments.ascii_plot import PLOT_SPECS, plot_result
 from repro.experiments.figures import EXPERIMENTS
 from repro.experiments.report import render_table, save_result
+from repro.experiments.runner import ExperimentResult, make_workload
+from repro.specs import SpecError, available_kinds, build, load_spec, save_spec
+from repro.traces.profiles import PROFILES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -27,7 +33,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the HashFlow paper's tables and figures.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="list available experiments")
+    sub.add_parser(
+        "list", help="list available experiments and registered collector kinds"
+    )
 
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment", help="experiment id (e.g. fig6) or 'all'")
@@ -60,6 +68,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--metric",
         default=None,
         help="numeric column to aggregate (default: last column)",
+    )
+
+    collect = sub.add_parser(
+        "collect",
+        help="build a collector from the registry, replay a trace, report metrics",
+    )
+    source = collect.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--collector",
+        metavar="KIND",
+        help=f"registered collector kind (one of: {', '.join(available_kinds())})",
+    )
+    source.add_argument(
+        "--spec",
+        metavar="FILE.json",
+        help="build from a CollectorSpec JSON file instead of a kind name",
+    )
+    collect.add_argument(
+        "--memory",
+        type=int,
+        default=None,
+        help="memory budget in bytes (sized via the kind's registered rule)",
+    )
+    collect.add_argument("--seed", type=int, default=None, help="hash seed override")
+    collect.add_argument(
+        "--trace",
+        default="caida",
+        choices=sorted(PROFILES),
+        help="synthetic trace profile to replay (default: caida)",
+    )
+    collect.add_argument(
+        "--flows", type=int, default=20_000, help="flows in the replayed trace"
+    )
+    collect.add_argument(
+        "--save-spec",
+        metavar="FILE.json",
+        default=None,
+        help="write the built collector's spec to a JSON file",
     )
     return parser
 
@@ -119,15 +165,62 @@ def run_sweep(
         print(" | ".join(cells))
 
 
+def run_collect(args) -> int:
+    """Build a collector (kind or spec file), replay a trace, report."""
+    try:
+        source = load_spec(args.spec) if args.spec else args.collector
+        collector = build(source, memory_bytes=args.memory, seed=args.seed)
+    except (SpecError, OSError, ValueError) as exc:
+        # ValueError: constructor validation of sized params (e.g. a
+        # budget too small to fit even one cell per table).
+        print(f"cannot build collector: {exc}", file=sys.stderr)
+        return 2
+    print(f"# collector: {collector!r}")
+    print(f"# spec: {collector.spec.to_json()}")
+    workload = make_workload(PROFILES[args.trace], args.flows, seed=args.seed or 0)
+    start = time.perf_counter()
+    workload.feed(collector)
+    elapsed = time.perf_counter() - start
+    records = collector.records()
+    result = ExperimentResult(
+        experiment_id="collect",
+        title=f"{collector.name} on {args.trace} ({args.flows} flows)",
+        columns=["metric", "value"],
+        params={"trace": args.trace, "flows": args.flows},
+    )
+    result.add_row(metric="packets", value=workload.num_packets)
+    result.add_row(metric="records", value=len(records))
+    result.add_row(
+        metric="fsc", value=round(flow_set_coverage(records, workload.true_sizes), 4)
+    )
+    result.add_row(metric="size_are", value=round(workload.size_are(collector), 4))
+    result.add_row(
+        metric="cardinality_est", value=round(collector.estimate_cardinality(), 1)
+    )
+    result.add_row(metric="memory_bytes", value=int(collector.memory_bytes))
+    print(render_table(result))
+    print(f"# elapsed: {elapsed:.1f}s")
+    if args.save_spec:
+        save_spec(collector.spec, args.save_spec)
+        print(f"# spec saved to {args.save_spec}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "list":
+        print("# experiments")
         for name, func in EXPERIMENTS.items():
             doc = (func.__doc__ or "").strip().splitlines()[0]
             print(f"{name:8s} {doc}")
+        print("\n# collector kinds (repro.specs registry)")
+        for kind in available_kinds():
+            print(kind)
         return 0
+    if args.command == "collect":
+        return run_collect(args)
     if args.command == "sweep":
         if args.experiment not in EXPERIMENTS:
             print(f"unknown experiment {args.experiment!r}", file=sys.stderr)

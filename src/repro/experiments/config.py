@@ -1,66 +1,53 @@
-"""Memory budgeting: paper Section IV-A parameter rules.
+"""Deprecated memory-budget builders (use :mod:`repro.specs` instead).
 
-All algorithms are given the *same amount of memory* in every
-experiment.  A full flow record is a 104-bit flow ID plus a 32-bit
-counter ("So 1 MB memory approximately corresponds to 60K flow
-records").  Per-algorithm cell sizes:
+The paper's Section IV-A sizing rules used to be hard-coded in this
+module's ``build_*`` functions.  They now live in
+:mod:`repro.specs.sizing` as *registered sizing rules*, and collectors
+are constructed through the registry::
 
-* **HashFlow** — main cell 136 b; ancillary cell 16 b (8-bit digest +
-  8-bit counter); same number of cells in the two tables; main table is
-  3 pipelined sub-tables with α = 0.7.
-* **HashPipe** — 4 equal sub-tables of 136 b cells.
-* **ElasticSketch** (hardware) — heavy cell 169 b (key + vote+ + vote− +
-  flag) across 3 sub-tables; light part one count-min array of 8-bit
-  counters; the two parts use the same number of cells.
-* **FlowRadar** — counting cell 168 b (FlowXOR + FlowCount +
-  PacketCount); Bloom bits = 40 × counting cells; 4 Bloom hashes and 3
-  counting hashes.
+    from repro.specs import build, build_evaluated
+
+    collector = build("hashflow", memory_bytes=1 << 20, seed=0)
+    collectors = build_evaluated(1 << 20, seed=0)   # the paper's four
+
+The ``build_*`` functions below are thin shims kept for backward
+compatibility; each emits a :class:`DeprecationWarning` and forwards to
+the registry, producing bit-identical collectors.  The budget constants
+are re-exported from :mod:`repro.specs.sizing`, their new home.
 """
 
 from __future__ import annotations
 
-import os
+import warnings
 
 from repro.core.hashflow import HashFlow
-from repro.flow.key import FLOW_KEY_BITS
 from repro.sketches.base import FlowCollector
 from repro.sketches.elastic import ElasticSketch
 from repro.sketches.flowradar import FlowRadar
 from repro.sketches.hashpipe import HashPipe
+from repro.specs import build, build_evaluated
+from repro.specs.sizing import (  # noqa: F401  (re-exported for compat)
+    COUNTER_BITS,
+    DEFAULT_MEMORY_BYTES,
+    DEFAULT_SCALE,
+    ELASTIC_HEAVY_CELL_BITS,
+    ELASTIC_LIGHT_CELL_BITS,
+    FLOWRADAR_BLOOM_RATIO,
+    FLOWRADAR_CELL_BITS,
+    HASHFLOW_ANCILLARY_CELL_BITS,
+    RECORD_BITS,
+    SCALE_ENV,
+    resolve_scale,
+)
 
-COUNTER_BITS = 32
-RECORD_BITS = FLOW_KEY_BITS + COUNTER_BITS  # 136
 
-HASHFLOW_ANCILLARY_CELL_BITS = 16  # 8-bit digest + 8-bit counter
-ELASTIC_HEAVY_CELL_BITS = FLOW_KEY_BITS + 2 * COUNTER_BITS + 1  # 169
-ELASTIC_LIGHT_CELL_BITS = 8
-FLOWRADAR_CELL_BITS = FLOW_KEY_BITS + 2 * COUNTER_BITS  # 168
-FLOWRADAR_BLOOM_RATIO = 40
-
-DEFAULT_MEMORY_BYTES = 1 << 20  # 1 MB, the paper's default
-
-#: Environment variable scaling experiment sizes (1.0 = paper scale).
-SCALE_ENV = "REPRO_SCALE"
-DEFAULT_SCALE = 0.1
-
-
-def resolve_scale(scale: float | None = None) -> float:
-    """Resolve the experiment scale factor.
-
-    Args:
-        scale: explicit factor; if None, read ``REPRO_SCALE`` from the
-            environment (default 0.1 — a laptop-friendly scale that
-            preserves every load ratio ``m/n`` because memory and flow
-            counts shrink together).
-
-    Returns:
-        A positive scale factor.
-    """
-    if scale is None:
-        scale = float(os.environ.get(SCALE_ENV, DEFAULT_SCALE))
-    if scale <= 0:
-        raise ValueError(f"scale must be positive, got {scale}")
-    return scale
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"repro.experiments.config.{name} is deprecated; "
+        f"use repro.specs.build(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def build_hashflow(
@@ -70,12 +57,11 @@ def build_hashflow(
     alpha: float = 0.7,
     seed: int = 0,
 ) -> HashFlow:
-    """HashFlow sized to the memory budget (equal main/ancillary cells)."""
-    bits = memory_bytes * 8
-    cells = bits // (RECORD_BITS + HASHFLOW_ANCILLARY_CELL_BITS)
-    return HashFlow(
-        main_cells=int(cells),
-        ancillary_cells=int(cells),
+    """Deprecated: ``build("hashflow", memory_bytes=..., ...)``."""
+    _deprecated("build_hashflow")
+    return build(
+        "hashflow",
+        memory_bytes=memory_bytes,
         depth=depth,
         variant=variant,
         alpha=alpha,
@@ -86,53 +72,30 @@ def build_hashflow(
 def build_hashpipe(
     memory_bytes: int = DEFAULT_MEMORY_BYTES, stages: int = 4, seed: int = 0
 ) -> HashPipe:
-    """HashPipe sized to the memory budget (``stages`` equal tables)."""
-    bits = memory_bytes * 8
-    total_cells = bits // RECORD_BITS
-    return HashPipe(
-        cells_per_stage=int(total_cells // stages), stages=stages, seed=seed
-    )
+    """Deprecated: ``build("hashpipe", memory_bytes=..., ...)``."""
+    _deprecated("build_hashpipe")
+    return build("hashpipe", memory_bytes=memory_bytes, stages=stages, seed=seed)
 
 
 def build_elastic(
     memory_bytes: int = DEFAULT_MEMORY_BYTES, stages: int = 3, seed: int = 0
 ) -> ElasticSketch:
-    """ElasticSketch (hardware) sized to the memory budget."""
-    bits = memory_bytes * 8
-    pairs = bits // (ELASTIC_HEAVY_CELL_BITS + ELASTIC_LIGHT_CELL_BITS)
-    heavy_per_stage = int(pairs // stages)
-    return ElasticSketch(
-        heavy_cells_per_stage=heavy_per_stage,
-        light_cells=int(heavy_per_stage * stages),
-        stages=stages,
-        seed=seed,
-    )
+    """Deprecated: ``build("elastic", memory_bytes=..., ...)``."""
+    _deprecated("build_elastic")
+    return build("elastic", memory_bytes=memory_bytes, stages=stages, seed=seed)
 
 
 def build_flowradar(
     memory_bytes: int = DEFAULT_MEMORY_BYTES, seed: int = 0
 ) -> FlowRadar:
-    """FlowRadar sized to the memory budget (Bloom bits = 40 x cells)."""
-    bits = memory_bytes * 8
-    cells = bits // (FLOWRADAR_CELL_BITS + FLOWRADAR_BLOOM_RATIO)
-    return FlowRadar(
-        counting_cells=int(cells),
-        bloom_bits=int(cells) * FLOWRADAR_BLOOM_RATIO,
-        seed=seed,
-    )
+    """Deprecated: ``build("flowradar", memory_bytes=..., ...)``."""
+    _deprecated("build_flowradar")
+    return build("flowradar", memory_bytes=memory_bytes, seed=seed)
 
 
 def build_all(
     memory_bytes: int = DEFAULT_MEMORY_BYTES, seed: int = 0
 ) -> dict[str, FlowCollector]:
-    """All four evaluated algorithms at the same memory budget.
-
-    Returns them in the paper's plotting order:
-    HashFlow, HashPipe, ElasticSketch, FlowRadar.
-    """
-    return {
-        "HashFlow": build_hashflow(memory_bytes, seed=seed),
-        "HashPipe": build_hashpipe(memory_bytes, seed=seed),
-        "ElasticSketch": build_elastic(memory_bytes, seed=seed),
-        "FlowRadar": build_flowradar(memory_bytes, seed=seed),
-    }
+    """Deprecated: ``repro.specs.build_evaluated(memory_bytes, seed)``."""
+    _deprecated("build_all")
+    return build_evaluated(memory_bytes, seed=seed)

@@ -5,7 +5,7 @@ function here returning an
 :class:`~repro.experiments.runner.ExperimentResult` whose rows mirror
 the series the paper plots.  All functions accept a ``scale`` factor
 (default from ``REPRO_SCALE``, see
-:func:`repro.experiments.config.resolve_scale`) that shrinks memory
+:func:`repro.specs.resolve_scale`) that shrinks memory
 budgets and flow counts *together*, preserving every load ratio the
 figures depend on; ``scale=1.0`` reproduces the paper's sizes.
 
@@ -43,14 +43,9 @@ from repro.analysis.model import (
     simulate_multihash_utilization,
     simulate_pipelined_utilization,
 )
-from repro.experiments.config import (
-    DEFAULT_MEMORY_BYTES,
-    build_all,
-    build_hashflow,
-    resolve_scale,
-)
 from repro.experiments.runner import ExperimentResult, Workload, make_workload
 from repro.flow.stats import cdf_at
+from repro.specs import build, build_evaluated, resolve_scale, scaled_memory
 from repro.switchsim.costs import CostModel
 from repro.switchsim.programs import measurement_switch
 from repro.traces.profiles import PROFILES
@@ -73,7 +68,7 @@ def _scaled_flows(base: int, scale: float, minimum: int = 500) -> int:
 
 def _scaled_memory(scale: float) -> int:
     """Scale the paper's 1 MB memory budget."""
-    return max(4096, int(round(DEFAULT_MEMORY_BYTES * scale)))
+    return scaled_memory(scale)
 
 
 # ----------------------------------------------------------------------
@@ -267,7 +262,7 @@ def fig4(scale: float | None = None, seed: int = 0) -> ExperimentResult:
     for name in _TRACE_ORDER:
         workload = make_workload(PROFILES[name], n_flows, seed=seed)
         for depth in (1, 2, 3, 4):
-            collector = build_hashflow(memory, depth=depth, seed=seed)
+            collector = build("hashflow", memory_bytes=memory, depth=depth, seed=seed)
             workload.feed(collector)
             are = workload.size_are(collector)
             result.add_row(trace=name, depth=depth, are=round(are, 4))
@@ -299,8 +294,9 @@ def fig5(scale: float | None = None, seed: int = 0) -> ExperimentResult:
         workload = make_workload(PROFILES["campus"], n_flows, seed=seed)
         for variant, alpha in configs:
             label = "multihash" if alpha is None else f"alpha={alpha}"
-            collector = build_hashflow(
-                memory,
+            collector = build(
+                "hashflow",
+                memory_bytes=memory,
                 variant=variant,
                 alpha=alpha if alpha is not None else 0.7,
                 seed=seed,
@@ -349,7 +345,7 @@ def _application_sweep(
     for name in traces:
         for n_flows in flow_grid:
             workload = make_workload(PROFILES[name], n_flows, seed=seed)
-            for algo_name, collector in build_all(memory, seed=seed).items():
+            for algo_name, collector in build_evaluated(memory, seed=seed).items():
                 workload.feed(collector)
                 row = {"trace": name, "n_flows": n_flows, "algorithm": algo_name}
                 if "fsc" in metrics:
@@ -424,7 +420,7 @@ def _heavy_hitter_sweep(
     for name in _TRACE_ORDER:
         workload = make_workload(PROFILES[name], n_flows, seed=seed)
         thresholds = HH_THRESHOLDS[name]
-        for algo_name, collector in build_all(memory, seed=seed).items():
+        for algo_name, collector in build_evaluated(memory, seed=seed).items():
             workload.feed(collector)
             for hh in threshold_sweep(collector, workload.true_sizes, thresholds):
                 result.add_row(
@@ -485,7 +481,7 @@ def fig11(scale: float | None = None, seed: int = 0) -> ExperimentResult:
     )
     for name in _TRACE_ORDER:
         workload = make_workload(PROFILES[name], n_flows, seed=seed)
-        for algo_name, collector in build_all(memory, seed=seed).items():
+        for algo_name, collector in build_evaluated(memory, seed=seed).items():
             switch = measurement_switch(collector, cost_model)
             report = switch.run_trace(workload.trace)
             result.add_row(
@@ -526,7 +522,7 @@ def headline(scale: float | None = None, seed: int = 0) -> ExperimentResult:
     heavy_n = _scaled_flows(250_000, scale)
     workload = make_workload(PROFILES["caida"], heavy_n, seed=seed)
     hh_collectors = {}
-    for algo_name, collector in build_all(memory, seed=seed).items():
+    for algo_name, collector in build_evaluated(memory, seed=seed).items():
         workload.feed(collector)
         hh_collectors[algo_name] = collector
         truth = workload.true_sizes
@@ -553,7 +549,7 @@ def headline(scale: float | None = None, seed: int = 0) -> ExperimentResult:
     # Claim 2: size-estimation ARE at 50K flows.
     medium_n = _scaled_flows(50_000, scale)
     workload = make_workload(PROFILES["caida"], medium_n, seed=seed + 1)
-    for algo_name, collector in build_all(memory, seed=seed).items():
+    for algo_name, collector in build_evaluated(memory, seed=seed).items():
         workload.feed(collector)
         are = workload.size_are(collector)
         result.add_row(

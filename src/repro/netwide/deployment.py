@@ -9,12 +9,13 @@ often caught by another on its path.
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass
 
 from repro.netwide.merge import merge_max
 from repro.netwide.topology import FlowRouter
 from repro.sketches.base import FlowCollector
+from repro.specs import CollectorSpec, as_spec, build
 from repro.traces.trace import Trace
 
 
@@ -44,19 +45,33 @@ class NetworkDeployment:
 
     Args:
         router: flow router over the topology.
-        collector_factory: builds one collector per switch; called with
-            the switch name (so seeds can differ per switch).
+        collector: what every switch runs — a
+            :class:`~repro.specs.CollectorSpec` (or spec dict / kind
+            name / prototype collector), from which each switch's
+            instance is built with a seed derived deterministically
+            from the switch *name* (stable across processes, unlike
+            ``hash(name)``); or a legacy ``factory(switch_name)``
+            callable.
     """
 
     def __init__(
         self,
         router: FlowRouter,
-        collector_factory: Callable[[str], FlowCollector],
+        collector: (
+            CollectorSpec | FlowCollector | Mapping | str | Callable[[str], FlowCollector]
+        ),
     ):
         self.router = router
-        self.collectors: dict[str, FlowCollector] = {
-            name: collector_factory(name) for name in router.graph.nodes
-        }
+        self.spec: CollectorSpec | None = None
+        if callable(collector) and not isinstance(collector, (FlowCollector, type)):
+            self.collectors: dict[str, FlowCollector] = {
+                name: collector(name) for name in router.graph.nodes
+            }
+        else:
+            self.spec = as_spec(collector)
+            self.collectors = {
+                name: build(self.spec.reseed(name)) for name in router.graph.nodes
+            }
 
     def run(self, trace: Trace) -> DeploymentReport:
         """Replay a trace network-wide and merge the records."""

@@ -11,21 +11,26 @@ its capacity-scaling claim be tested directly.
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Mapping
 
 import numpy as np
 
 from repro.flow.batch import KeyBatch
 from repro.hashing.families import HashFunction
 from repro.sketches.base import FlowCollector
+from repro.specs import CollectorSpec, as_spec, build, register
 
 
+@register("sharded")
 class ShardedCollector(FlowCollector):
     """A collector façade that hash-partitions flows over shards.
 
     Args:
-        factory: builds each shard's collector; called with the shard
-            index (so per-shard seeds can differ).
+        collector: what each shard runs — a :class:`CollectorSpec`
+            (or spec dict / kind name / prototype collector), from
+            which shard ``i``'s instance is built with a
+            deterministically derived seed (``spec.reseed(i)``); or a
+            legacy ``factory(shard_index)`` callable.
         n_shards: number of shards (owner switches).
         seed: seed of the shard-assignment hash (independent of every
             collector-internal hash).
@@ -35,7 +40,9 @@ class ShardedCollector(FlowCollector):
 
     def __init__(
         self,
-        factory: Callable[[int], FlowCollector],
+        collector: (
+            CollectorSpec | FlowCollector | Mapping | str | Callable[[int], FlowCollector]
+        ),
         n_shards: int,
         seed: int = 0,
     ):
@@ -43,8 +50,37 @@ class ShardedCollector(FlowCollector):
         if n_shards <= 0:
             raise ValueError(f"n_shards must be positive, got {n_shards}")
         self.n_shards = n_shards
+        self.seed = seed
         self._shard_hash = HashFunction(seed ^ 0x5AAD)
-        self.shards = [factory(i) for i in range(n_shards)]
+        self._shard_spec: CollectorSpec | None = None
+        if callable(collector) and not isinstance(collector, (FlowCollector, type)):
+            # Legacy ad-hoc factory: not spec-describable.
+            self.shards = [collector(i) for i in range(n_shards)]
+        else:
+            self._shard_spec = as_spec(collector)
+            self.shards = [
+                build(self._shard_spec.reseed(i)) for i in range(n_shards)
+            ]
+
+    def spec_params(self) -> dict:
+        """Nested spec: the per-shard prototype, shard count, and the
+        shard-assignment hash seed.
+
+        Raises:
+            SpecError: for instances built from a legacy callable.
+        """
+        if self._shard_spec is None:
+            from repro.specs import SpecError
+
+            raise SpecError(
+                "ShardedCollector built from an ad-hoc factory callable "
+                "cannot be described by a spec; pass a CollectorSpec instead"
+            )
+        return {
+            "collector": self._shard_spec.to_dict(),
+            "n_shards": self.n_shards,
+            "seed": self.seed,
+        }
 
     def shard_of(self, key: int) -> int:
         """The owner shard of a flow."""

@@ -12,12 +12,14 @@ these counters rather than estimated.
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
-from collections.abc import Iterable, Mapping
+from collections.abc import Callable, Iterable, Mapping
 
 import numpy as np
 
 from repro.flow.batch import DEFAULT_CHUNK_SIZE, KeyBatch, iter_key_chunks
+from repro.specs.spec import CollectorSpec, SpecError
 
 
 def gather_estimates(records: Mapping[int, int], keys, scale: int = 1) -> np.ndarray:
@@ -91,8 +93,17 @@ class CostMeter:
         return self.reads + self.writes
 
     def per_packet(self) -> dict[str, float]:
-        """Average hash / read / write / access counts per packet."""
-        n = max(self.packets, 1)
+        """Average hash / read / write / access counts per packet.
+
+        A meter that has never been fed has no per-packet rates: every
+        value is NaN (clamping to ``packets=1`` here used to report a
+        misleading 0.0 for a dead collector — callers that want a
+        number for an idle stage must check ``packets`` themselves, as
+        the switch report does).
+        """
+        n = self.packets
+        if n == 0:
+            return {k: math.nan for k in ("hashes", "reads", "writes", "accesses")}
         return {
             "hashes": self.hashes / n,
             "reads": self.reads / n,
@@ -120,6 +131,10 @@ class FlowCollector(ABC):
 
     #: Display name used in reports and figures.
     name: str = "collector"
+
+    #: Registry kind (set by :func:`repro.specs.register`); None means
+    #: the collector type is not spec-constructible.
+    kind: str | None = None
 
     def __init__(self):
         self.meter = CostMeter()
@@ -245,5 +260,67 @@ class FlowCollector(ABC):
         """Memory footprint in bytes."""
         return self.memory_bits / 8.0
 
+    # ------------------------------------------------------------------
+    # Spec lifecycle (repro.specs)
+    # ------------------------------------------------------------------
+    def _record_spec(self, **params) -> None:
+        """Record the constructor params that reproduce this instance.
+
+        Registered collectors call this once from ``__init__`` with the
+        exact keyword set that :func:`repro.specs.build` would pass;
+        :attr:`spec` then round-trips construction without any
+        per-class introspection.
+        """
+        self._spec_params = params
+
+    def spec_params(self) -> dict:
+        """Constructor params reproducing this collector (a fresh dict).
+
+        Raises:
+            SpecError: if the collector was built outside the registry
+                contract (no recorded params).
+        """
+        params = getattr(self, "_spec_params", None)
+        if params is None:
+            raise SpecError(
+                f"{type(self).__name__} does not record spec params; "
+                "it cannot be described by a CollectorSpec"
+            )
+        return dict(params)
+
+    @property
+    def spec(self) -> CollectorSpec:
+        """The :class:`~repro.specs.CollectorSpec` describing this
+        collector: ``build(collector.spec)`` yields a fresh,
+        bit-identically behaving twin.
+
+        Raises:
+            SpecError: for unregistered collector types or instances
+                built from ad-hoc callables.
+        """
+        if self.kind is None:
+            raise SpecError(
+                f"{type(self).__name__} is not a registered collector kind"
+            )
+        return CollectorSpec(self.kind, self.spec_params())
+
+    def clone(self) -> "FlowCollector":
+        """A fresh, identically-configured instance (empty tables)."""
+        return self.spec.build()
+
+    def fresh_factory(self) -> Callable[[], "FlowCollector"]:
+        """A zero-argument factory producing fresh clones.
+
+        This is what epoch runners and deployments hold instead of
+        ad-hoc lambdas: the factory is the spec's bound ``build``
+        method, so it serializes conceptually as the spec itself.
+        """
+        return self.spec.build
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"{type(self).__name__}(memory={self.memory_bytes:.0f}B)"
+        try:
+            spec = self.spec
+        except SpecError:
+            return f"{type(self).__name__}(memory={self.memory_bytes:.0f}B)"
+        args = ", ".join(f"{k}={v!r}" for k, v in sorted(spec.params.items()))
+        return f"{spec.kind}({args})"

@@ -20,12 +20,14 @@ import numpy as np
 from repro.flow.key import FLOW_KEY_BITS
 from repro.hashing.families import HashFamily
 from repro.sketches.base import FlowCollector, gather_estimates
+from repro.specs import register
 
 _COUNTER_BITS = 32
 
 DEFAULT_MAX_KICKS = 500
 
 
+@register("cuckoo")
 class CuckooFlowCache(FlowCollector):
     """A cuckoo-hashed flow cache.
 
@@ -61,6 +63,9 @@ class CuckooFlowCache(FlowCollector):
             raise ValueError(f"n_hashes must be >= 2, got {n_hashes}")
         if max_kicks < 0:
             raise ValueError(f"max_kicks must be >= 0, got {max_kicks}")
+        self._record_spec(
+            n_cells=n_cells, n_hashes=n_hashes, max_kicks=max_kicks, seed=seed
+        )
         self.n_cells = n_cells
         self.n_hashes = n_hashes
         self.max_kicks = max_kicks

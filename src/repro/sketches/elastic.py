@@ -27,6 +27,7 @@ from repro.flow.batch import KeyBatch
 from repro.flow.key import FLOW_KEY_BITS
 from repro.hashing.families import HashFamily
 from repro.sketches.base import FlowCollector
+from repro.specs import register
 from repro.sketches.countmin import CountMinSketch
 from repro.sketches.linear_counting import linear_counting_estimate
 
@@ -38,6 +39,7 @@ DEFAULT_STAGES = 3
 DEFAULT_LAMBDA = 8.0
 
 
+@register("elastic")
 class ElasticSketch(FlowCollector):
     """ElasticSketch (hardware version) flow collector.
 
@@ -75,6 +77,14 @@ class ElasticSketch(FlowCollector):
             raise ValueError(
                 f"lambda_threshold must be positive, got {lambda_threshold}"
             )
+        self._record_spec(
+            heavy_cells_per_stage=heavy_cells_per_stage,
+            light_cells=light_cells,
+            stages=stages,
+            lambda_threshold=lambda_threshold,
+            light_counter_bits=light_counter_bits,
+            seed=seed,
+        )
         self.heavy_cells_per_stage = heavy_cells_per_stage
         self.stages = stages
         self.lambda_threshold = lambda_threshold

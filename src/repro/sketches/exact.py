@@ -11,10 +11,12 @@ import numpy as np
 
 from repro.flow.key import FLOW_KEY_BITS
 from repro.sketches.base import FlowCollector, gather_estimates
+from repro.specs import register
 
 _COUNTER_BITS = 32
 
 
+@register("exact")
 class ExactCollector(FlowCollector):
     """Unbounded dict-based flow-record collector."""
 
@@ -22,6 +24,7 @@ class ExactCollector(FlowCollector):
 
     def __init__(self):
         super().__init__()
+        self._record_spec()
         self._table: dict[int, int] = {}
 
     def process(self, key: int) -> None:

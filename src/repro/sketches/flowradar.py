@@ -25,6 +25,7 @@ from repro.flow.key import FLOW_KEY_BITS
 from repro.hashing.families import HashFamily
 from repro.sketches.base import FlowCollector, gather_estimates
 from repro.sketches.bloom import BloomFilter
+from repro.specs import register
 
 _COUNT_BITS = 32
 
@@ -33,6 +34,7 @@ DEFAULT_BLOOM_HASHES = 4
 DEFAULT_BLOOM_RATIO = 40
 
 
+@register("flowradar")
 class FlowRadar(FlowCollector):
     """FlowRadar collector with singleton-peeling decode.
 
@@ -59,6 +61,17 @@ class FlowRadar(FlowCollector):
             raise ValueError(f"counting_cells must be positive, got {counting_cells}")
         if counting_hashes < 1:
             raise ValueError(f"counting_hashes must be >= 1, got {counting_hashes}")
+        self._record_spec(
+            counting_cells=counting_cells,
+            counting_hashes=counting_hashes,
+            bloom_bits=(
+                bloom_bits
+                if bloom_bits is not None
+                else DEFAULT_BLOOM_RATIO * counting_cells
+            ),
+            bloom_hashes=bloom_hashes,
+            seed=seed,
+        )
         self.counting_cells = counting_cells
         self.counting_hashes = counting_hashes
         self.seed = seed

@@ -23,6 +23,7 @@ from repro.flow.key import FLOW_KEY_BITS
 from repro.hashing.families import HashFamily
 from repro.hashing.mixers import low_halves, mix128
 from repro.sketches.base import FlowCollector
+from repro.specs import register
 
 _COUNTER_BITS = 32
 _EMPTY = 0  # cell key sentinel: packed flow keys are never all-zero in practice
@@ -30,6 +31,7 @@ _EMPTY = 0  # cell key sentinel: packed flow keys are never all-zero in practice
 DEFAULT_STAGES = 4
 
 
+@register("hashpipe")
 class HashPipe(FlowCollector):
     """HashPipe with ``d`` equal-size stages.
 
@@ -47,6 +49,7 @@ class HashPipe(FlowCollector):
             raise ValueError(f"cells_per_stage must be positive, got {cells_per_stage}")
         if stages < 1:
             raise ValueError(f"stages must be >= 1, got {stages}")
+        self._record_spec(cells_per_stage=cells_per_stage, stages=stages, seed=seed)
         self.cells_per_stage = cells_per_stage
         self.stages = stages
         self.seed = seed

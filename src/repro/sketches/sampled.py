@@ -13,10 +13,12 @@ import numpy as np
 from repro.flow.key import FLOW_KEY_BITS
 from repro.hashing.families import HashFunction
 from repro.sketches.base import FlowCollector, gather_estimates
+from repro.specs import register
 
 _COUNTER_BITS = 32
 
 
+@register("sampled")
 class SampledNetFlow(FlowCollector):
     """1-in-N packet-sampled NetFlow.
 
@@ -36,6 +38,7 @@ class SampledNetFlow(FlowCollector):
             raise ValueError(f"every_n must be >= 1, got {every_n}")
         if mode not in ("deterministic", "hash"):
             raise ValueError(f"unknown sampling mode {mode!r}")
+        self._record_spec(every_n=every_n, mode=mode, seed=seed)
         self.every_n = every_n
         self.mode = mode
         self._hash = HashFunction(seed)

@@ -14,11 +14,13 @@ import numpy as np
 
 from repro.flow.key import FLOW_KEY_BITS
 from repro.sketches.base import FlowCollector, gather_estimates
+from repro.specs import register
 
 _COUNTER_BITS = 32
 _ERROR_BITS = 32
 
 
+@register("spacesaving")
 class SpaceSaving(FlowCollector):
     """Space-Saving stream summary.
 
@@ -32,6 +34,7 @@ class SpaceSaving(FlowCollector):
         super().__init__()
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
+        self._record_spec(capacity=capacity)
         self.capacity = capacity
         self._counts: dict[int, int] = {}
         self._errors: dict[int, int] = {}

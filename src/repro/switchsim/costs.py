@@ -49,6 +49,13 @@ class CostModel:
         return 1e3 / self.packet_cost_us(hashes_per_packet, accesses_per_packet)
 
     def throughput_from_meter(self, meter: CostMeter) -> float:
-        """Predicted throughput for a collector's measured cost profile."""
+        """Predicted throughput for a collector's measured cost profile.
+
+        A never-fed meter has no per-packet rates (``per_packet`` is
+        all-NaN); an idle collector is predicted at the unloaded
+        baseline rather than NaN.
+        """
+        if meter.packets == 0:
+            return self.throughput_kpps(0.0, 0.0)
         per_packet = meter.per_packet()
         return self.throughput_kpps(per_packet["hashes"], per_packet["accesses"])

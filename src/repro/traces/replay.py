@@ -10,12 +10,13 @@ HashFlow specifically.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterator
+from collections.abc import Callable, Iterator, Mapping
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.sketches.base import FlowCollector
+from repro.specs import CollectorSpec, as_spec
 from repro.traces.trace import Trace
 
 
@@ -85,13 +86,28 @@ class EpochRunner:
     """Replays a trace through fresh collector instances per epoch.
 
     Args:
-        collector_factory: builds the per-epoch collector (called once
-            per epoch, so state never leaks across epochs — the device
-            reset the paper's epoch model implies).
+        collector: what each epoch runs — a
+            :class:`~repro.specs.CollectorSpec` (or spec dict / kind
+            name), a prototype collector (cloned per epoch via its
+            spec), or a legacy zero-argument factory callable.  A new
+            instance is built once per epoch, so state never leaks
+            across epochs — the device reset the paper's epoch model
+            implies.
     """
 
-    def __init__(self, collector_factory: Callable[[], FlowCollector]):
-        self.collector_factory = collector_factory
+    def __init__(
+        self,
+        collector: CollectorSpec | FlowCollector | Mapping | str | Callable[[], FlowCollector],
+    ):
+        self.spec: CollectorSpec | None = None
+        if isinstance(collector, FlowCollector):
+            self.spec = collector.spec
+            self.collector_factory: Callable[[], FlowCollector] = collector.fresh_factory()
+        elif isinstance(collector, (CollectorSpec, Mapping, str)):
+            self.spec = as_spec(collector)
+            self.collector_factory = self.spec.build
+        else:
+            self.collector_factory = collector
 
     def run(self, trace: Trace, epoch_packets: int) -> list[EpochReport]:
         """Run all epochs; returns one report per epoch."""

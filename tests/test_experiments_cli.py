@@ -27,12 +27,83 @@ class TestParser:
         assert args.out == "x"
 
 
+class TestCollectParser:
+    def test_collector_kind(self):
+        args = build_parser().parse_args(
+            ["collect", "--collector", "hashflow", "--memory", "65536"]
+        )
+        assert args.command == "collect"
+        assert args.collector == "hashflow"
+        assert args.memory == 65536
+
+    def test_spec_file(self):
+        args = build_parser().parse_args(["collect", "--spec", "c.json"])
+        assert args.spec == "c.json"
+        assert args.collector is None
+
+    def test_collector_and_spec_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["collect", "--collector", "hashflow", "--spec", "c.json"]
+            )
+
+
 class TestMain:
     def test_list_prints_all(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "fig6" in out
         assert "table1" in out
+
+    def test_list_prints_collector_kinds(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "hashflow" in out
+        assert "flowradar" in out
+
+    def test_collect_by_kind_and_spec_round_trip(self, capsys, tmp_path):
+        spec_path = tmp_path / "hf.json"
+        code = main(
+            [
+                "collect",
+                "--collector",
+                "hashflow",
+                "--memory",
+                "32768",
+                "--flows",
+                "1000",
+                "--save-spec",
+                str(spec_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fsc" in out
+        assert spec_path.exists()
+        # Rebuild from the saved spec file: the public --spec path.
+        assert main(["collect", "--spec", str(spec_path), "--flows", "1000"]) == 0
+        out2 = capsys.readouterr().out
+        assert '"kind": "hashflow"' in out2
+
+    def test_collect_unsizable_kind_errors(self, capsys):
+        assert main(["collect", "--collector", "exact", "--memory", "1024"]) == 2
+        assert "cannot build collector" in capsys.readouterr().err
+
+    def test_collect_missing_spec_file_errors(self, capsys, tmp_path):
+        missing = tmp_path / "nope.json"
+        assert main(["collect", "--spec", str(missing)]) == 2
+        assert "cannot build collector" in capsys.readouterr().err
+
+    def test_collect_malformed_spec_file_errors(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        assert main(["collect", "--spec", str(bad)]) == 2
+        assert "cannot build collector" in capsys.readouterr().err
+
+    def test_collect_budget_too_small_errors(self, capsys):
+        """A budget that sizes tables to zero cells fails cleanly."""
+        assert main(["collect", "--collector", "hashflow", "--memory", "10"]) == 2
+        assert "cannot build collector" in capsys.readouterr().err
 
     def test_unknown_experiment(self, capsys):
         assert main(["run", "nope"]) == 2

@@ -16,7 +16,7 @@ from repro.analysis.metrics import (
     relative_error,
 )
 from repro.analysis.model import predicted_records
-from repro.experiments.config import build_all, build_flowradar, build_hashflow
+from repro.specs import build, build_evaluated
 from repro.experiments.runner import Workload, make_workload
 from repro.traces.profiles import CAIDA, CAMPUS
 
@@ -26,14 +26,14 @@ MEMORY = 24 * 1024  # 24 KB -> ~1.3K HashFlow main cells, everything scaled
 @pytest.fixture(scope="module")
 def heavy_workload() -> Workload:
     """~4.4x overload relative to HashFlow's main table (paper's 250K/55K)."""
-    hf = build_hashflow(MEMORY)
+    hf = build("hashflow", memory_bytes=MEMORY)
     n_flows = int(4.4 * hf.main.n_cells)
     return make_workload(CAIDA, n_flows, seed=3)
 
 
 @pytest.fixture(scope="module")
 def fed_collectors(heavy_workload):
-    collectors = build_all(MEMORY, seed=0)
+    collectors = build_evaluated(MEMORY, seed=0)
     for collector in collectors.values():
         heavy_workload.feed(collector)
     return collectors
@@ -79,14 +79,14 @@ class TestFlowRecordReport:
 
 class TestFlowRadarCliff:
     def test_decode_collapses_past_capacity(self):
-        fr = build_flowradar(MEMORY)
+        fr = build("flowradar", memory_bytes=MEMORY)
         threshold_flows = int(0.7 * fr.counting_cells)
         light = make_workload(CAIDA, threshold_flows, seed=1)
         light.feed(fr)
         light_fsc = flow_set_coverage(fr.records(), light.true_sizes)
         assert light_fsc > 0.95
 
-        fr2 = build_flowradar(MEMORY)
+        fr2 = build("flowradar", memory_bytes=MEMORY)
         heavy = make_workload(CAIDA, 3 * fr.counting_cells, seed=1)
         heavy.feed(fr2)
         heavy_fsc = flow_set_coverage(fr2.records(), heavy.true_sizes)
@@ -95,7 +95,7 @@ class TestFlowRadarCliff:
     def test_flowradar_wins_when_underloaded(self):
         """Paper Fig. 6: 'for a very small number of flows, FlowRadar has
         the highest coverage'."""
-        collectors = build_all(MEMORY, seed=2)
+        collectors = build_evaluated(MEMORY, seed=2)
         hf_cells = collectors["HashFlow"].main.n_cells
         tiny = make_workload(CAIDA, int(0.5 * hf_cells), seed=2)
         fsc = {}
@@ -108,7 +108,7 @@ class TestFlowRadarCliff:
 class TestSizeEstimation:
     def test_hashflow_lowest_are_under_moderate_load(self):
         """Paper Fig. 8 regime: ~1.8x main-table overload."""
-        collectors = build_all(MEMORY, seed=4)
+        collectors = build_evaluated(MEMORY, seed=4)
         n = int(1.8 * collectors["HashFlow"].main.n_cells)
         workload = make_workload(CAIDA, n, seed=4)
         are = {}

@@ -7,14 +7,29 @@ import pytest
 from repro.analysis.metrics import flow_set_coverage
 from repro.core.hashflow import HashFlow
 from repro.netwide.sharding import ShardedCollector
+from repro.specs import CollectorSpec
 
 
 def make(n_shards: int, cells_per_shard: int) -> ShardedCollector:
     return ShardedCollector(
-        factory=lambda i: HashFlow(main_cells=cells_per_shard, seed=100 + i),
+        CollectorSpec("hashflow", {"main_cells": cells_per_shard, "seed": 100}),
         n_shards=n_shards,
         seed=1,
     )
+
+
+class TestLegacyFactory:
+    def test_callable_factory_still_supported(self, tiny_trace):
+        sharded = ShardedCollector(
+            lambda i: HashFlow(main_cells=64, seed=100 + i), n_shards=2, seed=1
+        )
+        sharded.process_all(tiny_trace.keys())
+        assert len(sharded.records()) > 0
+        # Ad-hoc factories cannot be described by a spec.
+        from repro.specs import SpecError
+
+        with pytest.raises(SpecError):
+            sharded.spec
 
 
 class TestPartitioning:

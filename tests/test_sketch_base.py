@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 from repro.sketches.base import CostMeter, FlowCollector
 
 
@@ -50,8 +52,17 @@ class TestCostMeter:
         assert pp["hashes"] == 2.5
         assert pp["accesses"] == 1.5
 
-    def test_per_packet_no_division_by_zero(self):
-        assert CostMeter().per_packet()["hashes"] == 0.0
+    def test_per_packet_empty_meter_is_nan(self):
+        """A never-fed meter has no rates: every value is NaN, not a
+        silently-misleading 0.0."""
+        pp = CostMeter().per_packet()
+        assert set(pp) == {"hashes", "reads", "writes", "accesses"}
+        assert all(math.isnan(v) for v in pp.values())
+
+    def test_per_packet_defined_after_first_packet(self):
+        m = CostMeter()
+        m.add(packets=1, hashes=2)
+        assert m.per_packet()["hashes"] == 2.0
 
     def test_reset(self):
         m = CostMeter()

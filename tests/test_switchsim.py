@@ -96,6 +96,12 @@ class TestCostModel:
             1e3 / (10 + 3 * 2 + 4 * 1)
         )
 
+    def test_throughput_from_empty_meter_is_baseline(self):
+        """An idle collector predicts the unloaded baseline, not NaN
+        (per_packet is all-NaN for a never-fed meter)."""
+        model = CostModel(base_us=10, hash_us=2, access_us=1)
+        assert model.throughput_from_meter(CostMeter()) == pytest.approx(1e3 / 10)
+
 
 class TestPipelineStages:
     def test_parser_extracts_fields(self):

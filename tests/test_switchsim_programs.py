@@ -62,9 +62,9 @@ class TestMeasurementSwitchComposition:
         assert fast_report.hashes_per_packet == slow_report.hashes_per_packet
 
     def test_all_four_algorithms_loadable(self, tiny_trace):
-        from repro.experiments.config import build_all
+        from repro.specs import build_evaluated
 
-        for name, collector in build_all(16 * 1024, seed=2).items():
+        for name, collector in build_evaluated(16 * 1024, seed=2).items():
             switch = measurement_switch(collector)
             report = switch.run_trace(tiny_trace)
             assert report.packets == len(tiny_trace), name
