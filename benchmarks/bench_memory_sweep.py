@@ -5,15 +5,17 @@ reporting FSC and size-ARE for all four algorithms.  Complements the
 paper's fixed-1MB evaluation: it shows *where* each algorithm's
 accuracy budget goes as memory shrinks, and that HashFlow's advantage
 holds across budgets, not just at the paper's operating point.
+
+The budget × algorithm grid runs as an explicit plan through the
+parallel sweep engine (``REPRO_JOBS`` selects the worker count; rows
+are bit-identical at any job count).
 """
 
 from __future__ import annotations
 
-from benchmarks.conftest import RESULTS_DIR
-from repro.analysis.metrics import flow_set_coverage
-from repro.specs import build_evaluated
-from repro.experiments.report import render_table, save_result
-from repro.experiments.runner import ExperimentResult, make_workload
+from repro.experiments.runner import ExperimentResult
+from repro.parallel import SweepCell, WorkloadRef, run_plan
+from repro.specs import EVALUATED_KINDS, display_name
 from repro.traces.profiles import CAIDA
 
 N_FLOWS = 20_000
@@ -21,27 +23,36 @@ BUDGETS = [16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024]
 
 
 def test_memory_sweep(benchmark, emit):
-    workload = make_workload(CAIDA, N_FLOWS, seed=21)
     result = ExperimentResult(
         experiment_id="memory_sweep",
         title="FSC and ARE vs memory budget (CAIDA workload, 20K flows)",
         columns=["memory_kb", "algorithm", "fsc", "are"],
         params={"n_flows": N_FLOWS},
     )
+    workload_ref = WorkloadRef(profile=CAIDA.name, n_flows=N_FLOWS, seed=21)
+    cells = [
+        SweepCell(
+            workload=workload_ref,
+            spec_or_kind=kind,
+            memory_bytes=budget,
+            seed=3,
+            metrics=("fsc", "size_are"),
+            label=(budget // 1024, display_name(kind)),
+        )
+        for budget in BUDGETS
+        for kind in EVALUATED_KINDS
+    ]
 
     def run():
-        for budget in BUDGETS:
-            for name, collector in build_evaluated(budget, seed=3).items():
-                workload.feed(collector)
-                result.add_row(
-                    memory_kb=budget // 1024,
-                    algorithm=name,
-                    fsc=round(
-                        flow_set_coverage(collector.records(), workload.true_sizes), 4
-                    ),
-                    # Batched query sweep over the cached truth batch.
-                    are=round(workload.size_are(collector), 4),
-                )
+        for cell, cell_result in zip(cells, run_plan(cells)):
+            kb, name = cell.label
+            values = cell_result.rows[0]
+            result.add_row(
+                memory_kb=kb,
+                algorithm=name,
+                fsc=round(values["fsc"], 4),
+                are=round(values["size_are"], 4),
+            )
 
     benchmark.pedantic(run, rounds=1, iterations=1)
     emit(result)

@@ -6,19 +6,17 @@ Two deployment models over the same overloaded workload:
   collector max-merges (recovers flows any one switch dropped);
 * *sharded* — each flow has one owner switch; capacity sums.
 
-Both must beat a single switch with the same per-switch memory.
+Both must beat a single switch with the same per-switch memory.  The
+three deployments are described as plan cells (per-switch collectors by
+spec, the fabric by metric params) and executed through the parallel
+sweep engine — each deployment is one independent cell, so
+``REPRO_JOBS=3`` runs them concurrently with bit-identical rows.
 """
 
 from __future__ import annotations
 
-from benchmarks.conftest import RESULTS_DIR
-from repro.analysis.metrics import flow_set_coverage
-from repro.core.hashflow import HashFlow
-from repro.experiments.report import render_table, save_result
-from repro.experiments.runner import ExperimentResult, make_workload
-from repro.netwide.deployment import NetworkDeployment
-from repro.netwide.sharding import ShardedCollector
-from repro.netwide.topology import FlowRouter, fat_tree_core
+from repro.experiments.runner import ExperimentResult
+from repro.parallel import SweepCell, WorkloadRef, run_plan
 from repro.specs import CollectorSpec
 from repro.traces.profiles import CAIDA
 
@@ -27,52 +25,62 @@ N_FLOWS = 4 * 2048  # 4x one switch's capacity
 
 
 def test_network_wide_coverage(benchmark, emit):
-    workload = make_workload(CAIDA, N_FLOWS, seed=23)
-    truth = workload.true_sizes
+    workload_ref = WorkloadRef(profile=CAIDA.name, n_flows=N_FLOWS, seed=23)
     result = ExperimentResult(
         experiment_id="netwide_coverage",
         title="Single switch vs redundant vs sharded deployments",
         columns=["deployment", "switches", "fsc", "records"],
         params={"cells_per_switch": CELLS_PER_SWITCH, "n_flows": N_FLOWS},
     )
-
-    def run():
+    cells = [
         # Single switch baseline.
-        single = HashFlow(main_cells=CELLS_PER_SWITCH, seed=7)
-        single.process_all(workload.keys)
-        result.add_row(
-            deployment="single",
-            switches=1,
-            fsc=round(flow_set_coverage(single.records(), truth), 4),
-            records=len(single.records()),
-        )
+        SweepCell(
+            workload=workload_ref,
+            spec_or_kind=CollectorSpec(
+                "hashflow", {"main_cells": CELLS_PER_SWITCH, "seed": 7}
+            ),
+            metrics=("fsc", "records"),
+            label=("single", 1),
+        ),
         # Redundant path-based deployment over a 4+2 fabric: one spec
         # describes every switch, seeds derived from switch names.
-        router = FlowRouter(fat_tree_core(4, 2), seed=23)
-        deployment = NetworkDeployment(
-            router,
-            CollectorSpec("hashflow", {"main_cells": CELLS_PER_SWITCH, "seed": 23}),
-        )
-        report = deployment.run(workload.trace)
-        result.add_row(
-            deployment="redundant",
-            switches=len(report.per_switch_records),
-            fsc=round(report.coverage(set(truth)), 4),
-            records=len(report.merged_records),
-        )
+        SweepCell(
+            workload=workload_ref,
+            spec_or_kind=CollectorSpec(
+                "hashflow", {"main_cells": CELLS_PER_SWITCH, "seed": 23}
+            ),
+            metrics=("netwide_redundant",),
+            params={"k_edge": 4, "k_core": 2, "router_seed": 23},
+            label=("redundant", None),
+        ),
         # Sharded deployment: 6 owner switches from one spec.
-        sharded = ShardedCollector(
-            CollectorSpec("hashflow", {"main_cells": CELLS_PER_SWITCH, "seed": 100}),
-            n_shards=6,
-            seed=23,
-        )
-        sharded.process_all(workload.keys)
-        result.add_row(
-            deployment="sharded",
-            switches=6,
-            fsc=round(flow_set_coverage(sharded.records(), truth), 4),
-            records=len(sharded.records()),
-        )
+        SweepCell(
+            workload=workload_ref,
+            spec_or_kind=CollectorSpec(
+                "sharded",
+                {
+                    "collector": CollectorSpec(
+                        "hashflow", {"main_cells": CELLS_PER_SWITCH, "seed": 100}
+                    ).to_dict(),
+                    "n_shards": 6,
+                    "seed": 23,
+                },
+            ),
+            metrics=("fsc", "records"),
+            label=("sharded", 6),
+        ),
+    ]
+
+    def run():
+        for cell, cell_result in zip(cells, run_plan(cells)):
+            deployment, switches = cell.label
+            values = cell_result.rows[0]
+            result.add_row(
+                deployment=deployment,
+                switches=values.get("switches", switches),
+                fsc=round(values["fsc"], 4),
+                records=values["records"],
+            )
 
     benchmark.pedantic(run, rounds=1, iterations=1)
     emit(result)

@@ -5,7 +5,13 @@ Every bench regenerates one of the paper's tables/figures via
 writes them under ``benchmarks/results/``.  Sizes follow the
 ``REPRO_SCALE`` environment variable (default 0.1; 1.0 = paper scale —
 see DESIGN.md §4 "Scaling convention" for why the paper's ratios are
-preserved at any scale).
+preserved at any scale); sweep-shaped benches execute through
+``repro.parallel`` and honour ``REPRO_JOBS`` (DESIGN.md §6).
+
+The repo's headline perf trajectory — update packets/sec, query
+ops/sec, parallel speedup — is persisted at the repo root as
+``BENCH_headline.json`` by ``bench_parallel_sweep.py``, so future PRs
+have a baseline to diff against.
 """
 
 from __future__ import annotations

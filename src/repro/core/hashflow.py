@@ -180,13 +180,19 @@ class HashFlow(FlowCollector):
         are applied strictly in arrival order and the cost meter is
         settled once per batch, so records, query answers, promotions
         and meter totals are bit-identical to the scalar path.
+
+        With ``track_bytes=True`` the batch must carry per-packet sizes
+        (``KeyBatch.sizes``, e.g. from ``Trace.key_batch(sizes=...)``)
+        to stay on the batched path; a size-less batch falls back to the
+        scalar loop (each packet counted at 0 bytes, exactly as
+        ``process(key)`` would).
         """
         batch = KeyBatch.coerce(keys)
         if not len(batch):
             return
-        if self.track_bytes:
-            # Byte counters need per-packet sizes, which the key-only
-            # batch API does not carry; stay on the scalar path.
+        if self.track_bytes and batch.sizes is None:
+            # Byte counters need per-packet sizes; a key-only batch
+            # stays on the scalar path.
             process = self.process
             for key in batch.keys:
                 process(key)
@@ -194,6 +200,9 @@ class HashFlow(FlowCollector):
         self._process_batch(batch)
 
     def _process_batch(self, batch: KeyBatch) -> None:
+        if self.track_bytes and batch.sizes is not None:
+            self._process_batch_bytes(batch)
+            return
         main = self.main
         anc = self.ancillary
         anc_idx, anc_dig = anc.bucket_digest_rows(batch)
@@ -254,6 +263,94 @@ class HashFlow(FlowCollector):
             # Promotion: overwrite the sentinel record.
             sen_keys[sen_idx] = key
             sen_counts[sen_idx] = acount + 1
+            writes += 1
+            promotions += 1
+            if clear_promoted:
+                a_digests[ai] = 0
+                a_counts[ai] = 0
+                writes += 1
+        self.promotions += promotions
+        self.meter.add(
+            packets=len(batch), hashes=hashes, reads=reads, writes=writes
+        )
+
+    def _process_batch_bytes(self, batch: KeyBatch) -> None:
+        """The batched loop with byte counters (``track_bytes=True``).
+
+        Identical control flow to :meth:`_process_batch` plus the byte
+        bookkeeping of the scalar probe/promote path: an insert seeds
+        the cell's byte counter, an increment accumulates, and a
+        promotion restarts it at the promoting packet's size (the
+        documented lower bound).  Kept separate so the byte-free hot
+        loop pays nothing for the option.
+        """
+        main = self.main
+        anc = self.ancillary
+        anc_idx, anc_dig = anc.bucket_digest_rows(batch)
+        stage_rows = main.stage_views(main.bucket_rows(batch))
+        stage_bytes = main.stage_byte_views()
+        staged = [
+            (row, s_keys, s_counts, s_bytes)
+            for (row, s_keys, s_counts), s_bytes in zip(stage_rows, stage_bytes)
+        ]
+        sizes = batch.sizes.tolist()
+        a_digests = anc._digests
+        a_counts = anc._counts
+        a_max = anc.max_count
+        promote_enabled = self.promote_enabled
+        clear_promoted = self.clear_promoted
+        hashes = reads = writes = promotions = 0
+        for i, key in enumerate(batch.keys):
+            size = sizes[i]
+            min_count = -1
+            sen_keys = sen_counts = sen_bytes = None
+            sen_idx = -1
+            absorbed = False
+            for row, s_keys, s_counts, s_bytes in staged:
+                idx = row[i]
+                hashes += 1
+                reads += 1
+                count = s_counts[idx]
+                if count == 0:
+                    s_keys[idx] = key
+                    s_counts[idx] = 1
+                    s_bytes[idx] = size
+                    writes += 1
+                    absorbed = True
+                    break
+                if s_keys[idx] == key:
+                    s_counts[idx] = count + 1
+                    s_bytes[idx] += size
+                    writes += 1
+                    absorbed = True
+                    break
+                if min_count < 0 or count < min_count:
+                    min_count = count
+                    sen_keys, sen_counts, sen_bytes, sen_idx = (
+                        s_keys, s_counts, s_bytes, idx,
+                    )
+            if absorbed:
+                continue
+            if not promote_enabled:
+                min_count = 1 << 62
+            ai = anc_idx[i]
+            dig = anc_dig[i]
+            hashes += 2
+            reads += 1
+            acount = a_counts[ai]
+            if acount == 0 or a_digests[ai] != dig:
+                a_digests[ai] = dig
+                a_counts[ai] = 1
+                writes += 1
+                continue
+            if acount < min_count:
+                if acount < a_max:
+                    a_counts[ai] = acount + 1
+                writes += 1
+                continue
+            sen_keys[sen_idx] = key
+            sen_counts[sen_idx] = acount + 1
+            sen_bytes[sen_idx] = size
             writes += 1
             promotions += 1
             if clear_promoted:

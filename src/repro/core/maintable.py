@@ -165,6 +165,16 @@ class MainTable(ABC):
         """
         raise RuntimeError("byte tracking is disabled for this table")
 
+    def stage_byte_views(self) -> list[list[int]] | None:
+        """Per-stage byte storage aligned with :meth:`stage_views`.
+
+        Entry ``s`` is the byte-counter list addressed by stage ``s``'s
+        probe indices (the same flat list ``depth`` times for the
+        multi-hash layout).  Returns None when byte tracking is off —
+        the batched update loop uses that to skip byte bookkeeping.
+        """
+        return None
+
     @abstractmethod
     def query(self, key: int) -> int:
         """The flow's recorded count, or 0 if absent."""
@@ -287,6 +297,11 @@ class MultiHashTable(MainTable):
     def stage_views(self, rows: list[list[int]]) -> list[tuple]:
         # Every probe stage addresses the same flat arrays.
         return [(row, self._keys, self._counts) for row in rows]
+
+    def stage_byte_views(self) -> list[list[int]] | None:
+        if self._bytes is None:
+            return None
+        return [self._bytes] * self.depth
 
     def promote(self, sentinel: object, key: int, count: int, size: int = 0) -> None:
         idx = sentinel
@@ -444,6 +459,11 @@ class PipelinedTables(MainTable):
 
     def stage_views(self, rows: list[list[int]]) -> list[tuple]:
         return list(zip(rows, self._keys, self._counts))
+
+    def stage_byte_views(self) -> list[list[int]] | None:
+        if self._bytes is None:
+            return None
+        return list(self._bytes)
 
     def promote(self, sentinel: object, key: int, count: int, size: int = 0) -> None:
         s, idx = sentinel

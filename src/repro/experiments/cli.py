@@ -4,6 +4,7 @@ Examples::
 
     repro-experiments list
     repro-experiments run fig6 --scale 0.1 --plot
+    repro-experiments run fig6 --jobs 4       # multi-core sweep execution
     repro-experiments run all --out results/
     repro-experiments sweep fig4 --seeds 0 1 2 --metric are
     repro-experiments collect --collector hashflow --memory 262144 --flows 20000
@@ -13,6 +14,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
@@ -47,6 +49,14 @@ def build_parser() -> argparse.ArgumentParser:
         "1.0 = paper scale)",
     )
     run.add_argument("--seed", type=int, default=0, help="experiment seed")
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for sweep-shaped experiments (default: "
+        "REPRO_JOBS env or serial; 0 = one per CPU); results are "
+        "bit-identical at any job count",
+    )
     run.add_argument(
         "--out", default=None, help="directory to save rendered tables into"
     )
@@ -111,12 +121,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def run_experiment(
-    name: str, scale: float | None, seed: int, out: str | None, plot: bool = False
+    name: str,
+    scale: float | None,
+    seed: int,
+    out: str | None,
+    plot: bool = False,
+    jobs: int | None = None,
 ) -> None:
     """Run one registered experiment, print it, optionally save/plot it."""
     func = EXPERIMENTS[name]
+    kwargs = {"scale": scale, "seed": seed}
+    if "jobs" in inspect.signature(func).parameters:
+        # Sweep-shaped experiments execute their cell plan through
+        # repro.parallel; model-only figures have no jobs parameter.
+        kwargs["jobs"] = jobs
     start = time.perf_counter()
-    result = func(scale=scale, seed=seed)
+    result = func(**kwargs)
     elapsed = time.perf_counter() - start
     print(render_table(result))
     print(f"# elapsed: {elapsed:.1f}s\n")
@@ -239,7 +259,9 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
     for name in names:
-        run_experiment(name, args.scale, args.seed, args.out, plot=args.plot)
+        run_experiment(
+            name, args.scale, args.seed, args.out, plot=args.plot, jobs=args.jobs
+        )
     return 0
 
 

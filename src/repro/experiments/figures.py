@@ -9,6 +9,11 @@ the series the paper plots.  All functions accept a ``scale`` factor
 budgets and flow counts *together*, preserving every load ratio the
 figures depend on; ``scale=1.0`` reproduces the paper's sizes.
 
+The sweep-shaped regenerations (Table I, Figs. 4-10) build explicit
+cell plans and execute them through :mod:`repro.parallel`; they accept
+a ``jobs`` argument (default: the ``REPRO_JOBS`` environment variable,
+else serial) and produce bit-identical rows at any job count.
+
 Index:
 
 ======== ==========================================================
@@ -35,7 +40,6 @@ from __future__ import annotations
 import math
 
 from repro.analysis.heavy_hitters import threshold_sweep
-from repro.analysis.metrics import flow_set_coverage, relative_error
 from repro.analysis.model import (
     multihash_utilization,
     pipelined_improvement,
@@ -45,7 +49,14 @@ from repro.analysis.model import (
 )
 from repro.experiments.runner import ExperimentResult, Workload, make_workload
 from repro.flow.stats import cdf_at
-from repro.specs import build, build_evaluated, resolve_scale, scaled_memory
+from repro.parallel import SweepCell, WorkloadRef, run_plan
+from repro.specs import (
+    EVALUATED_KINDS,
+    build_evaluated,
+    display_name,
+    resolve_scale,
+    scaled_memory,
+)
 from repro.switchsim.costs import CostModel
 from repro.switchsim.programs import measurement_switch
 from repro.traces.profiles import PROFILES
@@ -74,7 +85,9 @@ def _scaled_memory(scale: float) -> int:
 # ----------------------------------------------------------------------
 # Table I and Fig. 3 — trace characteristics
 # ----------------------------------------------------------------------
-def table1(scale: float | None = None, seed: int = 0) -> ExperimentResult:
+def table1(
+    scale: float | None = None, seed: int = 0, jobs: int | None = None
+) -> ExperimentResult:
     """Regenerate Table I: per-trace max and mean flow size."""
     scale = resolve_scale(scale)
     result = ExperimentResult(
@@ -92,21 +105,32 @@ def table1(scale: float | None = None, seed: int = 0) -> ExperimentResult:
         ],
         params={"scale": scale, "seed": seed},
     )
-    for name in _TRACE_ORDER:
+    cells = [
+        SweepCell(
+            # Pinning the Table I max flow only makes sense at paper
+            # scale; at reduced scale a forced quarter-million-packet
+            # flow would dominate the mean.
+            workload=WorkloadRef(
+                profile=name,
+                n_flows=_scaled_flows(PROFILES[name].default_flows, scale),
+                seed=seed,
+                force_max=scale >= 1.0,
+            ),
+            metrics=("stats",),
+            label=name,
+        )
+        for name in _TRACE_ORDER
+    ]
+    for name, cell_result in zip(_TRACE_ORDER, run_plan(cells, jobs=jobs)):
         profile = PROFILES[name]
-        n_flows = _scaled_flows(profile.default_flows, scale)
-        # Pinning the Table I max flow only makes sense at paper scale;
-        # at reduced scale a forced quarter-million-packet flow would
-        # dominate the mean.
-        trace = profile.generate(n_flows=n_flows, seed=seed, force_max=scale >= 1.0)
-        stats = trace.stats()
+        stats = cell_result.rows[0]
         result.add_row(
             trace=name,
             date=profile.date,
-            flows=stats.flows,
-            packets=stats.packets,
-            max_flow_size=stats.max_flow_size,
-            mean_flow_size=round(stats.mean_flow_size, 2),
+            flows=stats["flows"],
+            packets=stats["packets"],
+            max_flow_size=stats["max_flow_size"],
+            mean_flow_size=round(stats["mean_flow_size"], 2),
             paper_max=profile.max_size,
             paper_mean=profile.target_mean,
         )
@@ -248,7 +272,9 @@ def fig2d(
 # ----------------------------------------------------------------------
 # Figs. 4 and 5 — main-table tuning
 # ----------------------------------------------------------------------
-def fig4(scale: float | None = None, seed: int = 0) -> ExperimentResult:
+def fig4(
+    scale: float | None = None, seed: int = 0, jobs: int | None = None
+) -> ExperimentResult:
     """Size-estimation ARE vs pipeline depth (1..4) at 50K flows (Fig. 4)."""
     scale = resolve_scale(scale)
     memory = _scaled_memory(scale)
@@ -259,17 +285,29 @@ def fig4(scale: float | None = None, seed: int = 0) -> ExperimentResult:
         columns=["trace", "depth", "are"],
         params={"memory_bytes": memory, "n_flows": n_flows, "seed": seed},
     )
-    for name in _TRACE_ORDER:
-        workload = make_workload(PROFILES[name], n_flows, seed=seed)
-        for depth in (1, 2, 3, 4):
-            collector = build("hashflow", memory_bytes=memory, depth=depth, seed=seed)
-            workload.feed(collector)
-            are = workload.size_are(collector)
-            result.add_row(trace=name, depth=depth, are=round(are, 4))
+    cells = [
+        SweepCell(
+            workload=WorkloadRef(profile=name, n_flows=n_flows, seed=seed),
+            spec_or_kind={"kind": "hashflow", "params": {"depth": depth}},
+            memory_bytes=memory,
+            seed=seed,
+            metrics=("size_are",),
+            label=(name, depth),
+        )
+        for name in _TRACE_ORDER
+        for depth in (1, 2, 3, 4)
+    ]
+    for cell, cell_result in zip(cells, run_plan(cells, jobs=jobs)):
+        name, depth = cell.label
+        result.add_row(
+            trace=name, depth=depth, are=round(cell_result.rows[0]["size_are"], 4)
+        )
     return result
 
 
-def fig5(scale: float | None = None, seed: int = 0) -> ExperimentResult:
+def fig5(
+    scale: float | None = None, seed: int = 0, jobs: int | None = None
+) -> ExperimentResult:
     """Multi-hash vs pipelined main table on Campus (Figs. 5a and 5b).
 
     Rows carry both the FSC (Fig. 5a) and the size-estimation ARE
@@ -290,23 +328,36 @@ def fig5(scale: float | None = None, seed: int = 0) -> ExperimentResult:
         columns=["config", "n_flows", "fsc", "are"],
         params={"memory_bytes": memory, "flow_grid": flow_grid, "seed": seed},
     )
-    for n_flows in flow_grid:
-        workload = make_workload(PROFILES["campus"], n_flows, seed=seed)
-        for variant, alpha in configs:
-            label = "multihash" if alpha is None else f"alpha={alpha}"
-            collector = build(
-                "hashflow",
-                memory_bytes=memory,
-                variant=variant,
-                alpha=alpha if alpha is not None else 0.7,
-                seed=seed,
-            )
-            workload.feed(collector)
-            fsc = flow_set_coverage(collector.records(), workload.true_sizes)
-            are = workload.size_are(collector)
-            result.add_row(
-                config=label, n_flows=n_flows, fsc=round(fsc, 4), are=round(are, 4)
-            )
+    cells = [
+        SweepCell(
+            workload=WorkloadRef(profile="campus", n_flows=n_flows, seed=seed),
+            spec_or_kind={
+                "kind": "hashflow",
+                "params": {
+                    "variant": variant,
+                    "alpha": alpha if alpha is not None else 0.7,
+                },
+            },
+            memory_bytes=memory,
+            seed=seed,
+            metrics=("fsc", "size_are"),
+            label=(
+                "multihash" if alpha is None else f"alpha={alpha}",
+                n_flows,
+            ),
+        )
+        for n_flows in flow_grid
+        for variant, alpha in configs
+    ]
+    for cell, cell_result in zip(cells, run_plan(cells, jobs=jobs)):
+        label, n_flows = cell.label
+        values = cell_result.rows[0]
+        result.add_row(
+            config=label,
+            n_flows=n_flows,
+            fsc=round(values["fsc"], 4),
+            are=round(values["size_are"], 4),
+        )
     return result
 
 
@@ -320,12 +371,15 @@ def _application_sweep(
     metrics: tuple[str, ...],
     scale: float | None,
     seed: int,
+    jobs: int | None = None,
     traces: tuple[str, ...] = tuple(_TRACE_ORDER),
 ) -> ExperimentResult:
     """Shared sweep: feed each (trace, flow count) to all four algorithms.
 
     ``metrics`` selects which of fsc / cardinality_re / size_are are
-    computed per run.
+    computed per run.  One plan cell per (trace, flow count, algorithm)
+    triple; rows are assembled in plan order, so they match the
+    pre-engine nested loops exactly.
     """
     scale = resolve_scale(scale)
     memory = _scaled_memory(scale)
@@ -342,31 +396,37 @@ def _application_sweep(
             "scale": scale,
         },
     )
-    for name in traces:
-        for n_flows in flow_grid:
-            workload = make_workload(PROFILES[name], n_flows, seed=seed)
-            for algo_name, collector in build_evaluated(memory, seed=seed).items():
-                workload.feed(collector)
-                row = {"trace": name, "n_flows": n_flows, "algorithm": algo_name}
-                if "fsc" in metrics:
-                    # One records() build serves the FSC set intersection.
-                    records = collector.records()
-                    row["fsc"] = round(
-                        flow_set_coverage(records, workload.true_sizes), 4
-                    )
-                if "cardinality_re" in metrics:
-                    est = collector.estimate_cardinality()
-                    re = relative_error(est, workload.num_flows)
-                    row["cardinality_re"] = (
-                        round(re, 4) if math.isfinite(re) else math.inf
-                    )
-                if "size_are" in metrics:
-                    row["size_are"] = round(workload.size_are(collector), 4)
-                result.add_row(**row)
+    cells = [
+        SweepCell(
+            workload=WorkloadRef(profile=name, n_flows=n_flows, seed=seed),
+            spec_or_kind=kind,
+            memory_bytes=memory,
+            seed=seed,
+            metrics=metrics,
+            label=(name, n_flows, display_name(kind)),
+        )
+        for name in traces
+        for n_flows in flow_grid
+        for kind in EVALUATED_KINDS
+    ]
+    for cell, cell_result in zip(cells, run_plan(cells, jobs=jobs)):
+        name, n_flows, algo_name = cell.label
+        values = cell_result.rows[0]
+        row = {"trace": name, "n_flows": n_flows, "algorithm": algo_name}
+        if "fsc" in metrics:
+            row["fsc"] = round(values["fsc"], 4)
+        if "cardinality_re" in metrics:
+            re = values["cardinality_re"]
+            row["cardinality_re"] = round(re, 4) if math.isfinite(re) else math.inf
+        if "size_are" in metrics:
+            row["size_are"] = round(values["size_are"], 4)
+        result.add_row(**row)
     return result
 
 
-def fig6(scale: float | None = None, seed: int = 0) -> ExperimentResult:
+def fig6(
+    scale: float | None = None, seed: int = 0, jobs: int | None = None
+) -> ExperimentResult:
     """FSC for flow record report, 4 traces x 4 algorithms (Fig. 6)."""
     return _application_sweep(
         "fig6",
@@ -375,10 +435,13 @@ def fig6(scale: float | None = None, seed: int = 0) -> ExperimentResult:
         ("fsc",),
         scale,
         seed,
+        jobs,
     )
 
 
-def fig7(scale: float | None = None, seed: int = 0) -> ExperimentResult:
+def fig7(
+    scale: float | None = None, seed: int = 0, jobs: int | None = None
+) -> ExperimentResult:
     """RE for cardinality estimation (Fig. 7)."""
     return _application_sweep(
         "fig7",
@@ -387,10 +450,13 @@ def fig7(scale: float | None = None, seed: int = 0) -> ExperimentResult:
         ("cardinality_re",),
         scale,
         seed,
+        jobs,
     )
 
 
-def fig8(scale: float | None = None, seed: int = 0) -> ExperimentResult:
+def fig8(
+    scale: float | None = None, seed: int = 0, jobs: int | None = None
+) -> ExperimentResult:
     """ARE for flow size estimation (Fig. 8)."""
     return _application_sweep(
         "fig8",
@@ -399,6 +465,7 @@ def fig8(scale: float | None = None, seed: int = 0) -> ExperimentResult:
         ("size_are",),
         scale,
         seed,
+        jobs,
     )
 
 
@@ -406,7 +473,11 @@ def fig8(scale: float | None = None, seed: int = 0) -> ExperimentResult:
 # Figs. 9 and 10 — heavy hitters
 # ----------------------------------------------------------------------
 def _heavy_hitter_sweep(
-    experiment_id: str, title: str, scale: float | None, seed: int
+    experiment_id: str,
+    title: str,
+    scale: float | None,
+    seed: int,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     scale = resolve_scale(scale)
     memory = _scaled_memory(scale)
@@ -417,38 +488,53 @@ def _heavy_hitter_sweep(
         columns=["trace", "threshold", "algorithm", "f1", "are", "actual_hh"],
         params={"memory_bytes": memory, "n_flows": n_flows, "seed": seed},
     )
-    for name in _TRACE_ORDER:
-        workload = make_workload(PROFILES[name], n_flows, seed=seed)
-        thresholds = HH_THRESHOLDS[name]
-        for algo_name, collector in build_evaluated(memory, seed=seed).items():
-            workload.feed(collector)
-            for hh in threshold_sweep(collector, workload.true_sizes, thresholds):
-                result.add_row(
-                    trace=name,
-                    threshold=hh.threshold,
-                    algorithm=algo_name,
-                    f1=round(hh.f1, 4),
-                    are=round(hh.are, 4) if math.isfinite(hh.are) else math.nan,
-                    actual_hh=hh.actual,
-                )
+    cells = [
+        SweepCell(
+            workload=WorkloadRef(profile=name, n_flows=n_flows, seed=seed),
+            spec_or_kind=kind,
+            memory_bytes=memory,
+            seed=seed,
+            metrics=("hh_sweep",),
+            params={"thresholds": HH_THRESHOLDS[name]},
+            label=(name, display_name(kind)),
+        )
+        for name in _TRACE_ORDER
+        for kind in EVALUATED_KINDS
+    ]
+    for cell, cell_result in zip(cells, run_plan(cells, jobs=jobs)):
+        name, algo_name = cell.label
+        for hh in cell_result.rows:
+            result.add_row(
+                trace=name,
+                threshold=hh["threshold"],
+                algorithm=algo_name,
+                f1=round(hh["f1"], 4),
+                are=round(hh["are"], 4) if math.isfinite(hh["are"]) else math.nan,
+                actual_hh=hh["actual"],
+            )
     return result
 
 
-def fig9(scale: float | None = None, seed: int = 0) -> ExperimentResult:
+def fig9(
+    scale: float | None = None, seed: int = 0, jobs: int | None = None
+) -> ExperimentResult:
     """F1 score for heavy-hitter detection vs threshold (Fig. 9).
 
     The same sweep also yields Fig. 10's ARE column; both figures share
     one run (the `are` column here is Fig. 10).
     """
     return _heavy_hitter_sweep(
-        "fig9", "Heavy hitter detection F1 and size ARE (Figs. 9/10)", scale, seed
+        "fig9", "Heavy hitter detection F1 and size ARE (Figs. 9/10)", scale, seed,
+        jobs,
     )
 
 
-def fig10(scale: float | None = None, seed: int = 0) -> ExperimentResult:
+def fig10(
+    scale: float | None = None, seed: int = 0, jobs: int | None = None
+) -> ExperimentResult:
     """ARE of heavy-hitter size estimation vs threshold (Fig. 10)."""
     result = _heavy_hitter_sweep(
-        "fig10", "Heavy hitter size estimation ARE (Fig. 10)", scale, seed
+        "fig10", "Heavy hitter size estimation ARE (Fig. 10)", scale, seed, jobs
     )
     return result
 

@@ -42,15 +42,20 @@ class KeyBatch:
         keys: per-packet flow keys in arrival order (Python ints).
         lo: optional precomputed low halves (``np.uint64``, same length).
         hi: optional precomputed high halves (``np.uint64``, same length).
+        sizes: optional per-packet byte sizes (``np.int64``, same
+            length).  Collectors that track byte volumes (HashFlow's
+            ``track_bytes``) read them from their batched update path;
+            key-only consumers ignore them.
     """
 
-    __slots__ = ("keys", "_lo", "_hi")
+    __slots__ = ("keys", "sizes", "_lo", "_hi")
 
     def __init__(
         self,
         keys: Sequence[int],
         lo: np.ndarray | None = None,
         hi: np.ndarray | None = None,
+        sizes: np.ndarray | None = None,
     ):
         if (lo is None) != (hi is None):
             raise ValueError("lo and hi must be provided together")
@@ -58,7 +63,14 @@ class KeyBatch:
             raise ValueError(
                 f"halves length ({len(lo)}, {len(hi)}) != keys length {len(keys)}"
             )
+        if sizes is not None:
+            sizes = np.asarray(sizes, dtype=np.int64)
+            if len(sizes) != len(keys):
+                raise ValueError(
+                    f"sizes length {len(sizes)} != keys length {len(keys)}"
+                )
         self.keys = keys
+        self.sizes = sizes
         self._lo = lo
         self._hi = hi
 
@@ -107,7 +119,8 @@ class KeyBatch:
     def chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[KeyBatch]:
         """Yield consecutive sub-batches of at most ``chunk_size`` keys.
 
-        Materialized halves are sliced (cheap numpy views), not rebuilt.
+        Materialized halves (and sizes) are sliced (cheap numpy views),
+        not rebuilt.
         """
         if chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
@@ -117,12 +130,14 @@ class KeyBatch:
                 yield self
             return
         lo, hi = self._lo, self._hi
+        sizes = self.sizes
         for start in range(0, n, chunk_size):
             stop = start + chunk_size
             yield KeyBatch(
                 self.keys[start:stop],
                 None if lo is None else lo[start:stop],
                 None if hi is None else hi[start:stop],
+                None if sizes is None else sizes[start:stop],
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -92,6 +92,40 @@ class ShardedCollector(FlowCollector):
         self.meter.hashes += 1  # the coordinator's shard hash
         self.shards[self.shard_of(key)].process(key)
 
+    def process_batch(self, keys) -> None:
+        """Batched updates routed per owner shard.
+
+        The update-side mirror of :meth:`query_batch`: shard owners for
+        the whole batch come from one vectorized pass of the
+        coordinator hash, and each shard ingests its own sub-batch
+        (halves and sizes sliced, not re-split) through the inner
+        collector's batched update path.  Shards partition the flow
+        space, so per-shard arrival order — which the index slicing
+        preserves — is the only ordering that affects table state;
+        records, query answers and meter totals are bit-identical to
+        the scalar per-packet routing.
+        """
+        batch = KeyBatch.coerce(keys)
+        n = len(batch)
+        if not n:
+            return
+        owners = self._shard_hash.buckets_batch(batch, self.n_shards)
+        self.meter.add(packets=n, hashes=n)  # one coordinator hash each
+        lo, hi = batch.halves()
+        keys_list = batch.keys
+        sizes = batch.sizes
+        for s, shard in enumerate(self.shards):
+            members = np.nonzero(owners == np.uint64(s))[0]
+            if not len(members):
+                continue
+            sub = KeyBatch(
+                [keys_list[i] for i in members.tolist()],
+                lo[members],
+                hi[members],
+                None if sizes is None else sizes[members],
+            )
+            shard.process_batch(sub)
+
     def records(self) -> dict[int, int]:
         """Union of the shards' records (disjoint by construction)."""
         merged: dict[int, int] = {}

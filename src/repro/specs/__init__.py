@@ -28,6 +28,7 @@ from repro.specs.registry import (
     build,
     build_evaluated,
     derive_seed,
+    display_name,
     register,
     register_sizing,
     reseeded,
@@ -54,6 +55,7 @@ __all__ = [
     "build",
     "build_evaluated",
     "derive_seed",
+    "display_name",
     "load_spec",
     "register",
     "register_sizing",

@@ -156,6 +156,18 @@ def available_kinds() -> list[str]:
     return sorted(_REGISTRY)
 
 
+def display_name(kind: str) -> str:
+    """The display name instances of a kind report (e.g. ``"HashFlow"``).
+
+    Lets plan-building code label results without constructing a
+    collector; falls back to the kind name for builder-function kinds
+    whose class is not introspectable.
+    """
+    ctor = _get(kind).ctor
+    name = getattr(ctor, "name", None) if inspect.isclass(ctor) else None
+    return name if isinstance(name, str) else kind
+
+
 def as_spec(obj: Any, params: Mapping[str, Any] | None = None) -> CollectorSpec:
     """Coerce a kind name / spec dict / spec / collector to a spec.
 

@@ -87,16 +87,27 @@ class Trace:
             self._flow_batch = KeyBatch(self.flow_keys)
         return self._flow_batch
 
-    def key_batch(self) -> KeyBatch:
+    def key_batch(self, sizes: np.ndarray | int | None = None) -> KeyBatch:
         """Materialize the stream as a :class:`~repro.flow.batch.KeyBatch`.
 
         The 64-bit halves every vectorized update path consumes are
         gathered per *flow* and broadcast to packets with one numpy
         indexing pass, so feeding a collector through the batch engine
         never splits keys packet-by-packet.
+
+        Args:
+            sizes: optional per-packet byte sizes carried on the batch —
+                either an array of ``len(self)`` entries or a scalar
+                byte size broadcast to every packet (the counterpart of
+                :meth:`packets`' ``size`` argument).  Byte-tracking
+                collectors consume them from their batched update path.
         """
         flow_lo, flow_hi = self.flow_batch().halves()
-        return KeyBatch(self.key_list(), flow_lo[self.order], flow_hi[self.order])
+        if sizes is not None and np.ndim(sizes) == 0:
+            sizes = np.full(len(self), int(sizes), dtype=np.int64)
+        return KeyBatch(
+            self.key_list(), flow_lo[self.order], flow_hi[self.order], sizes
+        )
 
     def packets(self, size: int = DEFAULT_PACKET_BYTES) -> Iterator[Packet]:
         """Iterate :class:`~repro.flow.packet.Packet` objects in order."""

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.core.hashflow import HashFlow
+from repro.flow.batch import KeyBatch
 from repro.flow.packet import Packet
 
 
@@ -74,6 +76,46 @@ class TestByteTracking:
             tracked.process_packet(packet)
         assert plain.records() == tracked.records()
 
+    def test_batched_path_bit_identical(self, variant, small_trace):
+        """A sized batch engages the batched update loop; records, byte
+        records, promotions and meter totals must equal the scalar
+        per-packet path exactly."""
+        scalar = HashFlow(
+            main_cells=256, variant=variant, track_bytes=True, seed=9
+        )
+        batched = HashFlow(
+            main_cells=256, variant=variant, track_bytes=True, seed=9
+        )
+        rng = np.random.default_rng(17)
+        sizes = rng.integers(40, 1500, size=len(small_trace)).astype(np.int64)
+        for key, size in zip(small_trace.key_list(), sizes.tolist()):
+            scalar.process(key, size)
+        batched.process_all(small_trace.key_batch(sizes=sizes))
+        assert batched.records() == scalar.records()
+        assert batched.byte_records() == scalar.byte_records()
+        assert batched.promotions == scalar.promotions
+        for field in ("packets", "hashes", "reads", "writes"):
+            assert getattr(batched.meter, field) == getattr(scalar.meter, field)
+
+    def test_sizeless_batch_falls_back_to_scalar(self, variant, tiny_trace):
+        """Without per-packet sizes the batched path cannot count bytes;
+        behavior must match per-packet process(key) (0-byte packets)."""
+        scalar = HashFlow(main_cells=64, variant=variant, track_bytes=True, seed=2)
+        batched = HashFlow(main_cells=64, variant=variant, track_bytes=True, seed=2)
+        for key in tiny_trace.key_list():
+            scalar.process(key)
+        batched.process_all(tiny_trace.key_batch())
+        assert batched.records() == scalar.records()
+        assert batched.byte_records() == scalar.byte_records()
+
+    def test_scalar_size_broadcast(self, variant, tiny_trace):
+        """Trace.key_batch(sizes=<int>) broadcasts a constant size."""
+        hf = HashFlow(main_cells=64, variant=variant, track_bytes=True, seed=2)
+        hf.process_all(tiny_trace.key_batch(sizes=128))
+        assert hf.byte_records() == {
+            k: 128 * c for k, c in hf.records().items()
+        }
+
     def test_bytes_match_packets_times_size_for_uniform(self, variant, small_trace):
         hf = HashFlow(
             main_cells=4 * small_trace.num_flows,
@@ -93,3 +135,13 @@ class TestByteTracking:
             if byte_records[key] != 100 * count:
                 mismatches += 1
         assert mismatches <= hf.promotions
+
+
+def test_keybatch_sizes_validated_and_sliced():
+    with pytest.raises(ValueError, match="sizes length"):
+        KeyBatch([1, 2, 3], sizes=np.array([1, 2]))
+    batch = KeyBatch(list(range(10)), sizes=np.arange(10))
+    chunks = list(batch.chunks(4))
+    assert [c.sizes.tolist() for c in chunks] == [
+        [0, 1, 2, 3], [4, 5, 6, 7], [8, 9],
+    ]

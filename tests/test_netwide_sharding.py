@@ -116,3 +116,69 @@ class TestQueries:
     def test_memory_sums_shards(self):
         sharded = make(3, 100)
         assert sharded.memory_bits == 3 * HashFlow(main_cells=100).memory_bits
+
+
+class TestBatchedUpdates:
+    """ShardedCollector.process_batch mirrors the query_batch routing."""
+
+    def test_bit_identical_to_scalar_routing(self, small_trace):
+        scalar = make(4, 512)
+        batched = make(4, 512)
+        for key in small_trace.key_list():
+            scalar.process(key)
+        batched.process_all(small_trace.key_batch())
+        assert batched.records() == scalar.records()
+        assert batched.shard_loads() == scalar.shard_loads()
+        for field in ("packets", "hashes", "reads", "writes"):
+            assert getattr(batched.meter, field) == getattr(scalar.meter, field)
+        for shard_a, shard_b in zip(scalar.shards, batched.shards):
+            for field in ("packets", "hashes", "reads", "writes"):
+                assert getattr(shard_a.meter, field) == getattr(
+                    shard_b.meter, field
+                )
+
+    def test_queries_agree_after_batched_feed(self, small_trace):
+        scalar = make(3, 512)
+        batched = make(3, 512)
+        batch = small_trace.key_batch()
+        for key in small_trace.key_list():
+            scalar.process(key)
+        batched.process_all(batch)
+        flows = small_trace.flow_batch()
+        assert batched.query_batch(flows).tolist() == [
+            scalar.query(k) for k in flows.keys
+        ]
+
+    def test_empty_batch_is_noop(self):
+        from repro.flow.batch import KeyBatch
+
+        sharded = make(2, 64)
+        sharded.process_batch(KeyBatch([]))
+        assert sharded.meter.packets == 0
+
+    def test_sizes_forwarded_to_shards(self, tiny_trace):
+        """Byte sizes survive the per-shard sub-batch slicing."""
+        import numpy as np
+
+        from repro.netwide.sharding import ShardedCollector
+        from repro.specs import CollectorSpec
+
+        spec = CollectorSpec(
+            "hashflow", {"main_cells": 64, "track_bytes": True, "seed": 100}
+        )
+        scalar = ShardedCollector(spec, n_shards=2, seed=1)
+        batched = ShardedCollector(spec, n_shards=2, seed=1)
+        keys = tiny_trace.key_list()
+        sizes = np.arange(100, 100 + len(keys), dtype=np.int64)
+        for key, size in zip(keys, sizes.tolist()):
+            scalar.shards[scalar.shard_of(key)].process(key, size)
+            scalar.meter.add(packets=1, hashes=1)
+        batched.process_all(tiny_trace.key_batch(sizes=sizes))
+        merged_scalar = {}
+        for shard in scalar.shards:
+            merged_scalar.update(shard.byte_records())
+        merged_batched = {}
+        for shard in batched.shards:
+            merged_batched.update(shard.byte_records())
+        assert merged_batched == merged_scalar
+        assert sum(merged_batched.values()) == int(sizes.sum())
