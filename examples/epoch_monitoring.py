@@ -1,13 +1,16 @@
 #!/usr/bin/env python3
-"""Long-running monitoring with epochs and adaptive HashFlow.
+"""Long-running monitoring with rotation policies and adaptive HashFlow.
 
 A fixed-size HashFlow saturates on an unbounded stream; operational
-NetFlow therefore measures in epochs.  This example contrasts three
+NetFlow therefore measures in epochs.  This example contrasts four
 deployments over the same long stream:
 
 1. a single HashFlow left running (saturates),
 2. :class:`EpochRunner` — fresh tables per epoch, merged at the collector,
-3. :class:`EpochedHashFlow` — the library's built-in rotating wrapper,
+3. a `repro.stream` pipeline with count rotation — the streaming form of
+   :class:`EpochedHashFlow` (which is now a thin adapter over the same
+   :class:`~repro.stream.rotation.CountRotation` policy),
+4. the same pipeline with RFC 3954 timeout rotation (flow-granular expiry),
 
 and finishes with :class:`AdaptiveHashFlow` reacting to a mice-churn
 regime change (the paper's "adaptive to traffic variation" future work).
@@ -19,6 +22,7 @@ from __future__ import annotations
 
 from repro.core.adaptive import AdaptiveHashFlow, EpochedHashFlow
 from repro.core.hashflow import HashFlow
+from repro.stream import Pipeline
 from repro.traces import CAMPUS, EpochRunner, merge_traces
 
 N_FLOWS = 12_000
@@ -49,15 +53,40 @@ def main() -> None:
     print(f"epoch runner:      {len(merged):>6d} flows reported over "
           f"{len(reports)} epochs ({exact} with exact counts)")
 
-    # 3. The built-in rotating wrapper (archive + live epoch).
+    # 3. The streaming pipeline with count rotation: same rotating
+    #    collection as EpochedHashFlow, but composed from stages and
+    #    fanning every epoch's export out to sinks.
+    pipeline = Pipeline(
+        source={"kind": "synthetic",  # placeholder; we feed `stream` below
+                "params": {"profile": "campus", "n_flows": 16}},
+        collector={"kind": "hashflow", "params": {"main_cells": CELLS, "seed": 4}},
+        rotation={"kind": "count", "params": {"epoch_packets": EPOCH_PACKETS}},
+        sinks=[{"kind": "archive"}, {"kind": "cardinality"}],
+    )
+    result = pipeline.run(trace=stream)
     rotating = EpochedHashFlow(
         HashFlow(main_cells=CELLS, seed=4), epoch_packets=EPOCH_PACKETS
     )
     rotating.process_all(stream.keys())
-    print(f"EpochedHashFlow:   {len(rotating.records()):>6d} flows reported, "
-          f"{rotating.epochs_completed} rotations")
+    match = "match" if result.records == rotating.records() else "MISMATCH"
+    print(f"stream pipeline:   {len(result.records):>6d} flows reported, "
+          f"{result.rotations} rotations (EpochedHashFlow adapter: {match})")
 
-    # 4. Adaptive promotion under a regime change: steady traffic, then
+    # 4. Timeout rotation over the same stream: flow-granular expiry
+    #    instead of table-wide epochs (packets are clocked at the
+    #    pipeline's synthetic packet rate, as the stream is untimestamped).
+    timed = Pipeline(
+        source=pipeline.source,
+        collector={"kind": "hashflow", "params": {"main_cells": CELLS, "seed": 4}},
+        rotation={"kind": "timeout",
+                  "params": {"inactive_timeout": 0.2, "active_timeout": 30.0}},
+        sinks=[{"kind": "archive"}],
+    )
+    expiry = timed.run(trace=stream)
+    print(f"timeout pipeline:  {len(expiry.records):>6d} flows reported, "
+          f"{expiry.rotations} expiry sweeps")
+
+    # 5. Adaptive promotion under a regime change: steady traffic, then
     #    a burst of pure mice churn.
     adaptive = AdaptiveHashFlow(
         main_cells=CELLS, ancillary_cells=CELLS, window=2048, seed=4

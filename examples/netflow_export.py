@@ -1,61 +1,72 @@
 #!/usr/bin/env python3
-"""Export HashFlow's records as NetFlow v5, CSV and JSON lines.
+"""Stream a trace through a pipeline exporting NetFlow v5, CSV and JSONL.
 
 HashFlow replaces the on-switch cache, not the collector ecosystem:
 whatever it records still has to reach nfdump-style tooling.  This
-example collects a trace, exports the records as standard NetFlow v5
-datagrams (and text formats), then plays the datagrams back into a
-"collector" and verifies nothing was lost in transit.
+example composes a `repro.stream` pipeline — synthetic source → HashFlow
+→ timeout rotation → NetFlow v5 + text sinks — runs it end to end, plays
+the datagrams back into a "collector" and verifies nothing was lost in
+transit, then shows the whole pipeline round-tripping through its JSON
+spec.
 
 Run:  python examples/netflow_export.py
 """
 
 from __future__ import annotations
 
-from repro.core.hashflow import HashFlow
-from repro.export import (
-    NetFlowV5Exporter,
-    parse_datagram,
-    parse_stream,
-    records_to_csv,
-    records_to_jsonl,
-)
-from repro.traces import ISP1
+from repro.export import parse_datagram
+from repro.stream import Pipeline
 
 N_FLOWS = 8_000
 
 
 def main() -> None:
-    trace = ISP1.generate(n_flows=N_FLOWS, seed=12)
-    collector = HashFlow(main_cells=16_384, seed=3)
-    collector.process_all(trace.keys())
-    records = collector.records()
-    print(f"collected {len(records)} flow records from {len(trace)} packets\n")
+    pipeline = Pipeline(
+        source={
+            "kind": "synthetic",
+            "params": {"profile": "isp1", "n_flows": N_FLOWS, "seed": 12},
+        },
+        collector={"kind": "hashflow", "params": {"main_cells": 16_384, "seed": 3}},
+        rotation={
+            "kind": "timeout",
+            "params": {"inactive_timeout": 0.2, "active_timeout": 30.0},
+        },
+        sinks=[{"kind": "netflow_v5"}, {"kind": "csv"}, {"kind": "jsonl"}],
+    )
+    result = pipeline.run()
+    print(f"collected {len(result.records)} flow records from "
+          f"{result.packets} packets over {result.rotations} rotations\n")
 
     # NetFlow v5 datagrams (24 B header + 48 B per record, <= 30/packet).
-    exporter = NetFlowV5Exporter(engine_id=1)
-    datagrams = exporter.export(records, sys_uptime_ms=60_000, unix_secs=1_700_000_000)
-    total_bytes = sum(len(d) for d in datagrams)
-    print(f"NetFlow v5: {len(datagrams)} datagrams, {total_bytes} bytes "
-          f"({total_bytes / len(records):.1f} B/record)")
+    netflow, csv_sink, jsonl_sink = pipeline.sinks
+    total_bytes = sum(len(d) for d in netflow.datagrams)
+    print(f"NetFlow v5: {len(netflow.datagrams)} datagrams, {total_bytes} bytes "
+          f"({total_bytes / max(1, result.exported):.1f} B/record)")
 
-    header, first_records = parse_datagram(datagrams[0])
+    header, first_records = parse_datagram(netflow.datagrams[0])
     print(f"first datagram: version={header['version']} count={header['count']} "
           f"seq={header['flow_sequence']}")
 
-    # Round trip through the "collector".
-    merged = parse_stream(iter(datagrams))
+    # Round trip through the "collector": the wire format loses nothing.
+    merged = netflow.parse_back()
     print(f"collector re-assembled {len(merged)} records: "
-          f"{'OK' if merged == records else 'MISMATCH'}\n")
+          f"{'OK' if merged == result.records else 'MISMATCH'}\n")
 
-    # Text formats for ad-hoc pipelines.
-    csv_text = records_to_csv(records)
-    jsonl_text = records_to_jsonl(records)
+    # Text sinks for ad-hoc pipelines (per-export lines with rotation,
+    # timing and export reason).
+    csv_text = csv_sink.text()
+    jsonl_text = jsonl_sink.text()
     print(f"CSV: {len(csv_text)} bytes; first rows:")
     for line in csv_text.splitlines()[:4]:
         print(f"  {line}")
     print(f"\nJSONL: {len(jsonl_text)} bytes; first row:")
     print(f"  {jsonl_text.splitlines()[0]}")
+
+    # The whole pipeline is data: JSON out, JSON in, bit-identical twin.
+    spec = pipeline.spec
+    twin = spec.build().run()
+    print(f"\nspec round trip ({len(spec.to_json())} B of JSON): "
+          f"{'OK' if twin.records == result.records else 'MISMATCH'}")
 
 
 if __name__ == "__main__":

@@ -25,8 +25,9 @@ from repro.sketches.elastic import ElasticSketch
 from repro.sketches.flowradar import FlowRadar
 from repro.sketches.hashpipe import HashPipe
 from repro.specs import CollectorSpec, available_kinds, build
+from repro.stream import Pipeline, PipelineSpec
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CollectorSpec",
@@ -36,6 +37,8 @@ __all__ = [
     "FlowRadar",
     "HashFlow",
     "HashPipe",
+    "Pipeline",
+    "PipelineSpec",
     "available_kinds",
     "build",
     "__version__",

@@ -22,6 +22,7 @@ from repro.core.hashflow import HashFlow
 from repro.flow.batch import KeyBatch
 from repro.sketches.base import FlowCollector, gather_estimates
 from repro.specs import build, register
+from repro.stream.rotation import CountRotation, export_and_reset
 
 
 def merge_records(into: dict[int, int], records: dict[int, int]) -> None:
@@ -33,6 +34,11 @@ def merge_records(into: dict[int, int], records: dict[int, int]) -> None:
 class EpochedHashFlow(FlowCollector):
     """HashFlow with periodic epoch rotation.
 
+    A thin adapter binding a
+    :class:`repro.stream.rotation.CountRotation` policy (the shared
+    epoch-boundary logic of the streaming pipeline) to one HashFlow,
+    with the rotated epochs merged into a cumulative archive.
+
     Args:
         inner: the HashFlow instance to rotate.
         epoch_packets: packets per epoch; the tables are exported and
@@ -43,14 +49,15 @@ class EpochedHashFlow(FlowCollector):
 
     def __init__(self, inner: HashFlow, epoch_packets: int):
         super().__init__()
-        if epoch_packets <= 0:
-            raise ValueError(f"epoch_packets must be positive, got {epoch_packets}")
         self.inner = inner
-        self.epoch_packets = epoch_packets
+        self.policy = CountRotation(epoch_packets)
         self.meter = inner.meter  # share the inner meter
         self._epoch_count = 0
         self._archive: dict[int, int] = {}
-        self._in_epoch = 0
+
+    @property
+    def epoch_packets(self) -> int:
+        return self.policy.epoch_packets
 
     @property
     def epochs_completed(self) -> int:
@@ -60,27 +67,20 @@ class EpochedHashFlow(FlowCollector):
     def process(self, key: int) -> None:
         """Feed the inner collector, rotating at epoch boundaries."""
         self.inner.process(key)
-        self._in_epoch += 1
-        if self._in_epoch >= self.epoch_packets:
+        if self.policy.tick():
             self.rotate()
 
     def rotate(self) -> dict[int, int]:
-        """Export the current epoch's records and reset the tables.
+        """Export the current epoch's records and reset the tables
+        (cumulative cost accounting survives the reset).
 
         Returns:
             The records of the epoch that just closed.
         """
-        exported = self.inner.records()
+        exported = export_and_reset(self.inner)
         merge_records(self._archive, exported)
-        meter = self.inner.meter
-        packets = meter.packets
-        hashes, reads, writes = meter.hashes, meter.reads, meter.writes
-        self.inner.reset()
-        # Preserve cumulative cost accounting across epochs.
-        meter.packets = packets
-        meter.hashes, meter.reads, meter.writes = hashes, reads, writes
         self._epoch_count += 1
-        self._in_epoch = 0
+        self.policy.mark_rotated()
         return exported
 
     def records(self) -> dict[int, int]:
@@ -118,7 +118,7 @@ class EpochedHashFlow(FlowCollector):
         self.inner.reset()
         self._archive.clear()
         self._epoch_count = 0
-        self._in_epoch = 0
+        self.policy.reset()
 
     @property
     def memory_bits(self) -> int:

@@ -373,6 +373,16 @@ class HashFlow(FlowCollector):
         """
         return self.main.byte_records()
 
+    def byte_query(self, key: int) -> int | None:
+        """The flow's resident byte count, or None if absent (requires
+        ``track_bytes=True``); a per-key probe so expiry exporters read
+        a few flows without scanning the whole table.
+
+        Raises:
+            RuntimeError: if byte tracking is disabled.
+        """
+        return self.main.byte_query(key)
+
     # ------------------------------------------------------------------
     # Report path
     # ------------------------------------------------------------------

@@ -165,6 +165,19 @@ class MainTable(ABC):
         """
         raise RuntimeError("byte tracking is disabled for this table")
 
+    def byte_query(self, key: int) -> int | None:
+        """Measured byte count of the flow's resident record.
+
+        A per-key probe (the byte-side twin of :meth:`query`) so
+        expiry-style exporters can read a few flows' byte counts
+        without materializing :meth:`byte_records` over the whole
+        table.  Returns None when the flow is not resident.
+
+        Raises:
+            RuntimeError: if byte tracking is disabled.
+        """
+        raise RuntimeError("byte tracking is disabled for this table")
+
     def stage_byte_views(self) -> list[list[int]] | None:
         """Per-stage byte storage aligned with :meth:`stage_views`.
 
@@ -319,6 +332,16 @@ class MultiHashTable(MainTable):
             for k, c, b in zip(self._keys, self._counts, self._bytes)
             if c > 0
         }
+
+    def byte_query(self, key: int) -> int | None:
+        if self._bytes is None:
+            return super().byte_query(key)
+        n = self._n
+        for h in self._hashes:
+            idx = h.bucket(key, n)
+            if self._counts[idx] and self._keys[idx] == key:
+                return self._bytes[idx]
+        return None
 
     def query(self, key: int) -> int:
         n = self._n
@@ -482,6 +505,15 @@ class PipelinedTables(MainTable):
                 if c > 0:
                     result[k] = b
         return result
+
+    def byte_query(self, key: int) -> int | None:
+        if self._bytes is None:
+            return super().byte_query(key)
+        for s, (h, size) in enumerate(zip(self._hashes, self.sizes)):
+            idx = h.bucket(key, size)
+            if self._counts[s][idx] and self._keys[s][idx] == key:
+                return self._bytes[s][idx]
+        return None
 
     def query(self, key: int) -> int:
         for s, (h, size) in enumerate(zip(self._hashes, self.sizes)):

@@ -7,16 +7,19 @@ module adds those cache dynamics on top of HashFlow: the dataplane
 tables stay fixed-size, while the control plane tracks per-flow
 timestamps, expires records, and accumulates the exported archive.
 
-The timestamp map lives control-plane side (ordinary memory), matching
-real deployments where the export engine, not the SRAM tables, owns
-flow timing.  Expiry frees main-table cells, so long-lived measurement
-keeps absorbing new flows — the same operational motivation as
-:class:`~repro.core.adaptive.EpochedHashFlow`, but flow-granular.
+Since the streaming pipeline subsystem (:mod:`repro.stream`), the
+timestamp tracking and the expiry decision live in
+:class:`repro.stream.rotation.TimeoutRotation` — the rotation policy a
+:class:`~repro.stream.pipeline.Pipeline` drives against *any* evictable
+collector.  :class:`TimeoutHashFlow` remains as the thin adapter that
+binds that policy to one HashFlow and keeps the original one-shot API
+(``process_packet`` / ``expire`` / ``flush`` / ``exported``)
+bit-identically.  The exported record type is the pipeline's
+:class:`~repro.stream.records.FlowRecord` (aliased as
+``ExportedRecord`` for compatibility).
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -25,25 +28,11 @@ from repro.flow.batch import KeyBatch
 from repro.flow.packet import Packet
 from repro.sketches.base import FlowCollector, gather_estimates
 from repro.specs import build, register
+from repro.stream.records import FlowRecord
+from repro.stream.rotation import TimeoutRotation
 
-
-@dataclass(frozen=True, slots=True)
-class ExportedRecord:
-    """A flow record exported on expiry.
-
-    Attributes:
-        key: packed flow ID.
-        packets: recorded packet count at export time.
-        first_seen: flow start timestamp.
-        last_seen: last packet timestamp.
-        reason: ``"inactive"`` or ``"active"``.
-    """
-
-    key: int
-    packets: int
-    first_seen: float
-    last_seen: float
-    reason: str
+#: Compatibility alias: timeout exports have always been flow records.
+ExportedRecord = FlowRecord
 
 
 class TimeoutHashFlow(FlowCollector):
@@ -69,44 +58,41 @@ class TimeoutHashFlow(FlowCollector):
         expiry_interval: int = 1024,
     ):
         super().__init__()
-        if inactive_timeout <= 0 or active_timeout <= 0:
-            raise ValueError("timeouts must be positive")
-        if active_timeout < inactive_timeout:
-            raise ValueError("active timeout must be >= inactive timeout")
-        if expiry_interval <= 0:
-            raise ValueError(f"expiry_interval must be positive, got {expiry_interval}")
         self.inner = inner
         self.meter = inner.meter
-        self.inactive_timeout = inactive_timeout
-        self.active_timeout = active_timeout
-        self.expiry_interval = expiry_interval
-        self._first_seen: dict[int, float] = {}
-        self._last_seen: dict[int, float] = {}
-        self._now = 0.0
-        self._since_sweep = 0
+        self.policy = TimeoutRotation(
+            inactive_timeout=inactive_timeout,
+            active_timeout=active_timeout,
+            expiry_interval=expiry_interval,
+        )
         self.exported: list[ExportedRecord] = []
+
+    @property
+    def inactive_timeout(self) -> float:
+        return self.policy.inactive_timeout
+
+    @property
+    def active_timeout(self) -> float:
+        return self.policy.active_timeout
+
+    @property
+    def expiry_interval(self) -> int:
+        return self.policy.expiry_interval
 
     # ------------------------------------------------------------------
     # Update path
     # ------------------------------------------------------------------
     def process_packet(self, packet: Packet) -> None:
         """Process a timestamped packet and run due expiry sweeps."""
-        self._now = max(self._now, packet.timestamp)
-        key = packet.key
-        self.inner.process(key)
-        if key not in self._first_seen:
-            self._first_seen[key] = packet.timestamp
-        self._last_seen[key] = packet.timestamp
-        self._since_sweep += 1
-        if self._since_sweep >= self.expiry_interval:
-            self.expire(self._now)
+        self.inner.process(packet.key)
+        if self.policy.track(packet.key, packet.timestamp):
+            self.expire(self.policy.now)
 
     def process(self, key: int) -> None:
         """Untimestamped fallback: behaves like plain HashFlow (no expiry
         clock advances)."""
         self.inner.process(key)
-        self._first_seen.setdefault(key, self._now)
-        self._last_seen[key] = self._now
+        self.policy.touch(key)
 
     def process_trace(self, trace) -> int:
         """Feed a (preferably timestamped) trace; returns packet count."""
@@ -125,37 +111,14 @@ class TimeoutHashFlow(FlowCollector):
         Returns:
             The records exported by this sweep.
         """
-        self._since_sweep = 0
-        exported: list[ExportedRecord] = []
-        for key, last in list(self._last_seen.items()):
-            first = self._first_seen[key]
-            if now - last >= self.inactive_timeout:
-                reason = "inactive"
-            elif now - first >= self.active_timeout:
-                reason = "active"
-            else:
-                continue
-            count = self.inner.query(key)
-            if count > 0:
-                exported.append(
-                    ExportedRecord(
-                        key=key,
-                        packets=count,
-                        first_seen=first,
-                        last_seen=last,
-                        reason=reason,
-                    )
-                )
-            self.inner.evict(key)
-            del self._first_seen[key]
-            del self._last_seen[key]
+        exported = self.policy.sweep(self.inner, now)
         self.exported.extend(exported)
         return exported
 
     def flush(self) -> list[ExportedRecord]:
         """Export everything still resident (end-of-run drain)."""
         # A flush is an expiry sweep with an infinitely late clock.
-        return self.expire(self._now + self.active_timeout + self.inactive_timeout)
+        return self.expire(self.policy.flush_horizon())
 
     # ------------------------------------------------------------------
     # Reporting
@@ -199,11 +162,8 @@ class TimeoutHashFlow(FlowCollector):
     def reset(self) -> None:
         """Clear the tables, the timestamps and the archive."""
         self.inner.reset()
-        self._first_seen.clear()
-        self._last_seen.clear()
+        self.policy.reset()
         self.exported.clear()
-        self._now = 0.0
-        self._since_sweep = 0
 
     @property
     def memory_bits(self) -> int:
@@ -214,9 +174,7 @@ class TimeoutHashFlow(FlowCollector):
         """Nested spec: the inner collector's spec plus the timeouts."""
         return {
             "inner": self.inner.spec.to_dict(),
-            "inactive_timeout": self.inactive_timeout,
-            "active_timeout": self.active_timeout,
-            "expiry_interval": self.expiry_interval,
+            **self.policy.spec_params(),
         }
 
 

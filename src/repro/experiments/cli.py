@@ -9,6 +9,9 @@ Examples::
     repro-experiments sweep fig4 --seeds 0 1 2 --metric are
     repro-experiments collect --collector hashflow --memory 262144 --flows 20000
     repro-experiments collect --spec collector.json --trace campus
+    repro-experiments stream --trace caida --flows 20000 --rotate timeout \\
+        --sink netflow --sink jsonl --save-spec pipeline.json
+    repro-experiments stream --spec pipeline.json
 """
 
 from __future__ import annotations
@@ -24,7 +27,14 @@ from repro.experiments.ascii_plot import PLOT_SPECS, plot_result
 from repro.experiments.figures import EXPERIMENTS
 from repro.experiments.report import render_table, save_result
 from repro.experiments.runner import ExperimentResult, make_workload
-from repro.specs import SpecError, available_kinds, build, load_spec, save_spec
+from repro.specs import (
+    SpecError,
+    available_kinds,
+    build,
+    load_spec,
+    resolve_scale,
+    save_spec,
+)
 from repro.traces.profiles import PROFILES
 
 
@@ -117,7 +127,196 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the built collector's spec to a JSON file",
     )
+
+    stream = sub.add_parser(
+        "stream",
+        help="run a streaming pipeline: source -> collector -> rotation -> sinks",
+    )
+    stream.add_argument(
+        "--spec",
+        metavar="FILE.json",
+        default=None,
+        help="run a PipelineSpec JSON file (other stage flags are ignored)",
+    )
+    stream.add_argument(
+        "--trace",
+        default="caida",
+        choices=sorted(PROFILES),
+        help="synthetic trace profile to stream (default: caida)",
+    )
+    stream.add_argument(
+        "--flows", type=int, default=20_000, help="flows in the streamed trace"
+    )
+    stream.add_argument(
+        "--collector",
+        metavar="KIND",
+        default="hashflow",
+        help="registered collector kind (default: hashflow)",
+    )
+    stream.add_argument(
+        "--memory",
+        type=int,
+        default=None,
+        help="collector memory budget in bytes (default: the paper's 1 MB "
+        "budget at the REPRO_SCALE factor)",
+    )
+    stream.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="size factor applied to the memory budget (default: REPRO_SCALE "
+        "env or 0.1)",
+    )
+    stream.add_argument("--seed", type=int, default=0, help="hash / trace seed")
+    stream.add_argument(
+        "--rotate",
+        metavar="POLICY",
+        default="timeout",
+        help="rotation policy: 'count:N' (N-packet epochs), 'interval:W' "
+        "(W-second windows), 'timeout[:INACTIVE[,ACTIVE[,SWEEP]]]' (RFC "
+        "3954 expiry; default), or 'none' (one end-of-stream export)",
+    )
+    stream.add_argument(
+        "--sink",
+        metavar="SINK",
+        action="append",
+        default=None,
+        help="sink to attach (repeatable): netflow, jsonl[:PATH], csv[:PATH], "
+        "archive, heavy_hitters:T, cardinality, anomaly[:MIN_FANOUT] "
+        "(default: netflow + archive)",
+    )
+    stream.add_argument(
+        "--save-spec",
+        metavar="FILE.json",
+        default=None,
+        help="write the pipeline's spec to a JSON file",
+    )
     return parser
+
+
+def _parse_rotation(text: str) -> dict | None:
+    """Parse a ``--rotate`` value into a rotation stage spec."""
+    name, _, arg = text.partition(":")
+    if name == "none":
+        if arg:
+            raise SystemExit(f"--rotate none takes no argument: {text!r}")
+        return None
+    if name == "count":
+        if not arg:
+            raise SystemExit("--rotate count needs a packet budget (count:N)")
+        return {"kind": "count", "params": {"epoch_packets": int(arg)}}
+    if name == "interval":
+        if not arg:
+            raise SystemExit("--rotate interval needs a window (interval:SECONDS)")
+        return {"kind": "interval", "params": {"window": float(arg)}}
+    if name == "timeout":
+        params = {}
+        if arg:
+            values = [float(v) for v in arg.split(",")]
+            keys = ("inactive_timeout", "active_timeout", "expiry_interval")
+            if len(values) > len(keys):
+                raise SystemExit(f"--rotate timeout takes at most 3 values: {text!r}")
+            params = dict(zip(keys, values))
+            if "expiry_interval" in params:
+                params["expiry_interval"] = int(params["expiry_interval"])
+        return {"kind": "timeout", "params": params}
+    raise SystemExit(f"unknown rotation policy {text!r}")
+
+
+def _parse_sink(text: str) -> dict:
+    """Parse a ``--sink`` value into a sink stage spec."""
+    name, _, arg = text.partition(":")
+    if name in ("netflow", "netflow_v5", "archive", "cardinality"):
+        if arg:
+            raise SystemExit(f"--sink {name} takes no argument: {text!r}")
+        return {"kind": "netflow_v5" if name == "netflow" else name}
+    if name in ("jsonl", "csv"):
+        return {"kind": name, "params": {"path": arg} if arg else {}}
+    if name == "anomaly":
+        # Optional fan-out threshold: anomaly:MIN_FANOUT.
+        return {"kind": "anomaly",
+                "params": {"min_fanout": int(arg)} if arg else {}}
+    if name in ("heavy_hitters", "hh"):
+        if not arg:
+            raise SystemExit("--sink heavy_hitters needs a threshold (heavy_hitters:T)")
+        return {"kind": "heavy_hitters", "params": {"threshold": int(arg)}}
+    raise SystemExit(f"unknown sink {text!r}")
+
+
+def run_stream(args) -> int:
+    """Build (or load) a pipeline spec, run it, verify NetFlow parse-back."""
+    from repro.stream import NetFlowV5Sink, Pipeline, load_pipeline_spec, save_pipeline_spec
+
+    try:
+        if args.spec:
+            pipeline_spec = load_pipeline_spec(args.spec)
+        else:
+            # Spec-driven pipelines carry fully resolved collector
+            # params, so the memory budget and scale are applied here,
+            # once, at composition time.  Without an explicit budget the
+            # paper's 1 MB default is sized at REPRO_SCALE.
+            scale = args.scale
+            if args.memory is None and scale is None:
+                scale = resolve_scale(None)
+            collector = build(
+                args.collector,
+                memory_bytes=args.memory,
+                scale=scale,
+                seed=args.seed,
+            )
+            sinks = [_parse_sink(s) for s in (args.sink or ["netflow", "archive"])]
+            pipeline = Pipeline(
+                source={
+                    "kind": "synthetic",
+                    "params": {
+                        "profile": args.trace,
+                        "n_flows": args.flows,
+                        "seed": args.seed,
+                    },
+                },
+                collector=collector,
+                rotation=_parse_rotation(args.rotate),
+                sinks=sinks,
+            )
+            pipeline_spec = pipeline.spec
+        if args.save_spec:
+            save_pipeline_spec(pipeline_spec, args.save_spec)
+            print(f"# pipeline spec saved to {args.save_spec}")
+        pipeline = Pipeline.from_spec(pipeline_spec)
+    except (SpecError, OSError, ValueError) as exc:
+        print(f"cannot build pipeline: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"# pipeline: {pipeline_spec!r}")
+    start = time.perf_counter()
+    result = pipeline.run()
+    elapsed = time.perf_counter() - start
+    table = ExperimentResult(
+        experiment_id="stream",
+        title=f"streaming pipeline ({pipeline_spec.source['kind']} -> "
+        f"{pipeline_spec.collector['kind']})",
+        columns=["metric", "value"],
+        params={"source": pipeline_spec.source["kind"]},
+    )
+    table.add_row(metric="packets", value=result.packets)
+    table.add_row(metric="rotations", value=result.rotations)
+    table.add_row(metric="exported_records", value=result.exported)
+    table.add_row(metric="flows", value=len(result.records))
+    for label, summary in result.sinks.items():
+        for key, value in summary.items():
+            table.add_row(metric=f"{label}.{key}", value=value)
+    print(render_table(table))
+    print(f"# elapsed: {elapsed:.1f}s")
+
+    # Every NetFlow sink must decode back to exactly the records the
+    # pipeline reports — the wire format loses nothing.
+    for sink in pipeline.sinks:
+        if isinstance(sink, NetFlowV5Sink):
+            ok = sink.parse_back() == result.records
+            print(f"# netflow parse-back: {'OK' if ok else 'MISMATCH'}")
+            if not ok:
+                return 1
+    return 0
 
 
 def run_experiment(
@@ -241,6 +440,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "collect":
         return run_collect(args)
+    if args.command == "stream":
+        return run_stream(args)
     if args.command == "sweep":
         if args.experiment not in EXPERIMENTS:
             print(f"unknown experiment {args.experiment!r}", file=sys.stderr)

@@ -7,16 +7,21 @@ standard v5 datagrams (24-byte header + up to 30 x 48-byte records) and
 parses them back, so records from any :class:`FlowCollector` can be
 consumed by stock tooling (nfdump, flow-tools, commercial collectors).
 
-Only the fields a flow-record collector knows are populated: the
-5-tuple and the packet count (dOctets is estimated from a configurable
-mean packet size).  Byte counts, AS numbers and interface indices are
-left zero, as software exporters commonly do.
+The 5-tuple and the packet count (dPkts) are always populated.  For
+``dOctets`` the precedence is: a *measured* per-flow byte count when
+the caller supplies one (collectors tracking real byte volumes, e.g.
+``HashFlow(track_bytes=True)``) wins; otherwise the field is estimated
+from a configurable mean packet size (the historical behaviour, kept
+as the fallback).  ``first``/``last`` likewise take per-flow SysUptime
+milliseconds when supplied (timeout-expiry exports know them) and fall
+back to the header's ``sys_uptime_ms``.  AS numbers and interface
+indices are left zero, as software exporters commonly do.
 """
 
 from __future__ import annotations
 
 import struct
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass
 
 from repro.flow.key import pack_key, unpack_key
@@ -59,7 +64,8 @@ class NetFlowV5Exporter:
         sampling_interval: value for the header's sampling field (0 =
             unsampled; set to N when exporting from
             :class:`~repro.sketches.sampled.SampledNetFlow`).
-        mean_packet_bytes: used to synthesize dOctets from packet counts.
+        mean_packet_bytes: used to synthesize dOctets from packet
+            counts for flows without a measured byte count.
 
     The exporter is stateful: ``flow_sequence`` increments across calls,
     as the protocol requires.
@@ -87,13 +93,22 @@ class NetFlowV5Exporter:
         records: dict[int, int],
         sys_uptime_ms: int = 0,
         unix_secs: int = 0,
+        octets: Mapping[int, int] | None = None,
+        times_ms: Mapping[int, tuple[int, int]] | None = None,
     ) -> list[bytes]:
         """Pack records into one or more v5 datagrams.
 
         Args:
             records: ``{packed flow key: packet count}``.
-            sys_uptime_ms: exporter uptime for the header.
+            sys_uptime_ms: exporter uptime for the header (and the
+                ``first``/``last`` fallback).
             unix_secs: export wall-clock time for the header.
+            octets: optional measured ``{flow key: byte count}``; a
+                present key overrides the mean-packet-size estimate
+                (measured beats estimated), missing keys fall back.
+            times_ms: optional ``{flow key: (first_ms, last_ms)}``
+                SysUptime flow timing; missing keys fall back to
+                ``sys_uptime_ms`` for both fields.
 
         Returns:
             Encoded datagrams, each carrying at most 30 records.
@@ -103,7 +118,7 @@ class NetFlowV5Exporter:
         for start in range(0, len(items), MAX_RECORDS_PER_DATAGRAM):
             chunk = items[start : start + MAX_RECORDS_PER_DATAGRAM]
             body = b"".join(
-                self._encode_record(key, count, sys_uptime_ms)
+                self._encode_record(key, count, sys_uptime_ms, octets, times_ms)
                 for key, count in chunk
             )
             header = _HEADER.pack(
@@ -121,9 +136,84 @@ class NetFlowV5Exporter:
             datagrams.append(header + body)
         return datagrams
 
-    def _encode_record(self, key: int, count: int, uptime_ms: int) -> bytes:
+    def export_flows(
+        self,
+        flows: Iterable,
+        sys_uptime_ms: int = 0,
+        unix_secs: int = 0,
+    ) -> list[bytes]:
+        """Export flow-record objects, carrying their bytes and timing.
+
+        Accepts any iterable of records exposing ``key`` / ``packets``
+        and optionally ``octets`` / ``first_seen`` / ``last_seen`` —
+        :class:`~repro.stream.records.FlowRecord` (and therefore
+        ``TimeoutHashFlow.ExportedRecord``) qualify.  Measured octets
+        take precedence over the mean-packet-size estimate; first/last
+        seen timestamps (seconds; None means untracked, a measured
+        0.0 counts) are converted to SysUptime milliseconds for the v5
+        ``first``/``last`` fields.  Duplicate keys within one call
+        merge: packet and byte counts sum, timing spans (min first,
+        max last).  A flow with *any* unmeasured segment falls back to
+        the whole-flow estimate — a partial measured sum would
+        under-report dOctets.
+
+        Args:
+            flows: the records to export.
+            sys_uptime_ms: header uptime (and timing fallback for
+                records without timestamps).
+            unix_secs: export wall-clock time for the header.
+
+        Returns:
+            Encoded datagrams, each carrying at most 30 records.
+        """
+        records: dict[int, int] = {}
+        octets: dict[int, int] = {}
+        unmeasured: set[int] = set()
+        times_ms: dict[int, tuple[int, int]] = {}
+        for flow in flows:
+            key = flow.key
+            records[key] = records.get(key, 0) + flow.packets
+            measured = getattr(flow, "octets", None)
+            if measured is None:
+                unmeasured.add(key)
+            else:
+                octets[key] = octets.get(key, 0) + int(measured)
+            first = getattr(flow, "first_seen", None)
+            last = getattr(flow, "last_seen", None)
+            if first is not None or last is not None:
+                first_ms = int(round((first if first is not None else last) * 1000.0))
+                last_ms = int(round((last if last is not None else first) * 1000.0))
+                if key in times_ms:
+                    prev_first, prev_last = times_ms[key]
+                    first_ms = min(first_ms, prev_first)
+                    last_ms = max(last_ms, prev_last)
+                times_ms[key] = (first_ms, last_ms)
+        for key in unmeasured:
+            octets.pop(key, None)
+        return self.export(
+            records,
+            sys_uptime_ms=sys_uptime_ms,
+            unix_secs=unix_secs,
+            octets=octets or None,
+            times_ms=times_ms or None,
+        )
+
+    def _encode_record(
+        self,
+        key: int,
+        count: int,
+        uptime_ms: int,
+        octets_map: Mapping[int, int] | None = None,
+        times_map: Mapping[int, tuple[int, int]] | None = None,
+    ) -> bytes:
         src_ip, dst_ip, src_port, dst_port, proto = unpack_key(key)
-        octets = count * self.mean_packet_bytes
+        octets = None if octets_map is None else octets_map.get(key)
+        if octets is None:
+            # Fallback: estimate from the configured mean packet size.
+            octets = count * self.mean_packet_bytes
+        first_ms = last_ms = uptime_ms
+        if times_map is not None:
+            first_ms, last_ms = times_map.get(key, (uptime_ms, uptime_ms))
         return _RECORD.pack(
             src_ip,
             dst_ip,
@@ -132,8 +222,8 @@ class NetFlowV5Exporter:
             0,  # output if
             count & 0xFFFFFFFF,
             octets & 0xFFFFFFFF,
-            uptime_ms & 0xFFFFFFFF,  # first
-            uptime_ms & 0xFFFFFFFF,  # last
+            first_ms & 0xFFFFFFFF,
+            last_ms & 0xFFFFFFFF,
             src_port,
             dst_port,
             0,  # pad1

@@ -102,3 +102,18 @@ class FlowRouter:
             for switch in flow_paths[idx]:
                 streams[switch].append(key)
         return streams
+
+    def vantage_stream(self, trace: Trace) -> list[int]:
+        """The multi-vantage observation stream of a routed trace.
+
+        Concatenates the per-switch streams of :meth:`split_trace` in
+        sorted switch order: a flow traversing three switches
+        contributes its packets three times — the aggregate a
+        network-wide collection point ingests (the
+        :class:`~repro.stream.sources.NetwideSource` feed).
+        """
+        streams = self.split_trace(trace)
+        merged: list[int] = []
+        for switch in sorted(streams):
+            merged.extend(streams[switch])
+        return merged

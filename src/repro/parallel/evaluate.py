@@ -47,7 +47,7 @@ COLLECTOR_METRICS = frozenset(
 )
 
 #: Metrics evaluated against the workload (or a deployment) directly.
-PLAN_METRICS = frozenset({"stats", "netwide_redundant"})
+PLAN_METRICS = frozenset({"stats", "netwide_redundant", "pipeline"})
 
 _ZERO_METER = {"packets": 0, "hashes": 0, "reads": 0, "writes": 0}
 
@@ -162,9 +162,7 @@ class WorkloadStore:
         if cw is None:
             trace = self.base_trace(ref)
             if ref.start is not None:
-                from repro.traces.replay import _slice
-
-                trace = _slice(trace, ref.start, min(ref.stop, len(trace)))
+                trace = trace.slice_packets(ref.start, min(ref.stop, len(trace)))
             elif ref.profile is not None and ref.generated_flows > ref.n_flows:
                 trace = trace.subset_flows(ref.n_flows, seed=ref.seed + 1)
             cw = CellWorkload(trace)
@@ -284,6 +282,17 @@ def evaluate_cell(cell: SweepCell, store: WorkloadStore, index: int = 0) -> Cell
             base["mean_flow_size"] = stats.mean_flow_size
         elif metric == "netwide_redundant":
             base.update(_eval_netwide_redundant(cell, cw))
+        elif metric == "pipeline":
+            # The cell's params carry a whole PipelineSpec; the pipeline
+            # runs over the store-materialized workload, which is the
+            # exact trace its source would generate (the spec's
+            # workload_ref mirrors the source), so serial and parallel
+            # runs stay bit-identical.
+            from repro.stream.pipeline import Pipeline
+            from repro.stream.spec import PipelineSpec
+
+            spec = PipelineSpec.from_dict(cell.params["pipeline"])
+            base.update(Pipeline.from_spec(spec).run(trace=cw.trace).summary())
         else:
             raise ValueError(f"unknown sweep metric {metric!r}")
 

@@ -10,6 +10,11 @@ serializable, and reconstructible on any shard, switch, or epoch:
   per-kind memory sizing rules (:mod:`repro.specs.sizing`);
 * :func:`derive_seed` — deterministic per-shard/per-switch reseeding.
 
+Higher layers nest these specs in their own descriptions: a
+:class:`~repro.stream.spec.PipelineSpec` embeds a collector spec beside
+its source/rotation/sink stages, and :mod:`repro.parallel` ships spec
+dicts to worker processes — both lean on the same JSON-native currency.
+
 Quickstart::
 
     from repro.specs import build

@@ -1,0 +1,367 @@
+"""The streaming pipeline: Source → Collector → RotationPolicy → Sinks.
+
+:class:`Pipeline` composes the four stage protocols into the standing
+ingest→rotate→export loop operational NetFlow implies (paper §I, RFC
+3954): a :class:`~repro.stream.sources.Source` materializes the packet
+stream, the collector (any :mod:`repro.specs` registry kind) absorbs it
+through the vectorized batch engine in backpressure-free
+:data:`~repro.flow.batch.DEFAULT_CHUNK_SIZE` chunks (DESIGN §2/§4), a
+:class:`~repro.stream.rotation.RotationPolicy` decides when records are
+exported and freed, and every export fans out to the configured
+:class:`~repro.stream.sinks.Sink`\\ s.
+
+The whole composition is described by a frozen
+:class:`~repro.stream.spec.PipelineSpec`; :func:`run_pipelines`
+dispatches a list of such specs through the :mod:`repro.parallel` sweep
+engine (serial results are bit-identical to ``REPRO_JOBS=N`` results,
+the engine's standing contract).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.flow.batch import KeyBatch
+from repro.sketches.base import FlowCollector
+from repro.specs import build as build_collector
+from repro.stream.records import FlowRecord, merge_flow_records
+from repro.stream.rotation import RotationPolicy, TimeoutRotation, build_rotation
+from repro.stream.sinks import Sink, build_sink
+from repro.stream.sources import Source, build_source
+from repro.stream.spec import DEFAULT_PACKET_RATE, PipelineSpec
+
+from repro.flow.batch import DEFAULT_CHUNK_SIZE
+from repro.flow.packet import DEFAULT_PACKET_BYTES
+
+
+@dataclass
+class PipelineResult:
+    """What one pipeline run produced.
+
+    Attributes:
+        packets: packets fed end to end.
+        rotations: rotation sweeps that ran (excluding the final drain).
+        exported: total flow records emitted to the sinks.
+        records: merged ``{key: packets}`` across every export — the
+            pipeline's reported flow records (every resident record is
+            drained at end of stream, so nothing is missing from this
+            view).
+        sinks: summaries per sink, keyed ``kind`` (or ``kind#i`` when a
+            kind appears more than once), JSON-native.
+    """
+
+    packets: int
+    rotations: int
+    exported: int
+    records: dict[int, int]
+    sinks: dict[str, dict]
+
+    def summary(self) -> dict[str, Any]:
+        """One flat result row (the parallel-cell currency)."""
+        return {
+            "packets": self.packets,
+            "rotations": self.rotations,
+            "exported": self.exported,
+            "flows": len(self.records),
+            "records": dict(self.records),
+            "sinks": {k: dict(v) for k, v in self.sinks.items()},
+        }
+
+
+class _MeasuredBytes:
+    """A lazy per-key byte-count view over an evictable collector.
+
+    Expiry sweeps export a handful of flows per rotation; probing each
+    exported key (``byte_query``) beats materializing ``byte_records``
+    over the whole table once per sweep.
+    """
+
+    __slots__ = ("_query",)
+
+    def __init__(self, query):
+        self._query = query
+
+    def get(self, key: int, default=None):
+        value = self._query(key)
+        return default if value is None else value
+
+
+class Pipeline:
+    """A composable streaming collection pipeline.
+
+    Args:
+        source: a :class:`~repro.stream.sources.Source` or its spec
+            dict.
+        collector: a :class:`~repro.sketches.base.FlowCollector`
+            instance, or anything :func:`repro.specs.build` accepts
+            (kind name, :class:`~repro.specs.CollectorSpec`, spec
+            dict).
+        rotation: a :class:`~repro.stream.rotation.RotationPolicy` or
+            its spec dict; None runs the whole stream as one epoch
+            (records export once, at the end-of-stream drain).
+        sinks: sink instances or spec dicts, emitted to in order.
+        chunk_size: packets per batched feed chunk.
+        packet_rate: synthetic clock rate (packets/second) used when
+            the source trace has no timestamps.
+        packet_bytes: byte size fed per packet to byte-tracking
+            collectors.
+
+    Raises:
+        ValueError: for a timeout rotation over a collector without
+            per-flow eviction (``evict``).
+    """
+
+    def __init__(
+        self,
+        source: Source | Mapping[str, Any],
+        collector,
+        rotation: RotationPolicy | Mapping[str, Any] | None = None,
+        sinks: Sequence[Sink | Mapping[str, Any]] = (),
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        packet_rate: float = DEFAULT_PACKET_RATE,
+        packet_bytes: int = DEFAULT_PACKET_BYTES,
+    ):
+        self.source = build_source(source)
+        if isinstance(collector, FlowCollector):
+            self.collector = collector
+        else:
+            self.collector = build_collector(collector)
+        self.rotation = build_rotation(rotation)
+        if isinstance(self.rotation, TimeoutRotation) and not hasattr(
+            self.collector, "evict"
+        ):
+            raise ValueError(
+                f"timeout rotation needs per-flow eviction, but "
+                f"{type(self.collector).__name__} has no evict(); use a "
+                "count/interval rotation or an evictable collector"
+            )
+        self.sinks = tuple(build_sink(s) for s in sinks)
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self.chunk_size = int(chunk_size)
+        self.packet_rate = float(packet_rate)
+        self.packet_bytes = int(packet_bytes)
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # Spec lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: PipelineSpec | Mapping[str, Any]) -> "Pipeline":
+        """Build a pipeline from a :class:`PipelineSpec` (or its dict)."""
+        if not isinstance(spec, PipelineSpec):
+            spec = PipelineSpec.from_dict(spec)
+        return cls(
+            source=spec.source,
+            collector=spec.collector,
+            rotation=spec.rotation,
+            sinks=spec.sinks,
+            chunk_size=spec.chunk_size,
+            packet_rate=spec.packet_rate,
+            packet_bytes=spec.packet_bytes,
+        )
+
+    @property
+    def spec(self) -> PipelineSpec:
+        """The :class:`PipelineSpec` reproducing this pipeline —
+        ``Pipeline.from_spec(pipeline.spec)`` is a bit-identically
+        behaving twin."""
+        return PipelineSpec(
+            source=self.source.spec,
+            collector=self.collector.spec.to_dict(),
+            rotation=None if self.rotation is None else self.rotation.spec,
+            sinks=tuple(s.spec for s in self.sinks),
+            chunk_size=self.chunk_size,
+            packet_rate=self.packet_rate,
+            packet_bytes=self.packet_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _byte_counts(self):
+        """Measured per-flow byte counts, when the collector tracks them.
+
+        Read *before* a rotation sweep frees the cells the counters
+        live in.  Export-all policies get the whole-table dict;
+        expiry-style sweeps (which export a few flows) get a lazy
+        per-key view.
+        """
+        if not getattr(self.collector, "track_bytes", False):
+            return None
+        if isinstance(self.rotation, TimeoutRotation) and hasattr(
+            self.collector, "byte_query"
+        ):
+            return _MeasuredBytes(self.collector.byte_query)
+        return self.collector.byte_records()
+
+    def _emit(self, exported: list[FlowRecord], rotation: int, now: float) -> None:
+        for sink in self.sinks:
+            sink.emit(exported, rotation, now)
+
+    def run(self, trace=None) -> PipelineResult:
+        """Run the stream end to end.
+
+        Args:
+            trace: optional pre-materialized trace to run over instead
+                of ``source.trace()`` — the parallel-dispatch path,
+                where the sweep engine materializes the source's
+                :class:`~repro.parallel.plan.WorkloadRef` through its
+                trace cache (an exact round trip, so results are
+                bit-identical to a local run).
+
+        Returns:
+            A :class:`PipelineResult`; all resident records are drained
+            through the sinks before it is returned.
+
+        Raises:
+            RuntimeError: on a second call — the collector and sinks
+                still hold the first run's state; rebuild via
+                ``Pipeline.from_spec(pipeline.spec)`` to run again.
+        """
+        if self._ran:
+            raise RuntimeError(
+                "this pipeline has already run; build a fresh one with "
+                "Pipeline.from_spec(pipeline.spec)"
+            )
+        self._ran = True
+        if trace is None:
+            trace = self.source.trace()
+        sizes = (
+            self.packet_bytes
+            if getattr(self.collector, "track_bytes", False)
+            else None
+        )
+        batch = trace.key_batch(sizes=sizes)
+        timestamps = trace.timestamps
+        if timestamps is None:
+            # Deterministic synthetic clock so time-based rotation works
+            # over untimestamped streams.
+            timestamps = np.arange(len(trace), dtype=np.float64) / self.packet_rate
+        lo, hi = batch.halves() if len(batch) else (None, None)
+        keys = batch.keys
+        byte_sizes = batch.sizes
+
+        rotation = self.rotation
+        collector = self.collector
+        exported_all: list[FlowRecord] = []
+        rotations = 0
+        now = 0.0
+        pos = 0
+        n = len(batch)
+        while pos < n:
+            limit = min(self.chunk_size, n - pos)
+            if rotation is None:
+                take = limit
+            else:
+                take = rotation.admit(limit, timestamps[pos : pos + limit])
+                if take == 0 and not rotation.due():
+                    raise RuntimeError(
+                        f"{type(rotation).__name__} admitted 0 packets "
+                        "without a due rotation"
+                    )
+            if take:
+                sub = KeyBatch(
+                    keys[pos : pos + take],
+                    lo[pos : pos + take],
+                    hi[pos : pos + take],
+                    None if byte_sizes is None else byte_sizes[pos : pos + take],
+                )
+                collector.process_batch(sub)
+                if rotation is not None:
+                    rotation.note(sub, timestamps[pos : pos + take])
+                pos += take
+                now = float(timestamps[pos - 1])
+            if rotation is not None and rotation.due():
+                exported = rotation.collect(collector, self._byte_counts())
+                self._emit(exported, rotations, now)
+                exported_all.extend(exported)
+                rotations += 1
+
+        # End-of-stream drain: everything still resident goes through
+        # the sinks, so the export stream is a complete record set.
+        byte_counts = self._byte_counts()
+        if rotation is None:
+            final = [
+                FlowRecord(
+                    key=key,
+                    packets=count,
+                    reason="final",
+                    octets=None if byte_counts is None else byte_counts.get(key),
+                )
+                for key, count in collector.records().items()
+            ]
+        else:
+            final = rotation.drain(collector, byte_counts)
+        self._emit(final, rotations, now)
+        exported_all.extend(final)
+        for sink in self.sinks:
+            sink.close()
+
+        names: dict[str, int] = {}
+        summaries: dict[str, dict] = {}
+        for sink in self.sinks:
+            count = names.get(sink.kind, 0)
+            names[sink.kind] = count + 1
+            label = sink.kind if count == 0 else f"{sink.kind}#{count}"
+            summaries[label] = sink.summary()
+        return PipelineResult(
+            packets=n,
+            rotations=rotations,
+            exported=len(exported_all),
+            records=merge_flow_records(exported_all),
+            sinks=summaries,
+        )
+
+
+def run_pipelines(
+    specs: Sequence[PipelineSpec | Mapping[str, Any]],
+    jobs: int | None = None,
+) -> list[dict]:
+    """Run pipelines as :mod:`repro.parallel` sweep cells.
+
+    Each spec's source must be parallel-dispatchable (expose a
+    :class:`~repro.parallel.plan.WorkloadRef`); the engine materializes
+    the workloads once per distinct base trace and the workers rebuild
+    each pipeline from its spec — serial (``jobs=1``) and parallel
+    results are bit-identical.
+
+    Args:
+        specs: pipeline specs (or their dicts), in output order.
+        jobs: worker processes (default: ``REPRO_JOBS`` env, else
+            serial).
+
+    Returns:
+        One :meth:`PipelineResult.summary` row per spec, in input order.
+
+    Raises:
+        ValueError: for a source the sweep engine cannot rebuild from
+            data (pcap, netwide).
+    """
+    from repro.parallel import SweepCell, run_plan
+
+    pipeline_specs = [
+        s if isinstance(s, PipelineSpec) else PipelineSpec.from_dict(s)
+        for s in specs
+    ]
+    cells = []
+    for index, spec in enumerate(pipeline_specs):
+        ref = spec.workload_ref()
+        if ref is None:
+            raise ValueError(
+                f"pipeline {index} ({spec!r}) has a source the sweep engine "
+                "cannot rebuild from data; run it with Pipeline.run() instead"
+            )
+        cells.append(
+            SweepCell(
+                workload=ref,
+                metrics=("pipeline",),
+                params={"pipeline": spec.to_dict()},
+                label=index,
+            )
+        )
+    results = run_plan(cells, jobs=jobs)
+    return [dict(result.rows[0]) for result in results]

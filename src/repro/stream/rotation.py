@@ -1,0 +1,442 @@
+"""Rotation policies: when and what a standing collector exports.
+
+Operational flow collection never reports once at the end of a run — it
+*rotates*: tables are exported and freed on a schedule so long-lived
+measurement keeps absorbing new flows.  The repo grew three separate
+embodiments of that idea (``EpochedHashFlow``'s packet-count epochs,
+``traces.replay.split_by_time``'s wall-clock windows, and
+``TimeoutHashFlow``'s RFC 3954 active/inactive expiry); this module
+unifies them behind one :class:`RotationPolicy` protocol that both the
+streaming :class:`~repro.stream.pipeline.Pipeline` and the legacy
+wrapper collectors (now thin adapters) drive.
+
+A policy answers four questions:
+
+* :meth:`~RotationPolicy.admit` — how many of the next pending packets
+  may be fed before a rotation check is due (so a batched feed never
+  overruns a rotation boundary);
+* :meth:`~RotationPolicy.note` — account a sub-batch that was just fed;
+* :meth:`~RotationPolicy.due` — is a rotation sweep pending;
+* :meth:`~RotationPolicy.collect` / :meth:`~RotationPolicy.drain` —
+  export the due records (evicting or resetting collector state) as
+  :class:`~repro.stream.records.FlowRecord`\\ s.
+
+Policies are spec-described (``{"kind": ..., "params": ...}``,
+JSON-native) so a :class:`~repro.stream.spec.PipelineSpec` can nest
+them next to the collector's :class:`~repro.specs.CollectorSpec`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.flow.batch import KeyBatch
+from repro.stream.records import FlowRecord
+
+
+def export_and_reset(collector) -> dict[int, int]:
+    """Export a collector's records and reset its tables in place.
+
+    The cost meter's cumulative counters survive the reset (rotation is
+    control-plane work; the dataplane cost history must not vanish with
+    the tables) — this is the exact bookkeeping
+    :meth:`~repro.core.adaptive.EpochedHashFlow.rotate` has always
+    done, hoisted here so every epoch-style rotation shares it.
+    """
+    exported = collector.records()
+    meter = collector.meter
+    packets = meter.packets
+    hashes, reads, writes = meter.hashes, meter.reads, meter.writes
+    collector.reset()
+    meter.packets = packets
+    meter.hashes, meter.reads, meter.writes = hashes, reads, writes
+    return exported
+
+
+def _records_from(
+    exported: Mapping[int, int],
+    reason: str,
+    byte_counts: Mapping[int, int] | None,
+) -> list[FlowRecord]:
+    """Wrap an exported ``{key: packets}`` map as :class:`FlowRecord`\\ s."""
+    if byte_counts is None:
+        return [
+            FlowRecord(key=key, packets=count, reason=reason)
+            for key, count in exported.items()
+        ]
+    return [
+        FlowRecord(
+            key=key, packets=count, reason=reason, octets=byte_counts.get(key)
+        )
+        for key, count in exported.items()
+    ]
+
+
+class RotationPolicy(ABC):
+    """When to export records from a standing collector, and which.
+
+    Subclasses implement the batched streaming protocol used by
+    :class:`~repro.stream.pipeline.Pipeline` (``admit`` → feed →
+    ``note`` → ``due`` → ``collect``) plus whatever scalar hooks their
+    legacy adapter needs.  All state a policy keeps is control-plane
+    state (packet counters, per-flow timestamps); the collector's
+    tables are only touched through ``records()``/``reset()``/
+    ``evict()`` during a sweep.
+    """
+
+    #: Registry kind name (``"count"`` / ``"interval"`` / ``"timeout"``).
+    kind: str = "rotation"
+
+    @abstractmethod
+    def spec_params(self) -> dict[str, Any]:
+        """JSON-native constructor params reproducing this policy."""
+
+    @property
+    def spec(self) -> dict[str, Any]:
+        """The ``{"kind": ..., "params": ...}`` description."""
+        return {"kind": self.kind, "params": self.spec_params()}
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Clear all rotation state."""
+
+    # ------------------------------------------------------------------
+    # Batched streaming protocol (Pipeline)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def admit(self, n: int, timestamps: np.ndarray | None) -> int:
+        """How many of the next ``n`` pending packets may be fed before
+        a rotation check.
+
+        Args:
+            n: packets pending in the current chunk.
+            timestamps: their arrival times (length >= ``n``), or None
+                for an untimestamped stream.
+
+        Returns:
+            A count in ``[0, n]``.  Returning 0 promises that
+            :meth:`due` is True (the pipeline must rotate before
+            feeding anything further).
+        """
+
+    @abstractmethod
+    def note(self, batch: KeyBatch, timestamps: np.ndarray | None) -> None:
+        """Account a sub-batch that was just fed to the collector."""
+
+    @abstractmethod
+    def due(self) -> bool:
+        """Whether a rotation sweep is pending."""
+
+    @abstractmethod
+    def collect(
+        self, collector, byte_counts: Mapping[int, int] | None = None
+    ) -> list[FlowRecord]:
+        """Run the due rotation: export (and free) the due records.
+
+        Args:
+            collector: the fed collector; epoch-style policies export
+                everything and reset it, expiry-style policies evict
+                per flow.
+            byte_counts: optional measured ``{key: octets}`` gathered
+                by the caller *before* the sweep (the sweep frees the
+                cells the counts live in).
+        """
+
+    def drain(
+        self, collector, byte_counts: Mapping[int, int] | None = None
+    ) -> list[FlowRecord]:
+        """Export everything still resident (end-of-stream).
+
+        Default: one final export-and-reset with reason ``"final"``.
+        """
+        exported = export_and_reset(collector)
+        self.reset()
+        if not exported:
+            return []
+        return _records_from(exported, "final", byte_counts)
+
+
+class CountRotation(RotationPolicy):
+    """Rotate after every ``epoch_packets`` packets.
+
+    The policy behind :class:`~repro.core.adaptive.EpochedHashFlow`:
+    a fixed packet budget per epoch, export-all at the boundary.
+
+    Args:
+        epoch_packets: packets per epoch (> 0).
+    """
+
+    kind = "count"
+
+    def __init__(self, epoch_packets: int):
+        if epoch_packets <= 0:
+            raise ValueError(f"epoch_packets must be positive, got {epoch_packets}")
+        self.epoch_packets = int(epoch_packets)
+        self._in_epoch = 0
+
+    def spec_params(self) -> dict[str, Any]:
+        return {"epoch_packets": self.epoch_packets}
+
+    def reset(self) -> None:
+        self._in_epoch = 0
+
+    # -- scalar adapter hooks (EpochedHashFlow) ------------------------
+    def tick(self) -> bool:
+        """Count one packet; returns whether the epoch just filled."""
+        self._in_epoch += 1
+        return self._in_epoch >= self.epoch_packets
+
+    def mark_rotated(self) -> None:
+        """Start a fresh epoch (the adapter ran its own export)."""
+        self._in_epoch = 0
+
+    # -- batched protocol ----------------------------------------------
+    def admit(self, n: int, timestamps: np.ndarray | None) -> int:
+        return min(n, self.epoch_packets - self._in_epoch)
+
+    def note(self, batch: KeyBatch, timestamps: np.ndarray | None) -> None:
+        self._in_epoch += len(batch)
+
+    def due(self) -> bool:
+        return self._in_epoch >= self.epoch_packets
+
+    def collect(
+        self, collector, byte_counts: Mapping[int, int] | None = None
+    ) -> list[FlowRecord]:
+        exported = export_and_reset(collector)
+        self._in_epoch = 0
+        return _records_from(exported, "epoch", byte_counts)
+
+
+class IntervalRotation(RotationPolicy):
+    """Rotate at fixed wall-clock window boundaries.
+
+    The streaming form of :func:`repro.traces.replay.split_by_time`:
+    windows are ``[k*window, (k+1)*window)`` anchored at the first
+    packet's timestamp, and empty windows are skipped (no empty
+    exports), matching the splitter's behaviour.
+
+    Args:
+        window: window length in seconds (> 0).
+    """
+
+    kind = "interval"
+
+    def __init__(self, window: float):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = float(window)
+        self._epoch_end: float | None = None
+        self._due = False
+
+    def spec_params(self) -> dict[str, Any]:
+        return {"window": self.window}
+
+    def reset(self) -> None:
+        self._epoch_end = None
+        self._due = False
+
+    def admit(self, n: int, timestamps: np.ndarray | None) -> int:
+        if timestamps is None:
+            raise ValueError("interval rotation needs packet timestamps")
+        first = float(timestamps[0])
+        if self._epoch_end is None:
+            self._epoch_end = (first // self.window + 1.0) * self.window
+        if first >= self._epoch_end:
+            # Advance past empty windows in one go; the pending export
+            # belongs to the window(s) that just closed.
+            while first >= self._epoch_end:
+                self._epoch_end += self.window
+            self._due = True
+            return 0
+        return int(np.searchsorted(timestamps[:n], self._epoch_end, side="left"))
+
+    def note(self, batch: KeyBatch, timestamps: np.ndarray | None) -> None:
+        pass  # window state advances in admit; nothing per-batch
+
+    def due(self) -> bool:
+        return self._due
+
+    def collect(
+        self, collector, byte_counts: Mapping[int, int] | None = None
+    ) -> list[FlowRecord]:
+        exported = export_and_reset(collector)
+        self._due = False
+        return _records_from(exported, "interval", byte_counts)
+
+
+class TimeoutRotation(RotationPolicy):
+    """RFC 3954 active/inactive timeout expiry.
+
+    The policy behind :class:`~repro.core.timeout.TimeoutHashFlow`:
+    per-flow first/last-seen timestamps live control-plane side, an
+    expiry sweep runs every ``expiry_interval`` packets, and a sweep
+    exports (then evicts) every flow idle past ``inactive_timeout`` or
+    alive past ``active_timeout``.  Requires a collector with a
+    per-flow ``evict`` method (e.g. HashFlow).
+
+    Args:
+        inactive_timeout: seconds of silence before export (NetFlow
+            default: 15s).
+        active_timeout: maximum record lifetime before a mid-flow
+            export (NetFlow default: 30min).
+        expiry_interval: packets between sweeps.
+    """
+
+    kind = "timeout"
+
+    def __init__(
+        self,
+        inactive_timeout: float = 15.0,
+        active_timeout: float = 1800.0,
+        expiry_interval: int = 1024,
+    ):
+        if inactive_timeout <= 0 or active_timeout <= 0:
+            raise ValueError("timeouts must be positive")
+        if active_timeout < inactive_timeout:
+            raise ValueError("active timeout must be >= inactive timeout")
+        if expiry_interval <= 0:
+            raise ValueError(f"expiry_interval must be positive, got {expiry_interval}")
+        self.inactive_timeout = float(inactive_timeout)
+        self.active_timeout = float(active_timeout)
+        self.expiry_interval = int(expiry_interval)
+        self._first_seen: dict[int, float] = {}
+        self._last_seen: dict[int, float] = {}
+        self._now = 0.0
+        self._since_sweep = 0
+
+    def spec_params(self) -> dict[str, Any]:
+        return {
+            "inactive_timeout": self.inactive_timeout,
+            "active_timeout": self.active_timeout,
+            "expiry_interval": self.expiry_interval,
+        }
+
+    def reset(self) -> None:
+        self._first_seen.clear()
+        self._last_seen.clear()
+        self._now = 0.0
+        self._since_sweep = 0
+
+    # -- scalar adapter hooks (TimeoutHashFlow) ------------------------
+    @property
+    def now(self) -> float:
+        """The policy's clock: the latest timestamp observed."""
+        return self._now
+
+    def track(self, key: int, timestamp: float) -> bool:
+        """Observe one timestamped packet; returns whether a sweep is due."""
+        self._now = max(self._now, timestamp)
+        if key not in self._first_seen:
+            self._first_seen[key] = timestamp
+        self._last_seen[key] = timestamp
+        self._since_sweep += 1
+        return self._since_sweep >= self.expiry_interval
+
+    def touch(self, key: int) -> None:
+        """Observe an untimestamped packet: timing maps update at the
+        current clock, but the clock and the sweep counter stand still
+        (plain ``process(key)`` semantics)."""
+        self._first_seen.setdefault(key, self._now)
+        self._last_seen[key] = self._now
+
+    def flush_horizon(self) -> float:
+        """A clock value late enough to expire every resident flow."""
+        return self._now + self.active_timeout + self.inactive_timeout
+
+    def sweep(
+        self,
+        collector,
+        now: float,
+        byte_counts: Mapping[int, int] | None = None,
+    ) -> list[FlowRecord]:
+        """Export and evict every flow past a timeout at clock ``now``."""
+        self._since_sweep = 0
+        exported: list[FlowRecord] = []
+        for key, last in list(self._last_seen.items()):
+            first = self._first_seen[key]
+            if now - last >= self.inactive_timeout:
+                reason = "inactive"
+            elif now - first >= self.active_timeout:
+                reason = "active"
+            else:
+                continue
+            count = collector.query(key)
+            if count > 0:
+                exported.append(
+                    FlowRecord(
+                        key=key,
+                        packets=count,
+                        first_seen=first,
+                        last_seen=last,
+                        reason=reason,
+                        octets=None if byte_counts is None else byte_counts.get(key),
+                    )
+                )
+            collector.evict(key)
+            del self._first_seen[key]
+            del self._last_seen[key]
+        return exported
+
+    # -- batched protocol ----------------------------------------------
+    def admit(self, n: int, timestamps: np.ndarray | None) -> int:
+        return min(n, self.expiry_interval - self._since_sweep)
+
+    def note(self, batch: KeyBatch, timestamps: np.ndarray | None) -> None:
+        if timestamps is None:
+            raise ValueError("timeout rotation needs packet timestamps")
+        first_seen = self._first_seen
+        last_seen = self._last_seen
+        times = (
+            timestamps.tolist()
+            if isinstance(timestamps, np.ndarray)
+            else list(timestamps)
+        )
+        for key, ts in zip(batch.keys, times):
+            if key not in first_seen:
+                first_seen[key] = ts
+            last_seen[key] = ts
+        # Timestamps are non-decreasing within a trace, so the last
+        # packet of the sub-batch carries the latest clock.
+        self._now = max(self._now, times[-1])
+        self._since_sweep += len(batch)
+
+    def due(self) -> bool:
+        return self._since_sweep >= self.expiry_interval
+
+    def collect(
+        self, collector, byte_counts: Mapping[int, int] | None = None
+    ) -> list[FlowRecord]:
+        return self.sweep(collector, self._now, byte_counts)
+
+    def drain(
+        self, collector, byte_counts: Mapping[int, int] | None = None
+    ) -> list[FlowRecord]:
+        """One sweep with an infinitely late clock (everything expires)."""
+        exported = self.sweep(collector, self.flush_horizon(), byte_counts)
+        self.reset()
+        return exported
+
+
+#: Registered rotation kinds.
+ROTATIONS: dict[str, type[RotationPolicy]] = {
+    CountRotation.kind: CountRotation,
+    IntervalRotation.kind: IntervalRotation,
+    TimeoutRotation.kind: TimeoutRotation,
+}
+
+
+def build_rotation(spec: Mapping[str, Any] | RotationPolicy | None):
+    """Build a rotation policy from its spec dict (passthrough for
+    instances and None)."""
+    if spec is None or isinstance(spec, RotationPolicy):
+        return spec
+    kind = spec.get("kind") if isinstance(spec, Mapping) else None
+    if kind not in ROTATIONS:
+        raise ValueError(
+            f"unknown rotation kind {kind!r}; available: {', '.join(sorted(ROTATIONS))}"
+        )
+    return ROTATIONS[kind](**dict(spec.get("params", {})))

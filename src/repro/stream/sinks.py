@@ -1,0 +1,375 @@
+"""Sinks: where a streaming pipeline's exported records go.
+
+A :class:`Sink` receives every rotation's exported
+:class:`~repro.stream.records.FlowRecord`\\ s.  Transport sinks encode
+them for downstream consumers (NetFlow v5 datagrams, JSON/CSV lines, an
+in-memory archive); analysis *taps* run a per-rotation analysis stage
+(heavy hitters, cardinality, anomaly detection) over the export stream
+instead of forwarding it.  Sinks are spec-described
+(``{"kind": ..., "params": ...}``, JSON-native) so a
+:class:`~repro.stream.spec.PipelineSpec` can carry any fan-out of them.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.flow.packet import DEFAULT_PACKET_BYTES
+from repro.stream.records import FlowRecord, merge_flow_records
+
+
+class Sink(ABC):
+    """A spec-described consumer of exported flow records."""
+
+    #: Registry kind name.
+    kind: str = "sink"
+
+    @abstractmethod
+    def spec_params(self) -> dict[str, Any]:
+        """JSON-native constructor params reproducing this sink."""
+
+    @property
+    def spec(self) -> dict[str, Any]:
+        """The ``{"kind": ..., "params": ...}`` description."""
+        return {"kind": self.kind, "params": self.spec_params()}
+
+    @abstractmethod
+    def emit(self, records: list[FlowRecord], rotation: int, now: float) -> None:
+        """Receive one rotation's exported records.
+
+        Args:
+            records: the rotation's exports (may be empty).
+            rotation: 0-based rotation index (the end-of-stream drain
+                uses the next index after the last rotation).
+            now: the pipeline clock at export time (seconds).
+        """
+
+    def close(self) -> None:
+        """End-of-stream hook (flush files, settle state)."""
+
+    @abstractmethod
+    def summary(self) -> dict[str, Any]:
+        """JSON-native totals for reports and parallel result rows."""
+
+
+class NetFlowV5Sink(Sink):
+    """Encode every rotation as standard NetFlow v5 datagrams.
+
+    Measured byte counts and flow timing carried on the records are
+    wired into ``dOctets`` / ``first`` / ``last`` (see
+    :meth:`repro.export.netflow_v5.NetFlowV5Exporter.export_flows` for
+    the fallback precedence); the datagrams accumulate on
+    :attr:`datagrams` for transport or parse-back verification.
+
+    Args:
+        engine_id: exporter identifier carried in every header.
+        sampling_interval: header sampling field (0 = unsampled).
+        mean_packet_bytes: dOctets fallback estimate for records
+            without measured byte counts.
+        unix_secs: export wall-clock stamp for the headers (kept a
+            constant parameter so pipeline runs are deterministic).
+    """
+
+    kind = "netflow_v5"
+
+    def __init__(
+        self,
+        engine_id: int = 0,
+        sampling_interval: int = 0,
+        mean_packet_bytes: int = DEFAULT_PACKET_BYTES,
+        unix_secs: int = 0,
+    ):
+        from repro.export.netflow_v5 import NetFlowV5Exporter
+
+        self.exporter = NetFlowV5Exporter(
+            engine_id=engine_id,
+            sampling_interval=sampling_interval,
+            mean_packet_bytes=mean_packet_bytes,
+        )
+        self.unix_secs = int(unix_secs)
+        self.datagrams: list[bytes] = []
+        self._records = 0
+
+    def spec_params(self) -> dict[str, Any]:
+        return {
+            "engine_id": self.exporter.engine_id,
+            "sampling_interval": self.exporter.sampling_interval,
+            "mean_packet_bytes": self.exporter.mean_packet_bytes,
+            "unix_secs": self.unix_secs,
+        }
+
+    def emit(self, records: list[FlowRecord], rotation: int, now: float) -> None:
+        if not records:
+            return
+        self.datagrams.extend(
+            self.exporter.export_flows(
+                records,
+                sys_uptime_ms=int(round(now * 1000.0)),
+                unix_secs=self.unix_secs,
+            )
+        )
+        self._records += len(records)
+
+    def parse_back(self) -> dict[int, int]:
+        """Decode the accumulated datagrams back into merged records."""
+        from repro.export.netflow_v5 import parse_stream
+
+        return parse_stream(iter(self.datagrams))
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "datagrams": len(self.datagrams),
+            "records": self._records,
+            "bytes": sum(len(d) for d in self.datagrams),
+        }
+
+
+class TextSink(Sink):
+    """Write exported records as JSON lines or CSV rows.
+
+    One line per exported record with the 5-tuple broken out (the
+    per-rotation sibling of :mod:`repro.export.text`'s whole-run
+    dumps), annotated with the rotation index and export reason.
+
+    Args:
+        fmt: ``"jsonl"`` or ``"csv"``.
+        path: optional output file, written on :meth:`close`; when
+            None the text stays in memory (:meth:`text`).
+    """
+
+    CSV_COLUMNS = (
+        "rotation", "src_ip", "dst_ip", "src_port", "dst_port", "proto",
+        "packets", "octets", "first_seen", "last_seen", "reason",
+    )
+
+    def __init__(self, fmt: str = "jsonl", path: str | None = None):
+        if fmt not in ("jsonl", "csv"):
+            raise ValueError(f"unknown text sink format {fmt!r}")
+        self.fmt = fmt
+        self.path = None if path is None else str(path)
+        self._lines: list[str] = []
+
+    @property
+    def kind(self) -> str:  # type: ignore[override]
+        return self.fmt
+
+    def spec_params(self) -> dict[str, Any]:
+        return {"path": self.path}
+
+    def emit(self, records: list[FlowRecord], rotation: int, now: float) -> None:
+        from repro.flow.key import format_ip, unpack_key
+
+        for record in records:
+            src_ip, dst_ip, src_port, dst_port, proto = unpack_key(record.key)
+            row = {
+                "rotation": rotation,
+                "src_ip": format_ip(src_ip),
+                "dst_ip": format_ip(dst_ip),
+                "src_port": src_port,
+                "dst_port": dst_port,
+                "proto": proto,
+                "packets": record.packets,
+                "octets": record.octets,
+                "first_seen": record.first_seen,
+                "last_seen": record.last_seen,
+                "reason": record.reason,
+            }
+            if self.fmt == "jsonl":
+                self._lines.append(json.dumps(row, separators=(",", ":")))
+            else:
+                buffer = io.StringIO()
+                csv.writer(buffer).writerow(row[c] for c in self.CSV_COLUMNS)
+                self._lines.append(buffer.getvalue().rstrip("\r\n"))
+
+    def text(self) -> str:
+        """The accumulated output (CSV includes its header line)."""
+        lines = self._lines
+        if self.fmt == "csv":
+            lines = [",".join(self.CSV_COLUMNS), *lines]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def close(self) -> None:
+        if self.path is not None:
+            Path(self.path).write_text(self.text(), encoding="utf-8")
+
+    def summary(self) -> dict[str, Any]:
+        return {"lines": len(self._lines), "path": self.path}
+
+
+class ArchiveSink(Sink):
+    """Keep every exported record in memory.
+
+    The streaming counterpart of ``TimeoutHashFlow.exported`` /
+    ``EpochedHashFlow``'s archive: :attr:`exported` preserves each
+    export verbatim, :meth:`merged` sums per flow.
+    """
+
+    kind = "archive"
+
+    def __init__(self):
+        self.exported: list[FlowRecord] = []
+
+    def spec_params(self) -> dict[str, Any]:
+        return {}
+
+    def emit(self, records: list[FlowRecord], rotation: int, now: float) -> None:
+        self.exported.extend(records)
+
+    def merged(self) -> dict[int, int]:
+        """Merged ``{key: packets}`` across every export."""
+        return merge_flow_records(self.exported)
+
+    def summary(self) -> dict[str, Any]:
+        return {"exports": len(self.exported), "flows": len(self.merged())}
+
+
+class HeavyHitterTap(Sink):
+    """Per-rotation heavy-hitter stage over the export stream.
+
+    A flow is heavy when an export reports more than ``threshold``
+    packets (the paper's §IV-A definition, applied per rotation —
+    a long flow split across rotations must be heavy within one).
+
+    Args:
+        threshold: packet-count threshold ``T``.
+    """
+
+    kind = "heavy_hitters"
+
+    def __init__(self, threshold: int):
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        self.threshold = int(threshold)
+        self._top: dict[int, int] = {}
+
+    def spec_params(self) -> dict[str, Any]:
+        return {"threshold": self.threshold}
+
+    def emit(self, records: list[FlowRecord], rotation: int, now: float) -> None:
+        top = self._top
+        threshold = self.threshold
+        for record in records:
+            if record.packets > threshold:
+                if record.packets > top.get(record.key, 0):
+                    top[record.key] = record.packets
+
+    def top(self) -> dict[int, int]:
+        """Detected heavy hitters: ``{key: largest exported count}``."""
+        return dict(self._top)
+
+    def summary(self) -> dict[str, Any]:
+        return {"heavy_hitters": len(self._top), "threshold": self.threshold}
+
+
+class CardinalityTap(Sink):
+    """Track distinct flows seen across the export stream.
+
+    Exact over exports (each export carries a full flow ID), with a
+    per-emit series for trend analysis — one entry per rotation plus
+    one for the end-of-stream drain, so ``len(series)`` counts emits,
+    not rotations.
+    """
+
+    kind = "cardinality"
+
+    def __init__(self):
+        self._seen: set[int] = set()
+        self.series: list[int] = []
+
+    def spec_params(self) -> dict[str, Any]:
+        return {}
+
+    def emit(self, records: list[FlowRecord], rotation: int, now: float) -> None:
+        self._seen.update(record.key for record in records)
+        self.series.append(len(records))
+
+    def flows_seen(self) -> int:
+        """Distinct flows exported so far."""
+        return len(self._seen)
+
+    def summary(self) -> dict[str, Any]:
+        return {"flows_seen": len(self._seen), "exports": sum(self.series)}
+
+
+class AnomalyTap(Sink):
+    """Per-rotation anomaly stage: volume spikes and scanner fan-out.
+
+    An EWMA detector (:class:`repro.analysis.anomaly.EwmaDetector`)
+    watches the per-rotation exported-record volume for spikes (the
+    DDoS/flood signature); optionally each rotation is scanned for
+    high-fan-out sources (:func:`repro.analysis.anomaly.detect_scanners`).
+
+    Args:
+        alpha: EWMA smoothing factor.
+        k: alert threshold in EWMA standard deviations.
+        warmup: rotations absorbed before alerting starts.
+        min_fanout: when set, flag sources touching more than this many
+            distinct destinations within one rotation.
+    """
+
+    kind = "anomaly"
+
+    def __init__(
+        self,
+        alpha: float = 0.3,
+        k: float = 3.0,
+        warmup: int = 5,
+        min_fanout: int | None = None,
+    ):
+        from repro.analysis.anomaly import EwmaDetector
+
+        self.detector = EwmaDetector(alpha=alpha, k=k, warmup=warmup)
+        self.min_fanout = min_fanout
+        self.alerts: list[int] = []
+        self.scanners: dict[int, int] = {}
+
+    def spec_params(self) -> dict[str, Any]:
+        return {
+            "alpha": self.detector.alpha,
+            "k": self.detector.k,
+            "warmup": self.detector.warmup,
+            "min_fanout": self.min_fanout,
+        }
+
+    def emit(self, records: list[FlowRecord], rotation: int, now: float) -> None:
+        if self.detector.observe(float(len(records))):
+            self.alerts.append(rotation)
+        if self.min_fanout is not None and records:
+            from repro.analysis.anomaly import detect_scanners
+
+            counts = merge_flow_records(records)
+            for src, fanout in detect_scanners(counts, self.min_fanout).items():
+                if fanout > self.scanners.get(src, 0):
+                    self.scanners[src] = fanout
+
+    def summary(self) -> dict[str, Any]:
+        return {"alerts": len(self.alerts), "scanners": len(self.scanners)}
+
+
+#: Registered sink kinds (text formats register per format name).
+SINKS: dict[str, Any] = {
+    NetFlowV5Sink.kind: NetFlowV5Sink,
+    "jsonl": lambda **params: TextSink(fmt="jsonl", **params),
+    "csv": lambda **params: TextSink(fmt="csv", **params),
+    ArchiveSink.kind: ArchiveSink,
+    HeavyHitterTap.kind: HeavyHitterTap,
+    CardinalityTap.kind: CardinalityTap,
+    AnomalyTap.kind: AnomalyTap,
+}
+
+
+def build_sink(spec: Mapping[str, Any] | Sink) -> Sink:
+    """Build a sink from its spec dict (passthrough for instances)."""
+    if isinstance(spec, Sink):
+        return spec
+    kind = spec.get("kind") if isinstance(spec, Mapping) else None
+    if kind not in SINKS:
+        raise ValueError(
+            f"unknown sink kind {kind!r}; available: {', '.join(sorted(SINKS))}"
+        )
+    return SINKS[kind](**dict(spec.get("params", {})))

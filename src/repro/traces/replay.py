@@ -14,8 +14,6 @@ from collections.abc import Callable, Iterator, Mapping
 from dataclasses import dataclass
 from pathlib import Path
 
-import numpy as np
-
 from repro.sketches.base import FlowCollector
 from repro.specs import CollectorSpec, as_spec
 from repro.traces.trace import Trace
@@ -57,13 +55,8 @@ def split_by_time(trace: Trace, window: float) -> Iterator[Trace]:
 
 
 def _slice(trace: Trace, start: int, end: int) -> Trace:
-    order = trace.order[start:end]
-    used = np.unique(order)
-    remap = -np.ones(trace.num_flows, dtype=np.int64)
-    remap[used] = np.arange(len(used))
-    keys = [trace.flow_keys[i] for i in used.tolist()]
-    ts = None if trace.timestamps is None else trace.timestamps[start:end]
-    return Trace(keys, remap[order], ts, name=f"{trace.name}[{start}:{end}]")
+    # Kept as the module's internal spelling; the logic lives on Trace.
+    return trace.slice_packets(start, end)
 
 
 @dataclass(frozen=True, slots=True)

@@ -196,6 +196,22 @@ class Trace:
             appeared = np.concatenate([appeared, missing])
         return appeared[:n_flows]
 
+    def slice_packets(self, start: int, end: int) -> Trace:
+        """The packets in ``[start, end)`` as a new trace.
+
+        Flows without packets in the window are dropped and the
+        remaining flows re-indexed in window order — the epoch-slicing
+        primitive behind :func:`repro.traces.replay.split_by_packets`
+        and the streaming :class:`~repro.stream.sources.TraceArraySource`.
+        """
+        order = self.order[start:end]
+        used = np.unique(order)
+        remap = -np.ones(self.num_flows, dtype=np.int64)
+        remap[used] = np.arange(len(used))
+        keys = [self.flow_keys[i] for i in used.tolist()]
+        ts = None if self.timestamps is None else self.timestamps[start:end]
+        return Trace(keys, remap[order], ts, name=f"{self.name}[{start}:{end}]")
+
     def truncate_packets(self, n_packets: int) -> Trace:
         """Keep only the first ``n_packets`` packets."""
         if n_packets < 0:

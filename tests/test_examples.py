@@ -95,6 +95,8 @@ class TestExamplesRun:
         out = capsys.readouterr().out
         assert "NetFlow v5" in out
         assert "OK" in out
+        assert "MISMATCH" not in out
+        assert "spec round trip" in out
 
     def test_epoch_monitoring(self, capsys):
         module = load_example("epoch_monitoring")
@@ -104,6 +106,9 @@ class TestExamplesRun:
         module.main()
         out = capsys.readouterr().out
         assert "epoch runner" in out
+        assert "stream pipeline" in out
+        assert "adapter: match" in out
+        assert "timeout pipeline" in out
         assert "AdaptiveHashFlow" in out
 
     def test_p4_codegen(self, capsys, tmp_path, monkeypatch):

@@ -109,6 +109,59 @@ class TestMain:
         assert main(["run", "nope"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
+    def test_stream_round_trip_via_saved_spec(self, capsys, tmp_path):
+        spec_path = tmp_path / "pipeline.json"
+        code = main(
+            [
+                "stream",
+                "--trace", "caida",
+                "--flows", "1000",
+                "--memory", "32768",
+                "--rotate", "timeout:0.05,60",
+                "--sink", "netflow",
+                "--sink", "heavy_hitters:50",
+                "--save-spec", str(spec_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "netflow parse-back: OK" in out
+        assert spec_path.exists()
+        # Rebuild from the saved PipelineSpec: the public --spec path.
+        assert main(["stream", "--spec", str(spec_path)]) == 0
+        out2 = capsys.readouterr().out
+        assert "netflow parse-back: OK" in out2
+
+    def test_stream_rotation_variants(self, capsys):
+        for rotate in ("count:2000", "interval:0.1", "none"):
+            assert main(
+                [
+                    "stream",
+                    "--flows", "500",
+                    "--memory", "32768",
+                    "--rotate", rotate,
+                    "--sink", "archive",
+                ]
+            ) == 0
+        capsys.readouterr()
+
+    def test_stream_rejects_bad_stage_args(self):
+        base = ["stream", "--flows", "200", "--memory", "32768"]
+        with pytest.raises(SystemExit):
+            main([*base, "--rotate", "count"])  # missing budget
+        with pytest.raises(SystemExit):
+            main([*base, "--rotate", "none:5"])  # stray argument
+        with pytest.raises(SystemExit):
+            main([*base, "--sink", "archive:5"])  # stray argument
+        with pytest.raises(SystemExit):
+            main([*base, "--sink", "heavy_hitters"])  # missing threshold
+        with pytest.raises(SystemExit):
+            main([*base, "--sink", "nope"])
+
+    def test_stream_missing_spec_file_errors(self, capsys, tmp_path):
+        assert main(["stream", "--spec", str(tmp_path / "nope.json")]) == 2
+        assert "cannot build pipeline" in capsys.readouterr().err
+
     def test_run_small_experiment(self, capsys, tmp_path):
         code = main(["run", "fig2d", "--out", str(tmp_path)])
         assert code == 0

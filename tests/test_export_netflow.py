@@ -124,6 +124,142 @@ class TestParseErrors:
             parse_datagram(good[:-10])
 
 
+class TestMeasuredFields:
+    """dOctets / first / last precedence: measured values win, the
+    mean-packet-size / sys_uptime estimates stay as fallbacks."""
+
+    def test_measured_octets_override_estimate(self):
+        exporter = NetFlowV5Exporter(mean_packet_bytes=100)
+        a, b = pack_key(1, 2, 3, 4, 6), pack_key(5, 6, 7, 8, 17)
+        datagrams = exporter.export({a: 7, b: 2}, octets={a: 999})
+        parsed = {r.key: r for r in parse_datagram(datagrams[0])[1]}
+        assert parsed[a].octets == 999  # measured wins
+        assert parsed[b].octets == 200  # estimate fallback
+
+    def test_times_ms_override_uptime(self):
+        exporter = NetFlowV5Exporter()
+        a, b = pack_key(1, 2, 3, 4, 6), pack_key(5, 6, 7, 8, 17)
+        datagrams = exporter.export(
+            {a: 1, b: 1}, sys_uptime_ms=5000, times_ms={a: (1234, 4321)}
+        )
+        parsed = {r.key: r for r in parse_datagram(datagrams[0])[1]}
+        assert (parsed[a].first_ms, parsed[a].last_ms) == (1234, 4321)
+        assert (parsed[b].first_ms, parsed[b].last_ms) == (5000, 5000)
+
+    def test_export_flows_round_trips_flow_timing(self):
+        from repro.stream.records import FlowRecord
+
+        flow = FlowRecord(
+            key=pack_key(9, 9, 9, 9, 6), packets=4,
+            first_seen=1.2345, last_seen=6.789, reason="inactive",
+            octets=2800,
+        )
+        datagrams = NetFlowV5Exporter().export_flows([flow])
+        record = parse_datagram(datagrams[0])[1][0]
+        assert record.packets == 4
+        assert record.octets == 2800
+        assert record.first_ms == round(1.2345 * 1000)
+        assert record.last_ms == round(6.789 * 1000)
+
+    def test_export_flows_keeps_timing_measured_at_zero(self):
+        # A flow whose only packet arrives at t=0.0 has real timing;
+        # it must not fall back to the header uptime.
+        from repro.stream.records import FlowRecord
+
+        flow = FlowRecord(
+            key=pack_key(9, 9, 9, 9, 6), packets=1,
+            first_seen=0.0, last_seen=0.0, reason="inactive",
+        )
+        datagrams = NetFlowV5Exporter().export_flows([flow], sys_uptime_ms=99_999)
+        record = parse_datagram(datagrams[0])[1][0]
+        assert (record.first_ms, record.last_ms) == (0, 0)
+
+    def test_export_flows_untracked_timing_falls_back(self):
+        from repro.stream.records import FlowRecord
+
+        flow = FlowRecord(key=pack_key(9, 9, 9, 9, 6), packets=1, reason="epoch")
+        datagrams = NetFlowV5Exporter().export_flows([flow], sys_uptime_ms=5000)
+        record = parse_datagram(datagrams[0])[1][0]
+        assert (record.first_ms, record.last_ms) == (5000, 5000)
+
+    def test_export_flows_partially_measured_octets_use_estimate(self):
+        # One measured segment + one unmeasured segment: a partial sum
+        # would under-report, so the whole flow uses the estimate.
+        from repro.stream.records import FlowRecord
+
+        key = pack_key(9, 9, 9, 9, 6)
+        flows = [
+            FlowRecord(key=key, packets=3, octets=300),
+            FlowRecord(key=key, packets=5),
+        ]
+        exporter = NetFlowV5Exporter(mean_packet_bytes=100)
+        record = parse_datagram(exporter.export_flows(flows)[0])[1][0]
+        assert record.packets == 8
+        assert record.octets == 800  # 8 packets * 100 B estimate
+
+    def test_export_flows_merges_duplicate_keys(self):
+        from repro.stream.records import FlowRecord
+
+        key = pack_key(9, 9, 9, 9, 6)
+        flows = [
+            FlowRecord(key=key, packets=3, first_seen=1.0, last_seen=2.0,
+                       octets=300),
+            FlowRecord(key=key, packets=5, first_seen=4.0, last_seen=9.0,
+                       octets=500),
+        ]
+        record = parse_datagram(NetFlowV5Exporter().export_flows(flows)[0])[1][0]
+        assert record.packets == 8
+        assert record.octets == 800
+        assert (record.first_ms, record.last_ms) == (1000, 9000)
+
+
+class TestTimeoutExportWiring:
+    """TimeoutHashFlow's first/last seen reach the v5 first/last fields."""
+
+    def test_exported_records_carry_their_timing(self):
+        from repro.core.hashflow import HashFlow
+        from repro.core.timeout import TimeoutHashFlow
+        from repro.flow.packet import Packet
+
+        t = TimeoutHashFlow(
+            HashFlow(main_cells=256, seed=1),
+            inactive_timeout=1.0, active_timeout=60.0, expiry_interval=10_000,
+        )
+        key = pack_key(10, 20, 30, 40, 6)
+        for ts in (0.25, 0.5, 2.0):
+            t.process_packet(Packet(key=key, timestamp=ts))
+        exported = t.flush()
+        datagrams = NetFlowV5Exporter().export_flows(exported)
+        parsed = {r.key: r for r in parse_datagram(datagrams[0])[1]}
+        assert parsed[key].first_ms == 250
+        assert parsed[key].last_ms == 2000
+        assert parsed[key].packets == 3
+
+    def test_round_trip_through_full_expiry_run(self, small_trace):
+        from repro.core.hashflow import HashFlow
+        from repro.core.timeout import TimeoutHashFlow
+
+        t = TimeoutHashFlow(
+            HashFlow(main_cells=4096, seed=2),
+            inactive_timeout=0.5, active_timeout=30.0, expiry_interval=256,
+        )
+        # Untimestamped trace: clock it by packet index.
+        for i, key in enumerate(small_trace.keys()):
+            from repro.flow.packet import Packet
+
+            t.process_packet(Packet(key=key, timestamp=i / 1000.0))
+        t.flush()
+        datagrams = NetFlowV5Exporter().export_flows(t.exported)
+        merged = parse_stream(iter(datagrams))
+        expected: dict[int, int] = {}
+        for record in t.exported:
+            expected[record.key] = expected.get(record.key, 0) + record.packets
+        assert merged == expected
+        # Timing fields are populated (not the pre-wiring zeros).
+        _, records = parse_datagram(datagrams[0])
+        assert any(r.last_ms > 0 for r in records)
+
+
 class TestCollectorIntegration:
     def test_export_hashflow_records(self, small_trace):
         from repro.core.hashflow import HashFlow
@@ -133,3 +269,17 @@ class TestCollectorIntegration:
         records = hf.records()
         merged = parse_stream(NetFlowV5Exporter().export(records))
         assert merged == records
+
+    def test_byte_tracking_hashflow_populates_octets(self, small_trace):
+        from repro.core.hashflow import HashFlow
+
+        hf = HashFlow(main_cells=8192, seed=1, track_bytes=True)
+        hf.process_all(small_trace.key_batch(sizes=123))
+        records = hf.records()
+        datagrams = NetFlowV5Exporter(mean_packet_bytes=700).export(
+            records, octets=hf.byte_records()
+        )
+        for datagram in datagrams:
+            for record in parse_datagram(datagram)[1]:
+                # Measured 123 B packets, not the 700 B estimate.
+                assert record.octets % 123 == 0
