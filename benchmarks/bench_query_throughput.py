@@ -27,8 +27,9 @@ import time
 
 import pytest
 
-from benchmarks.conftest import RESULTS_DIR
-from repro.specs import build_evaluated
+from benchmarks.conftest import RESULTS_DIR, update_headline
+from repro.native import native_available
+from repro.specs import build, build_evaluated
 from repro.experiments.report import save_result
 from repro.experiments.runner import ExperimentResult, make_workload
 from repro.sketches.countmin import CountMinSketch
@@ -138,3 +139,35 @@ def test_query_speedup_recorded(workload):
             f"scalar path (floor {SPEEDUP_FLOOR}x) — batch-query engine "
             "regression"
         )
+
+
+def test_native_query_speedup_recorded(workload):
+    """Record the native/numpy batched-query speedup for HashFlow.
+
+    The query side of the native tier's headline claim; merged into
+    ``BENCH_headline.json`` alongside the update-side ratio.
+    """
+    if not native_available():
+        pytest.skip("native kernel tier unavailable (no C compiler)")
+    n = len(workload.truth_batch)
+    times = {}
+    for tier in ("numpy", "native"):
+        collector = build("hashflow", memory_bytes=MEMORY, seed=0, kernel=tier)
+        workload.feed(collector)
+
+        def run():
+            collector.query_batch(workload.truth_batch)
+
+        times[tier] = _best_of(3, run)
+    speedup = times["numpy"] / times["native"]
+    print(
+        f"\nnative query: numpy {n / times['numpy'] / 1e6:.2f} Mqps, "
+        f"native {n / times['native'] / 1e6:.2f} Mqps ({speedup:.2f}x)"
+    )
+    update_headline(
+        native_query_qps=round(n / times["native"]),
+        native_query_speedup=round(speedup, 2),
+    )
+    # Record-only by default: bit-identity already gates correctness and
+    # the update-side floor gates the native tier's health in CI.
+    assert speedup > 0

@@ -15,16 +15,24 @@ Two paths are measured per collector (see DESIGN.md §2):
 ``test_batch_speedup_recorded`` persists the scalar/batched ratio under
 ``benchmarks/results/`` and fails if the engine regresses below the
 floor, so hot-path slowdowns are caught loudly.
+
+``test_native_update_speedup_recorded`` measures the native C kernel
+tier against the numpy tier on the same workload (the tiers are
+bit-identical, so this ratio is pure speed) and merges the result into
+``BENCH_headline.json``.  ``NATIVE_SPEEDUP_FLOOR`` (default 0 = record
+only; the CI native-smoke job sets 3) turns the ratio into a gate.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import pytest
 
-from benchmarks.conftest import RESULTS_DIR
-from repro.specs import build_evaluated
+from benchmarks.conftest import RESULTS_DIR, update_headline
+from repro.native import native_available
+from repro.specs import build, build_evaluated
 from repro.experiments.report import save_result
 from repro.experiments.runner import ExperimentResult, make_workload
 from repro.sketches.countmin import CountMinSketch
@@ -41,10 +49,19 @@ N_FLOWS = 4000
 #: flake, while a real engine regression (ratio -> ~1) still fails.
 SPEEDUP_FLOOR = 1.5
 
+#: Minimum acceptable native/numpy update speedup for HashFlow
+#: (0 = record only; the CI native-smoke job sets 3).  Measured ~9x.
+NATIVE_SPEEDUP_FLOOR = float(os.environ.get("NATIVE_SPEEDUP_FLOOR", "0"))
+
 
 @pytest.fixture(scope="module")
-def stream() -> list[int]:
-    return make_workload(CAIDA, N_FLOWS, seed=1).keys
+def workload():
+    return make_workload(CAIDA, N_FLOWS, seed=1)
+
+
+@pytest.fixture(scope="module")
+def stream(workload) -> list[int]:
+    return workload.keys
 
 
 def _bench_collector(benchmark, collector, stream):
@@ -169,3 +186,81 @@ def test_batch_speedup_recorded(stream):
         f"HashFlow batched path is only {speedups['HashFlow']:.2f}x the "
         f"scalar path (floor {SPEEDUP_FLOOR}x) — batch engine regression"
     )
+
+
+# ----------------------------------------------------------------------
+# Native kernel tier vs the numpy tier, persisted into the headline
+# ----------------------------------------------------------------------
+def test_native_update_speedup_recorded(workload):
+    """Record the native/numpy update speedup per batched collector.
+
+    Bit-identity is enforced by ``tests/test_native_kernels.py``; this
+    bench guards the native tier's reason to exist — the speedup — and
+    merges HashFlow's ratio into the headline trajectory.  Both tiers
+    consume the workload's cached :class:`KeyBatch` (presplit halves),
+    so the ratio measures the table walk, not Python-int coercion both
+    tiers would pay identically.
+    """
+    if not native_available():
+        pytest.skip("native kernel tier unavailable (no C compiler)")
+    batch = workload.batch
+    n = len(batch)
+    result = ExperimentResult(
+        experiment_id="update_throughput_native_speedup",
+        title="Native vs numpy update throughput (best of 3)",
+        columns=["algorithm", "numpy_mpps", "native_mpps", "speedup"],
+        params={"memory_bytes": MEMORY, "n_flows": N_FLOWS, "packets": n},
+        notes="Both tiers run process_all over the same presplit "
+        "KeyBatch; the tiers are bit-identical, so the ratio is pure "
+        "speed.",
+    )
+    speedups: dict[str, float] = {}
+    rates: dict[str, float] = {}
+    for kind, algo in (("hashflow", "HashFlow"), ("hashpipe", "HashPipe")):
+        times = {}
+        for tier in ("numpy", "native"):
+            collector = build(kind, memory_bytes=MEMORY, seed=0, kernel=tier)
+
+            def run():
+                collector.reset()
+                collector.process_all(batch)
+
+            times[tier] = _best_of(3, run)
+        speedups[algo] = times["numpy"] / times["native"]
+        rates[algo] = n / times["native"]
+        result.add_row(
+            algorithm=algo,
+            numpy_mpps=round(n / times["numpy"] / 1e6, 3),
+            native_mpps=round(n / times["native"] / 1e6, 3),
+            speedup=round(speedups[algo], 2),
+        )
+
+    cms_times = {}
+    for tier in ("numpy", "native"):
+        cms = CountMinSketch(
+            width=MEMORY // 4, depth=3, counter_bits=8, seed=0, kernel=tier
+        )
+
+        def run_cms():
+            cms.reset()
+            cms.add_batch(batch)
+
+        cms_times[tier] = _best_of(3, run_cms)
+    result.add_row(
+        algorithm="CountMinSketch",
+        numpy_mpps=round(n / cms_times["numpy"] / 1e6, 3),
+        native_mpps=round(n / cms_times["native"] / 1e6, 3),
+        speedup=round(cms_times["numpy"] / cms_times["native"], 2),
+    )
+
+    save_result(result, RESULTS_DIR)
+    update_headline(
+        native_update_pps=round(rates["HashFlow"]),
+        native_update_speedup=round(speedups["HashFlow"], 2),
+    )
+    if NATIVE_SPEEDUP_FLOOR > 0:
+        assert speedups["HashFlow"] >= NATIVE_SPEEDUP_FLOOR, (
+            f"HashFlow native tier is only {speedups['HashFlow']:.2f}x the "
+            f"numpy tier (floor {NATIVE_SPEEDUP_FLOOR}x) — native kernel "
+            "regression"
+        )

@@ -9,13 +9,18 @@ preserved at any scale); sweep-shaped benches execute through
 ``repro.parallel`` and honour ``REPRO_JOBS`` (DESIGN.md §6).
 
 The repo's headline perf trajectory — update packets/sec, query
-ops/sec, parallel speedup — is persisted at the repo root as
-``BENCH_headline.json`` by ``bench_parallel_sweep.py``, so future PRs
-have a baseline to diff against.
+ops/sec, native-kernel speedups, parallel speedup — is persisted at the
+repo root as ``BENCH_headline.json``, so future PRs have a baseline to
+diff against.  Several benches contribute fields; each merges its own
+through :func:`update_headline` instead of clobbering the file, and the
+record always carries the environment it was measured in (``cpus``,
+``kernel`` tier, compiler availability) so a number can never be
+mistaken for one from a bigger machine.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -24,6 +29,23 @@ from repro.experiments.report import render_table, save_result
 from repro.experiments.runner import ExperimentResult
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+HEADLINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_headline.json"
+
+
+def update_headline(**fields) -> dict:
+    """Merge fields into ``BENCH_headline.json`` (read-modify-write).
+
+    Benches run in any order and each owns a few keys; merging keeps
+    one bench's numbers from erasing another's.  Returns the merged
+    record.
+    """
+    record: dict = {}
+    if HEADLINE_PATH.exists():
+        record = json.loads(HEADLINE_PATH.read_text())
+    record.update(fields)
+    HEADLINE_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    return record
 
 
 @pytest.fixture()

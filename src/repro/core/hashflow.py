@@ -37,6 +37,8 @@ import numpy as np
 from repro.flow.batch import KeyBatch
 from repro.hashing.digest import DEFAULT_DIGEST_BITS, DigestFunction
 from repro.hashing.families import HashFamily
+from repro.hashing.mixers import MASK64
+from repro.native import resolve_kernel
 from repro.sketches.base import FlowCollector
 from repro.specs import register
 from repro.core.ancillary import PROMOTE, AncillaryTable, DEFAULT_COUNTER_BITS
@@ -74,6 +76,12 @@ class HashFlow(FlowCollector):
             :meth:`process_packet` to populate it.  Costs 32 bits per
             cell and is off in the paper's configuration.
         seed: seed for all hash functions.
+        kernel: execution tier — ``"native"`` (compiled C kernels over
+            SoA buffers), ``"numpy"`` (the reference tier), or None to
+            follow the ``REPRO_KERNEL`` environment variable.  The two
+            tiers are bit-identical (states, estimates, meters); an
+            explicit choice is recorded in the spec so sweep workers
+            rebuild the same tier.
     """
 
     name = "HashFlow"
@@ -91,11 +99,12 @@ class HashFlow(FlowCollector):
         promote: bool = True,
         track_bytes: bool = False,
         seed: int = 0,
+        kernel: str | None = None,
     ):
         super().__init__()
         if ancillary_cells is None:
             ancillary_cells = main_cells
-        self._record_spec(
+        params = dict(
             main_cells=main_cells,
             ancillary_cells=ancillary_cells,
             depth=depth,
@@ -108,11 +117,45 @@ class HashFlow(FlowCollector):
             track_bytes=track_bytes,
             seed=seed,
         )
+        # Only an explicit kernel choice is part of the collector's
+        # identity; env-resolved tiers keep specs portable across
+        # machines (the tiers are bit-identical anyway).
+        if kernel is not None:
+            params["kernel"] = kernel
+        self._record_spec(**params)
+        self.kernel, self._native = resolve_kernel(kernel)
         self.variant = variant
         self.clear_promoted = clear_promoted
         self.promote_enabled = promote
         self.track_bytes = track_bytes
         self.main: MainTable
+        if self._native is not None:
+            from repro.native.soa import NativeAncillaryTable, NativeMainTable
+
+            if ancillary_counter_bits > 62:
+                raise ValueError(
+                    "the native tier stores counters as int64; "
+                    f"ancillary_counter_bits must be <= 62, got {ancillary_counter_bits}"
+                )
+            self.main = NativeMainTable(
+                main_cells,
+                depth=depth,
+                variant=variant,
+                alpha=alpha,
+                seed=seed,
+                meter=self.meter,
+                track_bytes=track_bytes,
+            )
+            aux = HashFamily(2, master_seed=seed ^ 0xA5C1_11A7)
+            self.ancillary = NativeAncillaryTable(
+                ancillary_cells,
+                index_hash=aux[0],
+                digest=DigestFunction(aux[1], bits=digest_bits),
+                counter_bits=ancillary_counter_bits,
+                meter=self.meter,
+            )
+            self.promotions = 0
+            return
         if variant == "pipelined":
             self.main = PipelinedTables(
                 main_cells,
@@ -149,6 +192,15 @@ class HashFlow(FlowCollector):
     def process(self, key: int, size: int = 0) -> None:
         """Process one packet of flow ``key`` (``size`` feeds the
         optional byte counters)."""
+        if self._native is not None:
+            # A batch of one through the kernel is bit-identical to the
+            # scalar walk (same probes, same meter deltas) and keeps a
+            # single implementation of Algorithm 1 per tier.
+            sizes = (
+                np.array([size], dtype=np.int64) if self.track_bytes else None
+            )
+            self._native_update(KeyBatch([key], sizes=sizes))
+            return
         self.meter.packets += 1
         status, min_count, sentinel = self.main.probe(key, size)
         if status == ABSORBED:
@@ -190,6 +242,17 @@ class HashFlow(FlowCollector):
         batch = KeyBatch.coerce(keys)
         if not len(batch):
             return
+        if self._native is not None:
+            if self.track_bytes and batch.sizes is None:
+                # The numpy tier degrades to the scalar loop here, each
+                # packet counted at 0 bytes; an explicit zero-size array
+                # gives the kernel the identical outcome in one call.
+                lo, hi = batch.halves()
+                batch = KeyBatch(
+                    batch.keys, lo, hi, np.zeros(len(batch), dtype=np.int64)
+                )
+            self._native_update(batch)
+            return
         if self.track_bytes and batch.sizes is None:
             # Byte counters need per-packet sizes; a key-only batch
             # stays on the scalar path.
@@ -198,6 +261,65 @@ class HashFlow(FlowCollector):
                 process(key)
             return
         self._process_batch(batch)
+
+    def _native_update(self, batch: KeyBatch) -> None:
+        """Run the batch through the compiled Algorithm-1 kernel.
+
+        The kernel mutates the SoA table buffers in place and returns
+        its cost-meter deltas; packets are applied in arrival order, so
+        states, promotions and meter totals stay bit-identical to the
+        numpy tier.
+        """
+        lo, hi = batch.halves()
+        main = self.main
+        anc = self.ancillary
+        hashes, reads, writes, promotions = self._native.hashflow_update(
+            lo,
+            hi,
+            batch.sizes if self.track_bytes else None,
+            main.seeds_arr,
+            main.offs_arr,
+            main.sizes_arr,
+            main.k_lo,
+            main.k_hi,
+            main.counts,
+            main.bytes,
+            anc._index_seed,
+            anc._digest_seed,
+            anc._digest_mask,
+            anc.n_cells,
+            anc.max_count,
+            anc.digests,
+            anc.counts,
+            self.promote_enabled,
+            self.clear_promoted,
+        )
+        self.promotions += promotions
+        self.meter.add(
+            packets=len(batch), hashes=hashes, reads=reads, writes=writes
+        )
+
+    def _native_query(self, batch: KeyBatch) -> np.ndarray:
+        """Batched main-then-ancillary point queries via the C kernel."""
+        lo, hi = batch.halves()
+        main = self.main
+        anc = self.ancillary
+        return self._native.hashflow_query(
+            lo,
+            hi,
+            main.seeds_arr,
+            main.offs_arr,
+            main.sizes_arr,
+            main.k_lo,
+            main.k_hi,
+            main.counts,
+            anc._index_seed,
+            anc._digest_seed,
+            anc._digest_mask,
+            anc.n_cells,
+            anc.digests,
+            anc.counts,
+        )
 
     def _process_batch(self, batch: KeyBatch) -> None:
         if self.track_bytes and batch.sizes is not None:
@@ -392,6 +514,8 @@ class HashFlow(FlowCollector):
 
     def query(self, key: int) -> int:
         """Main-table count, else the ancillary summarized count, else 0."""
+        if self._native is not None:
+            return int(self._native_query(KeyBatch([key]))[0])
         count = self.main.query(key)
         if count:
             return count
@@ -403,9 +527,15 @@ class HashFlow(FlowCollector):
         Both tables answer the whole batch with precomputed hash rows
         (reusing the batch's 64-bit halves across every hash function);
         the scalar main-then-ancillary precedence becomes one masked
-        select.  Bit-identical to the scalar query per key.
+        select.  Bit-identical to the scalar query per key.  On the
+        native tier the whole walk — probe stages, precedence, digest
+        check — is one C kernel call over the SoA buffers.
         """
         batch = KeyBatch.coerce(keys)
+        if self._native is not None:
+            if not len(batch):
+                return np.zeros(0, dtype=np.int64)
+            return self._native_query(batch)
         main = self.main.query_batch(batch)
         ancillary = self.ancillary.query_batch(batch)
         return np.where(main != 0, main, ancillary)

@@ -12,6 +12,8 @@ Examples::
     repro-experiments stream --trace caida --flows 20000 --rotate timeout \\
         --sink netflow --sink jsonl --save-spec pipeline.json
     repro-experiments stream --spec pipeline.json
+    repro-experiments collect --collector hashflow --kernel native
+    repro-experiments kernels
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ from repro.experiments.ascii_plot import PLOT_SPECS, plot_result
 from repro.experiments.figures import EXPERIMENTS
 from repro.experiments.report import render_table, save_result
 from repro.experiments.runner import ExperimentResult, make_workload
+from repro.native import KERNELS, kernel_info
 from repro.specs import (
     SpecError,
     available_kinds,
@@ -122,6 +125,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--flows", type=int, default=20_000, help="flows in the replayed trace"
     )
     collect.add_argument(
+        "--kernel",
+        choices=KERNELS,
+        default=None,
+        help="execution tier (native = compiled C kernels, bit-identical "
+        "to numpy; default: REPRO_KERNEL env or numpy)",
+    )
+    collect.add_argument(
         "--save-spec",
         metavar="FILE.json",
         default=None,
@@ -186,10 +196,22 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: netflow + archive)",
     )
     stream.add_argument(
+        "--kernel",
+        choices=KERNELS,
+        default=None,
+        help="collector execution tier (native = compiled C kernels, "
+        "bit-identical to numpy; default: REPRO_KERNEL env or numpy)",
+    )
+    stream.add_argument(
         "--save-spec",
         metavar="FILE.json",
         default=None,
         help="write the pipeline's spec to a JSON file",
+    )
+
+    sub.add_parser(
+        "kernels",
+        help="report kernel-tier availability: compiler, build cache, library",
     )
     return parser
 
@@ -258,11 +280,13 @@ def run_stream(args) -> int:
             scale = args.scale
             if args.memory is None and scale is None:
                 scale = resolve_scale(None)
+            overrides = {"kernel": args.kernel} if args.kernel else {}
             collector = build(
                 args.collector,
                 memory_bytes=args.memory,
                 scale=scale,
                 seed=args.seed,
+                **overrides,
             )
             sinks = [_parse_sink(s) for s in (args.sink or ["netflow", "archive"])]
             pipeline = Pipeline(
@@ -388,7 +412,10 @@ def run_collect(args) -> int:
     """Build a collector (kind or spec file), replay a trace, report."""
     try:
         source = load_spec(args.spec) if args.spec else args.collector
-        collector = build(source, memory_bytes=args.memory, seed=args.seed)
+        overrides = {"kernel": args.kernel} if args.kernel else {}
+        collector = build(
+            source, memory_bytes=args.memory, seed=args.seed, **overrides
+        )
     except (SpecError, OSError, ValueError) as exc:
         # ValueError: constructor validation of sized params (e.g. a
         # budget too small to fit even one cell per table).
@@ -425,10 +452,30 @@ def run_collect(args) -> int:
     return 0
 
 
+def run_kernels() -> int:
+    """Report kernel-tier availability (the ``kernels`` subcommand)."""
+    info = kernel_info()
+    print("# kernel tiers")
+    print(f"requested        : {info['requested']} "
+          f"(--kernel / REPRO_KERNEL; default numpy)")
+    print(f"native available : {'yes' if info['available'] else 'no'}")
+    print(f"compiler         : {info['compiler'] or '(none found)'}")
+    print(f"abi version      : {info['abi_version']}")
+    print(f"source           : {info['source']}")
+    print(f"build cache      : {info['cache_dir']} (REPRO_NATIVE_CACHE)")
+    if info["library"]:
+        print(f"library          : {info['library']}")
+    if info["error"]:
+        print(f"error            : {info['error']}")
+    return 0 if info["available"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "kernels":
+        return run_kernels()
     if args.command == "list":
         print("# experiments")
         for name, func in EXPERIMENTS.items():

@@ -1,0 +1,180 @@
+"""Native C kernel tier for the collector hot paths.
+
+The numpy batch engines top out around a couple of million packets per
+second; the paper's pitch needs "as fast as the hardware allows".  This
+package supplies that tier: the mixers, bucket computation, and the
+HashFlow/HashPipe/CountMin table walks as plain C (``csrc/kernels.c``),
+compiled on demand into a content-hash-cached shared object
+(:mod:`repro.native.build`) and driven through ctypes
+(:mod:`repro.native.lib`) over the same contiguous buffers the numpy
+tier builds.
+
+Tier selection
+--------------
+
+Collectors with native kernels take a ``kernel`` constructor parameter:
+
+* explicit ``kernel="native"`` / ``kernel="numpy"`` wins and is recorded
+  in the collector's spec (so sweep cells rebuild the same tier in
+  worker processes);
+* otherwise the ``REPRO_KERNEL`` environment variable decides
+  (inherited by parallel sweep workers);
+* the default is ``"numpy"`` — the reference tier and the test oracle.
+
+Requesting ``native`` on a machine with no C compiler falls back to
+numpy with a single warning; nothing else changes, because the two
+tiers are bit-identical by contract (states, estimates, meters, export
+streams — enforced by ``tests/test_native_kernels.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+from repro.native.build import (
+    ABI_VERSION,
+    NativeBuildError,
+    SOURCE_PATH,
+    build_library,
+    cache_dir,
+    find_compiler,
+)
+from repro.native.lib import NativeKernels
+
+#: Environment variable selecting the default kernel tier.
+KERNEL_ENV = "REPRO_KERNEL"
+
+#: Recognized kernel tiers.
+KERNELS = ("numpy", "native")
+
+#: Loaded kernel handles keyed by shared-object path (one dlopen each).
+_loaded: dict[str, NativeKernels] = {}
+
+#: Last build failure keyed by the env knobs that produced it, so a
+#: compiler-less machine fails fast instead of re-probing per collector.
+_failed: dict[tuple[str | None, str | None], str] = {}
+
+#: Whether the native→numpy fallback warning has been issued.
+_warned_fallback = False
+
+
+def requested_kernel(kernel: str | None = None) -> str:
+    """The kernel tier asked for, before availability is considered.
+
+    Resolution order: explicit argument, then ``REPRO_KERNEL``, then
+    ``"numpy"``.
+
+    Raises:
+        ValueError: unrecognized tier name.
+    """
+    if kernel is None:
+        kernel = os.environ.get(KERNEL_ENV) or "numpy"
+    if kernel not in KERNELS:
+        raise ValueError(
+            f"unknown kernel tier {kernel!r}; expected one of {', '.join(KERNELS)}"
+        )
+    return kernel
+
+
+def load_kernels() -> NativeKernels:
+    """Build (if needed) and load the native kernels.
+
+    Raises:
+        NativeBuildError: no compiler, compile failure, or ABI mismatch.
+    """
+    env_key = (os.environ.get("REPRO_CC"), os.environ.get("REPRO_NATIVE_CACHE"))
+    cached_failure = _failed.get(env_key)
+    if cached_failure is not None:
+        raise NativeBuildError(cached_failure)
+    try:
+        so_path, compiler = build_library()
+        key = str(so_path)
+        kernels = _loaded.get(key)
+        if kernels is None:
+            kernels = NativeKernels(so_path, compiler)
+            _loaded[key] = kernels
+        return kernels
+    except NativeBuildError as exc:
+        _failed[env_key] = str(exc)
+        raise
+
+
+def native_available() -> bool:
+    """Whether the native tier can be built and loaded here."""
+    try:
+        load_kernels()
+        return True
+    except NativeBuildError:
+        return False
+
+
+def resolve_kernel(kernel: str | None = None) -> tuple[str, NativeKernels | None]:
+    """Resolve the effective kernel tier for a collector being built.
+
+    Returns:
+        ``("native", kernels)`` when the native tier was requested and
+        is available, else ``("numpy", None)``.  A native request on a
+        machine where the kernels cannot be built degrades to numpy
+        with a single warning per process (the tiers are bit-identical,
+        so only speed is lost).
+    """
+    requested = requested_kernel(kernel)
+    if requested != "native":
+        return "numpy", None
+    try:
+        return "native", load_kernels()
+    except NativeBuildError as exc:
+        global _warned_fallback
+        if not _warned_fallback:
+            _warned_fallback = True
+            warnings.warn(
+                f"native kernel tier unavailable ({exc}); falling back to "
+                "the bit-identical numpy tier",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return "numpy", None
+
+
+def kernel_info() -> dict:
+    """Debuggability snapshot: availability, compiler, cache location.
+
+    Never raises — build failures are reported in the ``error`` field.
+    This is what ``repro-experiments kernels`` prints.
+    """
+    info: dict = {
+        "requested": requested_kernel(),
+        "abi_version": ABI_VERSION,
+        "source": str(SOURCE_PATH),
+        "cache_dir": str(cache_dir()),
+        "compiler": find_compiler(),
+        "available": False,
+        "library": None,
+        "error": None,
+    }
+    try:
+        kernels = load_kernels()
+        info["available"] = True
+        info["library"] = str(kernels.so_path)
+        info["compiler"] = kernels.compiler
+    except NativeBuildError as exc:
+        info["error"] = str(exc)
+    return info
+
+
+__all__ = [
+    "ABI_VERSION",
+    "KERNEL_ENV",
+    "KERNELS",
+    "NativeBuildError",
+    "NativeKernels",
+    "build_library",
+    "cache_dir",
+    "find_compiler",
+    "kernel_info",
+    "load_kernels",
+    "native_available",
+    "requested_kernel",
+    "resolve_kernel",
+]

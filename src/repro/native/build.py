@@ -1,0 +1,143 @@
+"""On-demand compilation of the native kernels.
+
+The C source (``csrc/kernels.c``) is compiled with the system C compiler
+into a shared object cached under a content-hash name, so:
+
+* the first native-tier use on a machine pays one ``cc`` invocation
+  (~a second), every later use is a single ``dlopen``;
+* editing the source, switching compilers, or changing flags changes
+  the hash and transparently builds a fresh object — a stale cache can
+  never be loaded against newer source.
+
+Environment knobs:
+
+* ``REPRO_CC`` — compiler to use.  When set, *only* this compiler is
+  considered (no fallback scan), so pointing it at a nonexistent
+  binary deterministically simulates a compiler-less machine — the
+  forced-fallback tests rely on this.
+* ``REPRO_NATIVE_CACHE`` — cache directory for built ``.so`` objects
+  (default ``$XDG_CACHE_HOME/repro-native`` or ``~/.cache/repro-native``).
+
+No third-party build machinery: just ``subprocess`` + ``cc -O2 -std=c99
+-shared -fPIC``, which every Linux/macOS toolchain accepts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+#: Bumped on any ABI-incompatible change to the kernel signatures; part
+#: of the cache key and double-checked in-band by the loader against
+#: ``repro_native_abi_version()``.
+ABI_VERSION = 1
+
+SOURCE_PATH = Path(__file__).resolve().parent / "csrc" / "kernels.c"
+
+#: Compiler invocation shared by every toolchain we accept.
+CFLAGS = ("-O2", "-std=c99", "-shared", "-fPIC")
+
+#: Compilers probed (in order) when ``REPRO_CC`` is unset.
+_DEFAULT_COMPILERS = ("cc", "gcc", "clang")
+
+
+class NativeBuildError(RuntimeError):
+    """The native kernels could not be built (no compiler, compile
+    failure, or unreadable source)."""
+
+
+def find_compiler() -> str | None:
+    """Absolute path of the C compiler to use, or None if there is none.
+
+    ``REPRO_CC`` pins the choice exactly (no fallback — a bad value
+    means "no compiler", which is what the fallback tests simulate);
+    otherwise the usual suspects are probed on ``PATH``.
+    """
+    explicit = os.environ.get("REPRO_CC")
+    if explicit:
+        return shutil.which(explicit)
+    for candidate in _DEFAULT_COMPILERS:
+        path = shutil.which(candidate)
+        if path:
+            return path
+    return None
+
+
+def cache_dir() -> Path:
+    """Directory holding built shared objects (not created here)."""
+    env = os.environ.get("REPRO_NATIVE_CACHE")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-native"
+
+
+def _cache_key(source: bytes, compiler: str) -> str:
+    """Content hash naming the built object: source + toolchain + ABI."""
+    digest = hashlib.sha256()
+    digest.update(
+        f"abi={ABI_VERSION};cc={compiler};flags={' '.join(CFLAGS)};".encode()
+    )
+    digest.update(source)
+    return digest.hexdigest()[:16]
+
+
+def library_path(compiler: str | None = None) -> Path:
+    """Where the built object for the current source/toolchain lives.
+
+    Pure path computation — does not build or touch the filesystem
+    beyond reading the source.
+    """
+    if compiler is None:
+        compiler = find_compiler()
+        if compiler is None:
+            raise NativeBuildError(
+                "no C compiler found (set REPRO_CC or install cc/gcc/clang)"
+            )
+    key = _cache_key(SOURCE_PATH.read_bytes(), compiler)
+    return cache_dir() / f"repro_kernels_{key}.so"
+
+
+def build_library(force: bool = False) -> tuple[Path, str]:
+    """Compile (or reuse) the kernels; returns ``(so_path, compiler)``.
+
+    The object is written to a temporary file and atomically renamed
+    into place, so concurrent builders (parallel sweep workers sharing
+    a cold cache) race harmlessly — last writer wins with an identical
+    artifact.
+
+    Raises:
+        NativeBuildError: no compiler available or compilation failed.
+    """
+    compiler = find_compiler()
+    if compiler is None:
+        raise NativeBuildError(
+            "no C compiler found (set REPRO_CC or install cc/gcc/clang)"
+        )
+    out = library_path(compiler)
+    if out.exists() and not force:
+        return out, compiler
+    out.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(suffix=".so", dir=out.parent)
+    os.close(fd)
+    try:
+        proc = subprocess.run(
+            [compiler, *CFLAGS, "-o", tmp, str(SOURCE_PATH)],
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            raise NativeBuildError(
+                f"{compiler} failed to build native kernels "
+                f"(exit {proc.returncode}):\n{proc.stderr.strip()}"
+            )
+        os.replace(tmp, out)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    return out, compiler

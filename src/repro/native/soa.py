@@ -1,0 +1,307 @@
+"""Structure-of-arrays table storage for the native kernel tier.
+
+The reference tables (:mod:`repro.core.maintable`,
+:mod:`repro.core.ancillary`) store 104-bit flow keys as Python ints in
+Python lists — ideal for the scalar/numpy oracle, invisible to C.  When
+a collector is built with the native tier, it swaps in the variants
+here, which hold the same logical state as flat contiguous numpy
+buffers (keys split into ``uint64`` lo/hi planes, counters as
+``int64``) that the kernels mutate in place.
+
+Layout contract (shared with ``csrc/kernels.c``):
+
+* a ``depth``-stage main table is **stage-major**: stage ``s`` owns the
+  flat slice ``[offs[s], offs[s] + sizes[s])``.  The multi-hash layout
+  is expressed in the same vocabulary — every stage has offset 0 and
+  the full table size, sharing one buffer — so a single kernel serves
+  both variants;
+* iteration order of ``records()`` etc. equals the reference tables'
+  (flat ascending index == stage-major cell order), so report dicts
+  and export streams come out identical.
+
+Every control-plane method (records, queries, remove, reset, byte
+accounting) and the scalar ``probe``/``promote``/``offer`` contract are
+implemented in Python over the SoA buffers with the reference tier's
+exact semantics and meter increments — subclasses like
+``AdaptiveHashFlow`` drive them directly, and they double as a
+safety-net oracle for the kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ancillary import PROMOTE, STORED, AncillaryTable
+from repro.core.maintable import (
+    ABSORBED,
+    DEFAULT_ALPHA,
+    DEFAULT_DEPTH,
+    MISSED,
+    MainTable,
+    pipeline_sizes,
+)
+from repro.hashing.families import HashFamily
+from repro.hashing.mixers import MASK64, mix128
+from repro.sketches.base import CostMeter
+
+_EMPTY = 0
+
+
+class NativeMainTable(MainTable):
+    """SoA main table serving both paper layouts through one kernel.
+
+    Args:
+        n_cells: total buckets.
+        depth: probe stages ``d``.
+        variant: ``"pipelined"`` or ``"multihash"`` — same semantics as
+            the reference classes they replace.
+        alpha: pipeline weight (pipelined variant only).
+        seed: hash family seed.
+        meter: shared cost meter.
+        track_bytes: allocate the parallel byte plane.
+    """
+
+    def __init__(
+        self,
+        n_cells: int,
+        depth: int = DEFAULT_DEPTH,
+        variant: str = "pipelined",
+        alpha: float = DEFAULT_ALPHA,
+        seed: int = 0,
+        meter: CostMeter | None = None,
+        track_bytes: bool = False,
+    ):
+        super().__init__(meter, track_bytes)
+        if n_cells <= 0:
+            raise ValueError(f"n_cells must be positive, got {n_cells}")
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self._n = n_cells
+        self.depth = depth
+        self.variant = variant
+        self._hashes = HashFamily(depth, master_seed=seed)
+        self._seeds = [h.seed for h in self._hashes]
+        if variant == "pipelined":
+            self.alpha = alpha
+            self.sizes = pipeline_sizes(n_cells, depth, alpha)
+            offs = [0] * depth
+            for s in range(1, depth):
+                offs[s] = offs[s - 1] + self.sizes[s - 1]
+            storage = n_cells
+        elif variant == "multihash":
+            # Every stage probes the same flat array of n cells.
+            self.sizes = [n_cells] * depth
+            offs = [0] * depth
+            storage = n_cells
+        else:
+            raise ValueError(f"unknown variant {variant!r}")
+        self._offs = offs
+        # Kernel-facing views of the per-stage addressing triples.
+        self.seeds_arr = np.array(self._seeds, dtype=np.uint64)
+        self.offs_arr = np.array(offs, dtype=np.int64)
+        self.sizes_arr = np.array(self.sizes, dtype=np.int64)
+        self.k_lo = np.zeros(storage, dtype=np.uint64)
+        self.k_hi = np.zeros(storage, dtype=np.uint64)
+        self.counts = np.zeros(storage, dtype=np.int64)
+        self.bytes = np.zeros(storage, dtype=np.int64) if track_bytes else None
+
+    # ------------------------------------------------------------------
+    # Scalar probe/promote contract (reference semantics over SoA)
+    # ------------------------------------------------------------------
+    def probe(self, key: int, size: int = 0) -> tuple[int, int, object]:
+        meter = self.meter
+        lo = key & MASK64
+        hi = key >> 64
+        counts = self.counts
+        k_lo = self.k_lo
+        k_hi = self.k_hi
+        min_count = -1
+        pos = -1
+        for s in range(self.depth):
+            idx = self._offs[s] + mix128(key, self._seeds[s]) % self.sizes[s]
+            meter.hashes += 1
+            meter.reads += 1
+            count = int(counts[idx])
+            if count == 0:
+                k_lo[idx] = lo
+                k_hi[idx] = hi
+                counts[idx] = 1
+                if self.bytes is not None:
+                    self.bytes[idx] = size
+                meter.writes += 1
+                return ABSORBED, 0, None
+            if int(k_lo[idx]) == lo and int(k_hi[idx]) == hi:
+                counts[idx] = count + 1
+                if self.bytes is not None:
+                    self.bytes[idx] += size
+                meter.writes += 1
+                return ABSORBED, 0, None
+            if min_count < 0 or count < min_count:
+                min_count = count
+                pos = idx
+        return MISSED, min_count, pos
+
+    def promote(self, sentinel: object, key: int, count: int, size: int = 0) -> None:
+        idx = sentinel
+        self.k_lo[idx] = key & MASK64
+        self.k_hi[idx] = key >> 64
+        self.counts[idx] = count
+        if self.bytes is not None:
+            self.bytes[idx] = size
+        self.meter.writes += 1
+
+    # ------------------------------------------------------------------
+    # Batched list views: numpy-tier machinery that has no meaning here
+    # ------------------------------------------------------------------
+    def bucket_rows(self, batch):
+        raise RuntimeError(
+            "native SoA tables have no Python list views; "
+            "the batched walk runs in the C kernel"
+        )
+
+    def stage_views(self, rows):
+        raise RuntimeError(
+            "native SoA tables have no Python list views; "
+            "the batched walk runs in the C kernel"
+        )
+
+    # ------------------------------------------------------------------
+    # Report / control plane
+    # ------------------------------------------------------------------
+    def _key_at(self, idx: int) -> int:
+        return (int(self.k_hi[idx]) << 64) | int(self.k_lo[idx])
+
+    def query(self, key: int) -> int:
+        for s in range(self.depth):
+            idx = self._offs[s] + mix128(key, self._seeds[s]) % self.sizes[s]
+            if self.counts[idx] and self._key_at(idx) == key:
+                return int(self.counts[idx])
+        return 0
+
+    def records(self) -> dict[int, int]:
+        # Ascending flat index == stage-major order == the reference
+        # tables' iteration order, so duplicate keys (possible only
+        # after control-plane evictions) resolve identically.
+        result: dict[int, int] = {}
+        for idx in np.nonzero(self.counts)[0].tolist():
+            result[self._key_at(idx)] = int(self.counts[idx])
+        return result
+
+    def byte_records(self) -> dict[int, int]:
+        if self.bytes is None:
+            return super().byte_records()
+        result: dict[int, int] = {}
+        for idx in np.nonzero(self.counts)[0].tolist():
+            result[self._key_at(idx)] = int(self.bytes[idx])
+        return result
+
+    def byte_query(self, key: int) -> int | None:
+        if self.bytes is None:
+            return super().byte_query(key)
+        for s in range(self.depth):
+            idx = self._offs[s] + mix128(key, self._seeds[s]) % self.sizes[s]
+            if self.counts[idx] and self._key_at(idx) == key:
+                return int(self.bytes[idx])
+        return None
+
+    def occupancy(self) -> int:
+        return int(np.count_nonzero(self.counts))
+
+    def per_table_utilization(self) -> list[float]:
+        """Occupancy fraction per probe stage's slice (pipelined layout)."""
+        return [
+            int(np.count_nonzero(self.counts[off : off + size])) / size
+            for off, size in zip(self._offs, self.sizes)
+        ]
+
+    def remove(self, key: int) -> bool:
+        for s in range(self.depth):
+            idx = self._offs[s] + mix128(key, self._seeds[s]) % self.sizes[s]
+            if self.counts[idx] and self._key_at(idx) == key:
+                # Like the reference tables: bytes are left stale (they
+                # are invisible while count == 0 and reseeded on insert).
+                self.k_lo[idx] = _EMPTY
+                self.k_hi[idx] = _EMPTY
+                self.counts[idx] = 0
+                return True
+        return False
+
+    def reset(self) -> None:
+        self.k_lo.fill(0)
+        self.k_hi.fill(0)
+        self.counts.fill(0)
+        if self.bytes is not None:
+            self.bytes.fill(0)
+
+    @property
+    def n_cells(self) -> int:
+        return self._n
+
+
+class NativeAncillaryTable(AncillaryTable):
+    """SoA ancillary table: (digest, count) planes as flat arrays.
+
+    Construction mirrors :class:`~repro.core.ancillary.AncillaryTable`
+    (same args); only the storage and the methods that touch it differ.
+    Requires fast (plain ``HashFunction``/``DigestFunction``) hashes —
+    the kernel addresses cells with prebound seeds.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        if not self._fast_hashes:
+            raise ValueError(
+                "the native ancillary table requires plain HashFunction/"
+                "DigestFunction hashes (prebound seeds feed the C kernel)"
+            )
+        self.digests = np.zeros(self.n_cells, dtype=np.uint64)
+        self.counts = np.zeros(self.n_cells, dtype=np.int64)
+        # The list storage the parent built is never used.
+        self._digests = None
+        self._counts = None
+
+    def offer(self, key: int, min_count: int) -> tuple[int, int]:
+        meter = self.meter
+        idx = mix128(key, self._index_seed) % self.n_cells
+        dig = mix128(key, self._digest_seed) & self._digest_mask
+        meter.hashes += 2
+        meter.reads += 1
+        count = int(self.counts[idx])
+        if count == 0 or int(self.digests[idx]) != dig:
+            self.digests[idx] = dig
+            self.counts[idx] = 1
+            meter.writes += 1
+            return STORED, 0
+        if count < min_count:
+            if count < self.max_count:
+                self.counts[idx] = count + 1
+            meter.writes += 1
+            return STORED, 0
+        return PROMOTE, count + 1
+
+    def query(self, key: int) -> int:
+        idx = mix128(key, self._index_seed) % self.n_cells
+        if self.counts[idx] > 0 and int(self.digests[idx]) == (
+            mix128(key, self._digest_seed) & self._digest_mask
+        ):
+            return int(self.counts[idx])
+        return 0
+
+    def query_batch(self, batch) -> np.ndarray:
+        idx = self.index_hash.buckets_batch(batch, self.n_cells)
+        dig = self.digest.values_batch(batch)
+        hit = self.counts[idx]
+        return np.where((hit > 0) & (self.digests[idx] == dig), hit, np.int64(0))
+
+    def clear_cell(self, key: int) -> None:
+        idx = mix128(key, self._index_seed) % self.n_cells
+        self.digests[idx] = 0
+        self.counts[idx] = 0
+        self.meter.writes += 1
+
+    def occupancy(self) -> int:
+        return int(np.count_nonzero(self.counts))
+
+    def reset(self) -> None:
+        self.digests.fill(0)
+        self.counts.fill(0)

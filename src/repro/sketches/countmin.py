@@ -12,6 +12,8 @@ import numpy as np
 
 from repro.flow.batch import KeyBatch
 from repro.hashing.families import HashFamily
+from repro.hashing.mixers import MASK64
+from repro.native import resolve_kernel
 from repro.sketches.base import CostMeter
 
 
@@ -28,6 +30,8 @@ class CountMinSketch:
             counters are incremented), which reduces overestimation.
         meter: optional shared :class:`CostMeter` (the embedding
             algorithm's meter); a private one is created otherwise.
+        kernel: execution tier — ``"native"``, ``"numpy"``, or None to
+            follow ``REPRO_KERNEL``.  Bit-identical either way.
     """
 
     def __init__(
@@ -38,6 +42,7 @@ class CountMinSketch:
         seed: int = 0,
         conservative: bool = False,
         meter: CostMeter | None = None,
+        kernel: str | None = None,
     ):
         if width <= 0:
             raise ValueError(f"width must be positive, got {width}")
@@ -53,12 +58,41 @@ class CountMinSketch:
         self.seed = seed
         self.meter = meter if meter is not None else CostMeter()
         self._hashes = HashFamily(depth, master_seed=seed)
+        self.kernel, self._native = resolve_kernel(kernel)
+        if self._native is not None:
+            if counter_bits > 62:
+                raise ValueError(
+                    "the native tier stores counters as int64; "
+                    f"counter_bits must be <= 62, got {counter_bits}"
+                )
+            # SoA storage: row-major flat counter plane for the kernel.
+            self._seeds_arr = np.array(
+                [h.seed for h in self._hashes], dtype=np.uint64
+            )
+            self._rows_flat = np.zeros(depth * width, dtype=np.int64)
+            self._rows = None
+            return
+        self._rows_flat = None
         self._rows = [[0] * width for _ in range(depth)]
+
+    def _native_update(self, batch: KeyBatch, amount: int) -> None:
+        """Run a batch through the compiled count-min kernel."""
+        lo, hi = batch.halves()
+        hashes, reads, writes = self._native.countmin_update(
+            lo, hi, self._seeds_arr, self.depth, self.width,
+            self.max_count, amount, self.conservative, self._rows_flat,
+        )
+        self.meter.add(hashes=hashes, reads=reads, writes=writes)
 
     def add(self, key: int, amount: int = 1) -> None:
         """Add ``amount`` occurrences of ``key``."""
         if amount < 0:
             raise ValueError(f"amount must be >= 0, got {amount}")
+        if self._native is not None:
+            # Batch of one through the kernel: bit-identical counters
+            # and meter deltas, one implementation per tier.
+            self._native_update(KeyBatch([key]), amount)
+            return
         meter = self.meter
         width = self.width
         max_count = self.max_count
@@ -103,6 +137,9 @@ class CountMinSketch:
         n = len(batch)
         if n == 0:
             return
+        if self._native is not None:
+            self._native_update(batch, amount)
+            return
         width = self.width
         depth = self.depth
         max_count = self.max_count
@@ -129,6 +166,8 @@ class CountMinSketch:
     def query(self, key: int) -> int:
         """Point query: the minimum counter across rows (never underestimates
         until counters saturate)."""
+        if self._native is not None:
+            return int(self.query_batch(KeyBatch([key]))[0])
         width = self.width
         return min(
             row[h.bucket(key, width)] for h, row in zip(self._hashes, self._rows)
@@ -146,6 +185,12 @@ class CountMinSketch:
         batch = KeyBatch.coerce(keys)
         if not len(batch):
             return np.zeros(0, dtype=np.int64)
+        if self._native is not None:
+            lo, hi = batch.halves()
+            return self._native.countmin_query(
+                lo, hi, self._seeds_arr, self.depth, self.width,
+                self._rows_flat,
+            )
         estimates = None
         width = self.width
         for h, row in zip(self._hashes, self._rows):
@@ -162,11 +207,18 @@ class CountMinSketch:
         "linear counting is used by ElasticSketch to estimate the number
         of flows in its count-min sketch").
         """
+        if self._rows_flat is not None:
+            width = self.width
+            zeros = width - int(np.count_nonzero(self._rows_flat[:width]))
+            return zeros / width
         row = self._rows[0]
         return row.count(0) / self.width
 
     def reset(self) -> None:
         """Clear all counters."""
+        if self._rows_flat is not None:
+            self._rows_flat.fill(0)
+            return
         self._rows = [[0] * self.width for _ in range(self.depth)]
 
     @property

@@ -21,7 +21,8 @@ import numpy as np
 from repro.flow.batch import KeyBatch
 from repro.flow.key import FLOW_KEY_BITS
 from repro.hashing.families import HashFamily
-from repro.hashing.mixers import low_halves, mix128
+from repro.hashing.mixers import MASK64, low_halves, mix128
+from repro.native import resolve_kernel
 from repro.sketches.base import FlowCollector
 from repro.specs import register
 
@@ -39,17 +40,30 @@ class HashPipe(FlowCollector):
         cells_per_stage: buckets in each stage table.
         stages: number of pipeline stages (paper default: 4).
         seed: hash family seed.
+        kernel: execution tier — ``"native"``, ``"numpy"``, or None to
+            follow ``REPRO_KERNEL``.  Bit-identical either way; an
+            explicit choice is recorded in the spec.
     """
 
     name = "HashPipe"
 
-    def __init__(self, cells_per_stage: int, stages: int = DEFAULT_STAGES, seed: int = 0):
+    def __init__(
+        self,
+        cells_per_stage: int,
+        stages: int = DEFAULT_STAGES,
+        seed: int = 0,
+        kernel: str | None = None,
+    ):
         super().__init__()
         if cells_per_stage <= 0:
             raise ValueError(f"cells_per_stage must be positive, got {cells_per_stage}")
         if stages < 1:
             raise ValueError(f"stages must be >= 1, got {stages}")
-        self._record_spec(cells_per_stage=cells_per_stage, stages=stages, seed=seed)
+        params = dict(cells_per_stage=cells_per_stage, stages=stages, seed=seed)
+        if kernel is not None:
+            params["kernel"] = kernel
+        self._record_spec(**params)
+        self.kernel, self._native = resolve_kernel(kernel)
         self.cells_per_stage = cells_per_stage
         self.stages = stages
         self.seed = seed
@@ -57,11 +71,38 @@ class HashPipe(FlowCollector):
         # Seeds prebound for the hot path: `mix128(key, seed) % n` inline
         # skips the HashFunction.bucket call per stage.
         self._seeds = [h.seed for h in self._hashes]
+        if self._native is not None:
+            # SoA storage: stage-major flat planes the C kernel mutates
+            # in place (stage s owns cells [s*n, (s+1)*n)).
+            self._seeds_arr = np.array(self._seeds, dtype=np.uint64)
+            n_total = stages * cells_per_stage
+            self._k_lo = np.zeros(n_total, dtype=np.uint64)
+            self._k_hi = np.zeros(n_total, dtype=np.uint64)
+            self._counts_arr = np.zeros(n_total, dtype=np.int64)
+            self._keys = None
+            self._counts = None
+            return
         self._keys = [[_EMPTY] * cells_per_stage for _ in range(stages)]
         self._counts = [[0] * cells_per_stage for _ in range(stages)]
 
+    def _native_update(self, batch: KeyBatch) -> None:
+        """Run a batch through the compiled pipeline-walk kernel."""
+        lo, hi = batch.halves()
+        hashes, reads, writes = self._native.hashpipe_update(
+            lo, hi, self._seeds_arr, self.stages, self.cells_per_stage,
+            self._k_lo, self._k_hi, self._counts_arr,
+        )
+        self.meter.add(
+            packets=len(batch), hashes=hashes, reads=reads, writes=writes
+        )
+
     def process(self, key: int) -> None:
         """Push one packet through the pipeline (HashPipe update rule)."""
+        if self._native is not None:
+            # Batch of one through the kernel: bit-identical walk and
+            # meter deltas, one implementation per tier.
+            self._native_update(KeyBatch([key]))
+            return
         meter = self.meter
         meter.packets += 1
         n = self.cells_per_stage
@@ -127,6 +168,9 @@ class HashPipe(FlowCollector):
         batch = KeyBatch.coerce(keys)
         if not len(batch):
             return
+        if self._native is not None:
+            self._native_update(batch)
+            return
         n = self.cells_per_stage
         seeds = self._seeds
         row0 = self._hashes[0].buckets_batch(batch, n).tolist()
@@ -186,6 +230,13 @@ class HashPipe(FlowCollector):
     def records(self) -> dict[int, int]:
         """Reported records: per-flow sums of the (possibly split) cells."""
         result: dict[int, int] = {}
+        if self._native is not None:
+            # Ascending flat index == stage-major cell order, the same
+            # iteration order as the list tier.
+            for idx in np.nonzero(self._counts_arr)[0].tolist():
+                key = (int(self._k_hi[idx]) << 64) | int(self._k_lo[idx])
+                result[key] = result.get(key, 0) + int(self._counts_arr[idx])
+            return result
         for stage_keys, stage_counts in zip(self._keys, self._counts):
             for key, count in zip(stage_keys, stage_counts):
                 if count > 0:
@@ -194,6 +245,8 @@ class HashPipe(FlowCollector):
 
     def query(self, key: int) -> int:
         """Sum the flow's counts across all stages (0 if absent)."""
+        if self._native is not None:
+            return int(self.query_batch(KeyBatch([key]))[0])
         n = self.cells_per_stage
         total = 0
         for s in range(self.stages):
@@ -217,6 +270,12 @@ class HashPipe(FlowCollector):
         out = np.zeros(n, dtype=np.int64)
         if not n:
             return out
+        if self._native is not None:
+            lo, hi = batch.halves()
+            return self._native.hashpipe_query(
+                lo, hi, self._seeds_arr, self.stages, self.cells_per_stage,
+                self._k_lo, self._k_hi, self._counts_arr,
+            )
         rows = self._hashes.bucket_matrix(batch, self.cells_per_stage)
         lo = batch.lo
         query_keys = batch.keys
@@ -239,6 +298,12 @@ class HashPipe(FlowCollector):
         so this simply counts resident keys and underestimates badly
         under load.
         """
+        if self._native is not None:
+            occupied = np.nonzero(self._counts_arr)[0]
+            pairs = {
+                (int(self._k_lo[i]), int(self._k_hi[i])) for i in occupied.tolist()
+            }
+            return float(len(pairs))
         distinct: set[int] = set()
         for stage_keys, stage_counts in zip(self._keys, self._counts):
             distinct.update(
@@ -248,12 +313,20 @@ class HashPipe(FlowCollector):
 
     def occupancy(self) -> int:
         """Number of non-empty cells across all stages."""
+        if self._native is not None:
+            return int(np.count_nonzero(self._counts_arr))
         return sum(
             sum(1 for c in stage_counts if c > 0) for stage_counts in self._counts
         )
 
     def reset(self) -> None:
         """Clear all stages and the meter."""
+        if self._native is not None:
+            self._k_lo.fill(0)
+            self._k_hi.fill(0)
+            self._counts_arr.fill(0)
+            self.meter.reset()
+            return
         n = self.cells_per_stage
         self._keys = [[_EMPTY] * n for _ in range(self.stages)]
         self._counts = [[0] * n for _ in range(self.stages)]

@@ -26,6 +26,45 @@ class TestParser:
         assert args.seed == 7
         assert args.out == "x"
 
+    def test_kernels_command(self):
+        args = build_parser().parse_args(["kernels"])
+        assert args.command == "kernels"
+
+    def test_collect_kernel_flag(self):
+        args = build_parser().parse_args(
+            ["collect", "--collector", "hashflow", "--kernel", "native"]
+        )
+        assert args.kernel == "native"
+
+    def test_collect_kernel_flag_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["collect", "--collector", "hashflow", "--kernel", "fortran"]
+            )
+
+
+class TestKernelsCommand:
+    def test_reports_tier_state(self, capsys):
+        code = main(["kernels"])
+        out = capsys.readouterr().out
+        assert "# kernel tiers" in out
+        assert "native available" in out
+        assert "build cache" in out
+        # Exit code mirrors availability: 0 with a compiler, 1 without.
+        assert code in (0, 1)
+
+    def test_collect_with_explicit_kernel(self, capsys):
+        from repro.native import native_available
+
+        kernel = "native" if native_available() else "numpy"
+        code = main(
+            ["collect", "--collector", "hashflow", "--memory", "65536",
+             "--flows", "500", "--kernel", kernel]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f'"kernel": "{kernel}"' in out
+
 
 class TestCollectParser:
     def test_collector_kind(self):

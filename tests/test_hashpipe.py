@@ -37,7 +37,8 @@ class TestEvictionBehaviour:
     def test_stage1_always_inserts_new_flow(self):
         """The defining HashPipe behaviour: a new flow always lands in
         stage 1, evicting the occupant."""
-        hp = HashPipe(cells_per_stage=1, stages=2, seed=0)
+        # White box (peeks at the list tier's stage storage): pin numpy.
+        hp = HashPipe(cells_per_stage=1, stages=2, seed=0, kernel="numpy")
         hp.process(1)  # stage-1 cell now holds flow 1
         hp.process(2)  # flow 2 must take the stage-1 cell
         assert hp._keys[0][0] == 2
@@ -57,7 +58,8 @@ class TestEvictionBehaviour:
     def test_split_records_possible(self, small_trace):
         """Packets of an evicted flow re-insert at stage 1, splitting the
         flow across stages (the defect HashFlow fixes, paper §II)."""
-        hp = HashPipe(cells_per_stage=64, stages=4, seed=2)
+        # White box (peeks at the list tier's stage storage): pin numpy.
+        hp = HashPipe(cells_per_stage=64, stages=4, seed=2, kernel="numpy")
         hp.process_all(small_trace.keys())
         split = 0
         for key in hp.records():

@@ -136,7 +136,8 @@ class TestHashFlowQueryBatch:
         """Control-plane evictions can re-open earlier probe buckets; if
         a flow is ever resident twice, the batched query must still
         return the *first* probe stage's count, like the scalar loop."""
-        c = HashFlow(main_cells=64, variant="multihash", depth=3, seed=1)
+        # White box (plants records in the list tier's storage): pin numpy.
+        c = HashFlow(main_cells=64, variant="multihash", depth=3, seed=1, kernel="numpy")
         main = c.main
         key = 0xABCDEF123456789 | (1 << 100)
         buckets = [h.bucket(key, main.n_cells) for h in main._hashes]
