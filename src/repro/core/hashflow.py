@@ -82,6 +82,15 @@ class HashFlow(FlowCollector):
             tiers are bit-identical (states, estimates, meters); an
             explicit choice is recorded in the spec so sweep workers
             rebuild the same tier.
+        storage: table storage layout — ``"soa"`` forces the flat
+            structure-of-arrays tables (:mod:`repro.native.soa`) even
+            on the numpy tier, ``"lists"`` forces the reference list
+            tables (numpy tier only), None picks per tier (native ⇒
+            SoA, numpy ⇒ lists).  SoA storage is what shared-memory
+            shard-parallel ingest (:mod:`repro.shm`) maps between
+            processes; both layouts are bit-identical (records, query
+            answers, meters).  An explicit choice is recorded in the
+            spec so ingest workers rebuild the same layout.
     """
 
     name = "HashFlow"
@@ -100,10 +109,15 @@ class HashFlow(FlowCollector):
         track_bytes: bool = False,
         seed: int = 0,
         kernel: str | None = None,
+        storage: str | None = None,
     ):
         super().__init__()
         if ancillary_cells is None:
             ancillary_cells = main_cells
+        if storage not in (None, "soa", "lists"):
+            raise ValueError(
+                f"unknown storage {storage!r}; choose 'soa', 'lists' or None"
+            )
         params = dict(
             main_cells=main_cells,
             ancillary_cells=ancillary_cells,
@@ -122,19 +136,27 @@ class HashFlow(FlowCollector):
         # machines (the tiers are bit-identical anyway).
         if kernel is not None:
             params["kernel"] = kernel
+        if storage is not None:
+            params["storage"] = storage
         self._record_spec(**params)
         self.kernel, self._native = resolve_kernel(kernel)
         self.variant = variant
         self.clear_promoted = clear_promoted
         self.promote_enabled = promote
         self.track_bytes = track_bytes
+        if self._native is not None and storage == "lists":
+            raise ValueError(
+                "storage='lists' is a numpy-tier layout; the native "
+                "kernels require SoA tables"
+            )
+        self._soa = self._native is not None or storage == "soa"
         self.main: MainTable
-        if self._native is not None:
+        if self._soa:
             from repro.native.soa import NativeAncillaryTable, NativeMainTable
 
             if ancillary_counter_bits > 62:
                 raise ValueError(
-                    "the native tier stores counters as int64; "
+                    "the SoA tables store counters as int64; "
                     f"ancillary_counter_bits must be <= 62, got {ancillary_counter_bits}"
                 )
             self.main = NativeMainTable(
@@ -253,6 +275,13 @@ class HashFlow(FlowCollector):
                 )
             self._native_update(batch)
             return
+        if self._soa:
+            # SoA storage on the numpy tier: the planes walk consumes
+            # the batch's 64-bit halves directly (no Python-key list
+            # views exist), with the same zero-size fallback as above.
+            lo, hi = batch.halves()
+            self.ingest_planes(lo, hi, batch.sizes)
+            return
         if self.track_bytes and batch.sizes is None:
             # Byte counters need per-packet sizes; a key-only batch
             # stays on the scalar path.
@@ -261,6 +290,49 @@ class HashFlow(FlowCollector):
                 process(key)
             return
         self._process_batch(batch)
+
+    def ingest_planes(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        sizes: np.ndarray | None = None,
+    ) -> None:
+        """Ingest a batch given only its SoA representation.
+
+        The entry point of shared-memory shard-parallel workers
+        (:mod:`repro.shm.ingest`): a worker holds the batch as the
+        ``uint64`` key-half planes of a shared input segment and never
+        rebuilds Python-int keys.  Requires SoA storage (the native
+        tier or ``storage="soa"``); dispatches to the C kernel or the
+        numpy planes walk, both bit-identical to ``process_batch`` on
+        the equivalent :class:`~repro.flow.batch.KeyBatch` (records,
+        promotions, meters).
+
+        Args:
+            lo: low 64 bits of every key (``np.uint64``).
+            hi: high bits of every key (``np.uint64``).
+            sizes: optional per-packet byte sizes; with
+                ``track_bytes=True`` a missing array counts every
+                packet at 0 bytes, exactly like the key-only
+                ``process_batch`` fallback.
+        """
+        n = len(lo)
+        if not n:
+            return
+        if not self._soa:
+            raise RuntimeError(
+                "ingest_planes requires SoA table storage; build the "
+                "collector with storage='soa' or the native kernel tier"
+            )
+        if self.track_bytes:
+            if sizes is None:
+                sizes = np.zeros(n, dtype=np.int64)
+        else:
+            sizes = None
+        if self._native is not None:
+            self._native_ingest(lo, hi, sizes)
+        else:
+            self._soa_update(lo, hi, sizes)
 
     def _native_update(self, batch: KeyBatch) -> None:
         """Run the batch through the compiled Algorithm-1 kernel.
@@ -271,12 +343,17 @@ class HashFlow(FlowCollector):
         numpy tier.
         """
         lo, hi = batch.halves()
+        self._native_ingest(lo, hi, batch.sizes if self.track_bytes else None)
+
+    def _native_ingest(
+        self, lo: np.ndarray, hi: np.ndarray, sizes: np.ndarray | None
+    ) -> None:
         main = self.main
         anc = self.ancillary
         hashes, reads, writes, promotions = self._native.hashflow_update(
             lo,
             hi,
-            batch.sizes if self.track_bytes else None,
+            sizes,
             main.seeds_arr,
             main.offs_arr,
             main.sizes_arr,
@@ -296,8 +373,116 @@ class HashFlow(FlowCollector):
         )
         self.promotions += promotions
         self.meter.add(
-            packets=len(batch), hashes=hashes, reads=reads, writes=writes
+            packets=len(lo), hashes=hashes, reads=reads, writes=writes
         )
+
+    def _soa_update(
+        self, lo: np.ndarray, hi: np.ndarray, sizes: np.ndarray | None
+    ) -> None:
+        """The numpy-tier Algorithm-1 walk over SoA planes.
+
+        Mirrors :meth:`_process_batch` exactly — same precomputed hash
+        rows, same per-packet control flow, same meter increments — but
+        reads and writes the flat ``k_lo``/``k_hi``/count planes
+        instead of Python list views, so it can run over shared-memory
+        segments in any process.  Keys never need reassembling: a
+        stored key equals the packet's key iff both 64-bit halves
+        match.
+        """
+        from repro.hashing.mixers import mix128_batch
+
+        main = self.main
+        anc = self.ancillary
+        n = len(lo)
+        stage_rows = [
+            (
+                (mix128_batch(lo, hi, seed) % np.uint64(size)).astype(np.int64)
+                + off
+            ).tolist()
+            for seed, off, size in zip(main._seeds, main._offs, main.sizes)
+        ]
+        anc_idx = (
+            mix128_batch(lo, hi, anc._index_seed) % np.uint64(anc.n_cells)
+        ).tolist()
+        anc_dig = (
+            mix128_batch(lo, hi, anc._digest_seed) & np.uint64(anc._digest_mask)
+        ).tolist()
+        lo_list = lo.tolist()
+        hi_list = hi.tolist()
+        size_list = None if sizes is None else sizes.tolist()
+        k_lo = main.k_lo
+        k_hi = main.k_hi
+        counts = main.counts
+        mbytes = main.bytes if size_list is not None else None
+        a_digests = anc.digests
+        a_counts = anc.counts
+        a_max = anc.max_count
+        promote_enabled = self.promote_enabled
+        clear_promoted = self.clear_promoted
+        hashes = reads = writes = promotions = 0
+        for i in range(n):
+            key_lo = lo_list[i]
+            key_hi = hi_list[i]
+            min_count = -1
+            sen_idx = -1
+            absorbed = False
+            for row in stage_rows:
+                idx = row[i]
+                hashes += 1
+                reads += 1
+                count = counts[idx]
+                if count == 0:
+                    k_lo[idx] = key_lo
+                    k_hi[idx] = key_hi
+                    counts[idx] = 1
+                    if mbytes is not None:
+                        mbytes[idx] = size_list[i]
+                    writes += 1
+                    absorbed = True
+                    break
+                if k_lo[idx] == key_lo and k_hi[idx] == key_hi:
+                    counts[idx] = count + 1
+                    if mbytes is not None:
+                        mbytes[idx] += size_list[i]
+                    writes += 1
+                    absorbed = True
+                    break
+                if min_count < 0 or count < min_count:
+                    min_count = count
+                    sen_idx = idx
+            if absorbed:
+                continue
+            if not promote_enabled:
+                min_count = 1 << 62
+            ai = anc_idx[i]
+            dig = anc_dig[i]
+            hashes += 2
+            reads += 1
+            acount = a_counts[ai]
+            if acount == 0 or a_digests[ai] != dig:
+                a_digests[ai] = dig
+                a_counts[ai] = 1
+                writes += 1
+                continue
+            if acount < min_count:
+                if acount < a_max:
+                    a_counts[ai] = acount + 1
+                writes += 1
+                continue
+            # Promotion: overwrite the sentinel record.
+            k_lo[sen_idx] = key_lo
+            k_hi[sen_idx] = key_hi
+            counts[sen_idx] = acount + 1
+            if mbytes is not None:
+                mbytes[sen_idx] = size_list[i]
+            writes += 1
+            promotions += 1
+            if clear_promoted:
+                a_digests[ai] = 0
+                a_counts[ai] = 0
+                writes += 1
+        self.promotions += promotions
+        self.meter.add(packets=n, hashes=hashes, reads=reads, writes=writes)
 
     def _native_query(self, batch: KeyBatch) -> np.ndarray:
         """Batched main-then-ancillary point queries via the C kernel."""

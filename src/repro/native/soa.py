@@ -41,7 +41,7 @@ from repro.core.maintable import (
     pipeline_sizes,
 )
 from repro.hashing.families import HashFamily
-from repro.hashing.mixers import MASK64, mix128
+from repro.hashing.mixers import MASK64, mix128, mix128_batch
 from repro.sketches.base import CostMeter
 
 _EMPTY = 0
@@ -177,6 +177,35 @@ class NativeMainTable(MainTable):
             if self.counts[idx] and self._key_at(idx) == key:
                 return int(self.counts[idx])
         return 0
+
+    def query_batch(self, batch) -> np.ndarray:
+        """Vectorized :meth:`query` over the SoA planes.
+
+        Same first-stage-hit precedence as the scalar probe: a later
+        stage only answers keys every earlier stage missed.
+        """
+        n = len(batch)
+        out = np.zeros(n, dtype=np.int64)
+        if not n:
+            return out
+        lo, hi = batch.halves()
+        unresolved = np.ones(n, dtype=bool)
+        for s in range(self.depth):
+            idx = (
+                mix128_batch(lo, hi, self._seeds[s]) % np.uint64(self.sizes[s])
+            ).astype(np.int64) + self._offs[s]
+            hit = (
+                unresolved
+                & (self.counts[idx] > 0)
+                & (self.k_lo[idx] == lo)
+                & (self.k_hi[idx] == hi)
+            )
+            if hit.any():
+                out[hit] = self.counts[idx[hit]]
+                unresolved &= ~hit
+                if not unresolved.any():
+                    break
+        return out
 
     def records(self) -> dict[int, int]:
         # Ascending flat index == stage-major order == the reference

@@ -11,6 +11,8 @@ its capacity-scaling claim be tested directly.
 
 from __future__ import annotations
 
+import multiprocessing as mp
+import warnings
 from collections.abc import Callable, Mapping
 
 import numpy as np
@@ -34,6 +36,18 @@ class ShardedCollector(FlowCollector):
         n_shards: number of shards (owner switches).
         seed: seed of the shard-assignment hash (independent of every
             collector-internal hash).
+        jobs: ingest worker processes.  ``None`` (default) follows the
+            ``REPRO_SHARD_JOBS`` environment variable; 1 means serial;
+            ``> 1`` turns on shared-memory shard-parallel ingest
+            (:mod:`repro.shm`): shard tables live in one shared
+            segment, batches are owner-partitioned once and ingested
+            in place by a worker pool, with records, query answers and
+            merged meters bit-identical to serial.  Requires a
+            spec-described collector of a shareable kind
+            (:data:`repro.shm.SHARED_PLANE_KINDS`).  An explicit value
+            is recorded in the spec; the env-resolved default keeps
+            specs portable across machines (the modes are
+            bit-identical anyway).
     """
 
     name = "ShardedCollector"
@@ -45,22 +59,97 @@ class ShardedCollector(FlowCollector):
         ),
         n_shards: int,
         seed: int = 0,
+        jobs: int | None = None,
     ):
         super().__init__()
+        from repro.shm import resolve_shard_jobs
+
         if n_shards <= 0:
             raise ValueError(f"n_shards must be positive, got {n_shards}")
         self.n_shards = n_shards
         self.seed = seed
+        self._jobs_param = None if jobs is None else int(jobs)
         self._shard_hash = HashFunction(seed ^ 0x5AAD)
         self._shard_spec: CollectorSpec | None = None
-        if callable(collector) and not isinstance(collector, (FlowCollector, type)):
-            # Legacy ad-hoc factory: not spec-describable.
+        self._engine = None
+        legacy = callable(collector) and not isinstance(
+            collector, (FlowCollector, type)
+        )
+        if legacy:
+            if jobs is not None and resolve_shard_jobs(jobs) > 1:
+                from repro.specs import SpecError
+
+                raise SpecError(
+                    "ShardedCollector(jobs>1) needs to rebuild each shard "
+                    "from its spec inside worker processes, so it cannot "
+                    "accept an ad-hoc factory callable; pass a "
+                    "CollectorSpec (or spec dict / kind name / prototype "
+                    "collector) instead"
+                )
+            # Legacy ad-hoc factory: not spec-describable.  The env
+            # default is deliberately ignored (a global REPRO_SHARD_JOBS
+            # must not break existing factory users); ingest stays
+            # serial.
+            self.jobs = 1
             self.shards = [collector(i) for i in range(n_shards)]
+            return
+        self._shard_spec = as_spec(collector)
+        self.jobs = self._resolve_jobs(resolve_shard_jobs(jobs))
+        if self.jobs > 1:
+            self._check_shareable()
+            # reseed() first so shard i's derived seeds match the
+            # serial build; storage="soa" only swaps the table layout
+            # (bit-identical), making the planes shareable on any
+            # kernel tier.
+            self.shards = [
+                build(self._shard_spec.reseed(i).with_params(storage="soa"))
+                for i in range(n_shards)
+            ]
+            from repro.shm import ShardIngestEngine
+
+            self._engine = ShardIngestEngine(
+                self.shards,
+                [shard.spec.to_dict() for shard in self.shards],
+                self.jobs,
+            )
         else:
-            self._shard_spec = as_spec(collector)
             self.shards = [
                 build(self._shard_spec.reseed(i)) for i in range(n_shards)
             ]
+
+    def _resolve_jobs(self, jobs: int) -> int:
+        """Clamp the resolved worker count to what can actually help."""
+        if jobs > self.n_shards:
+            # A worker without shards to own would idle: spans are
+            # per-shard, so parallelism is capped by the shard count.
+            jobs = self.n_shards
+        if jobs > 1 and mp.current_process().daemon:
+            # Daemonic processes (e.g. the parallel sweep engine's own
+            # workers) cannot fork children; degrade to serial ingest
+            # rather than crash — the modes are bit-identical.
+            warnings.warn(
+                "ShardedCollector: shard-parallel ingest needs child "
+                "processes, which daemonic workers cannot spawn; "
+                "falling back to jobs=1",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            jobs = 1
+        return jobs
+
+    def _check_shareable(self) -> None:
+        """Raise unless the shard spec's planes can live in shared memory."""
+        from repro.shm import SHARED_PLANE_KINDS
+
+        if self._shard_spec.kind not in SHARED_PLANE_KINDS:
+            from repro.specs import SpecError
+
+            raise SpecError(
+                f"ShardedCollector(jobs>1) requires a shard collector "
+                f"whose state is shareable as SoA planes; kind "
+                f"{self._shard_spec.kind!r} is not "
+                f"(supported: {sorted(SHARED_PLANE_KINDS)})"
+            )
 
     def spec_params(self) -> dict:
         """Nested spec: the per-shard prototype, shard count, and the
@@ -76,11 +165,40 @@ class ShardedCollector(FlowCollector):
                 "ShardedCollector built from an ad-hoc factory callable "
                 "cannot be described by a spec; pass a CollectorSpec instead"
             )
-        return {
+        params = {
             "collector": self._shard_spec.to_dict(),
             "n_shards": self.n_shards,
             "seed": self.seed,
         }
+        if self._jobs_param is not None:
+            params["jobs"] = self._jobs_param
+        return params
+
+    def warm(self) -> None:
+        """Pre-start the parallel-ingest worker pool (serial: no-op).
+
+        Useful before timed regions: pool startup is a one-off cost
+        otherwise paid by the first ``process_batch``.
+        """
+        if self._engine is not None:
+            self._engine.warm()
+
+    def close(self) -> None:
+        """Release the parallel-ingest pool and shared segments.
+
+        Idempotent; a no-op in serial mode.  The collector stays fully
+        queryable afterwards (the parent's plane mappings survive the
+        unlink), but further ``process*`` calls in parallel mode are
+        rejected by the engine.
+        """
+        if self._engine is not None:
+            self._engine.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def shard_of(self, key: int) -> int:
         """The owner shard of a flow."""
@@ -112,8 +230,13 @@ class ShardedCollector(FlowCollector):
         owners = self._shard_hash.buckets_batch(batch, self.n_shards)
         self.meter.add(packets=n, hashes=n)  # one coordinator hash each
         lo, hi = batch.halves()
-        keys_list = batch.keys
         sizes = batch.sizes
+        if self._engine is not None:
+            # Shard-parallel ingest: one stable partition of the SoA
+            # planes, fanned out to the worker pool (repro.shm.ingest).
+            self._engine.ingest(owners, lo, hi, sizes)
+            return
+        keys_list = batch.keys
         for s, shard in enumerate(self.shards):
             members = np.nonzero(owners == np.uint64(s))[0]
             if not len(members):

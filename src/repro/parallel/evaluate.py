@@ -129,7 +129,11 @@ class WorkloadStore:
         if trace is not None:
             self._traces.move_to_end(key)
             return trace
-        if ref.path is not None:
+        if ref.shm is not None:
+            from repro.shm import attach_trace
+
+            trace = attach_trace(ref.shm)
+        elif ref.path is not None:
             trace = load_trace_arrays(ref.path)
         else:
             trace = None

@@ -12,9 +12,11 @@ that the assembled results are byte-for-byte the same either way.
 
 Workloads are deliberately *not* shipped as pickled traces: a
 :class:`WorkloadRef` names either a calibrated profile (regenerated or
-mmap-loaded from the trace cache) or a saved trace-array directory
+mmap-loaded from the trace cache), a saved trace-array directory
 (:func:`repro.traces.io.save_trace_arrays`), optionally restricted to a
-packet slice (the epoch-replay case).
+packet slice (the epoch-replay case), or a shared-memory trace segment
+(:func:`repro.shm.share_trace` — the zero-copy path for traces that are
+expensive or impossible to regenerate, e.g. netwide vantage streams).
 """
 
 from __future__ import annotations
@@ -30,7 +32,7 @@ from repro.specs import CollectorSpec
 class WorkloadRef:
     """A lightweight, process-portable workload description.
 
-    Exactly one of ``profile`` / ``path`` must be set:
+    Exactly one of ``profile`` / ``path`` / ``shm`` must be set:
 
     * ``profile`` — a calibrated trace profile name
       (:data:`repro.traces.profiles.PROFILES`); the trace is generated
@@ -41,9 +43,13 @@ class WorkloadRef:
       workers.  ``start``/``stop`` optionally restrict the workload to
       a packet slice (epoch replay); slicing matches
       :func:`repro.traces.replay` epoch construction exactly.
+    * ``shm`` — a :class:`repro.shm.SharedTraceRef` (as a plain tuple,
+      keeping the dataclass hashable): the trace already sits in a
+      named shared-memory segment owned by the coordinating process,
+      and workers attach zero-copy.  The segment must outlive the run.
 
     Attributes:
-        profile: trace profile name, or None for file-backed refs.
+        profile: trace profile name, or None for file/shm-backed refs.
         n_flows: flows in the trial (profile refs only).
         seed: generation seed (the subset seed is ``seed + 1``, as in
             ``make_workload``).
@@ -53,6 +59,7 @@ class WorkloadRef:
         path: saved trace-array directory (file-backed refs only).
         start: first packet of the slice (file-backed refs only).
         stop: one past the last packet of the slice.
+        shm: shared-trace descriptor tuple (shm-backed refs only).
     """
 
     profile: str | None = None
@@ -63,18 +70,27 @@ class WorkloadRef:
     path: str | None = None
     start: int | None = None
     stop: int | None = None
+    shm: tuple | None = None
 
     def __post_init__(self):
-        if (self.profile is None) == (self.path is None):
+        backings = sum(
+            x is not None for x in (self.profile, self.path, self.shm)
+        )
+        if backings != 1:
             raise ValueError(
-                "exactly one of profile/path must be set, got "
-                f"profile={self.profile!r} path={self.path!r}"
+                "exactly one of profile/path/shm must be set, got "
+                f"profile={self.profile!r} path={self.path!r} "
+                f"shm={self.shm!r}"
             )
+        if self.shm is not None:
+            # Normalize to a plain tuple so the frozen dataclass stays
+            # hashable/comparable regardless of the caller's NamedTuple.
+            object.__setattr__(self, "shm", tuple(self.shm))
         if self.profile is not None and self.n_flows is None:
             raise ValueError("profile workload refs require n_flows")
         if (self.start is None) != (self.stop is None):
             raise ValueError("start and stop must be provided together")
-        if self.profile is not None and self.start is not None:
+        if self.path is None and self.start is not None:
             raise ValueError(
                 "start/stop packet slicing requires a file-backed ref; "
                 "profile refs select their trial via n_flows/base_flows"
@@ -94,6 +110,8 @@ class WorkloadRef:
         a shared ``base_flows``) or packet slice share a base key, so
         the trace is generated/saved exactly once per plan.
         """
+        if self.shm is not None:
+            return ("shm", self.shm[0])  # the segment name
         if self.path is not None:
             return ("path", self.path)
         return ("profile", self.profile, self.generated_flows, self.seed,
@@ -111,6 +129,10 @@ class WorkloadRef:
         """
         if self.path is not None:
             raise ValueError("file-backed refs are already on disk")
+        if self.shm is not None:
+            raise ValueError(
+                "shm-backed refs live in shared memory, not the trace cache"
+            )
         from repro.traces.profiles import PROFILES
         from repro.traces.synthetic import GENERATION_VERSION
 

@@ -323,9 +323,14 @@ def run_pipelines(
 ) -> list[dict]:
     """Run pipelines as :mod:`repro.parallel` sweep cells.
 
-    Each spec's source must be parallel-dispatchable (expose a
-    :class:`~repro.parallel.plan.WorkloadRef`); the engine materializes
-    the workloads once per distinct base trace and the workers rebuild
+    A spec whose source is parallel-dispatchable (exposes a
+    :class:`~repro.parallel.plan.WorkloadRef`) is materialized by the
+    engine once per distinct base trace.  Sources the engine cannot
+    rebuild from data (pcap files, derived netwide vantage streams) are
+    materialized **here, once**, parked in a shared-memory segment
+    (:func:`repro.shm.share_trace`), and dispatched as shm-backed refs
+    that workers attach zero-copy — one shared copy per distinct source,
+    instead of per-worker regeneration or a hard error.  Workers rebuild
     each pipeline from its spec — serial (``jobs=1``) and parallel
     results are bit-identical.
 
@@ -336,32 +341,49 @@ def run_pipelines(
 
     Returns:
         One :meth:`PipelineResult.summary` row per spec, in input order.
-
-    Raises:
-        ValueError: for a source the sweep engine cannot rebuild from
-            data (pcap, netwide).
     """
+    import json
+
     from repro.parallel import SweepCell, run_plan
+    from repro.parallel.plan import WorkloadRef
+    from repro.stream.sources import build_source
 
     pipeline_specs = [
         s if isinstance(s, PipelineSpec) else PipelineSpec.from_dict(s)
         for s in specs
     ]
     cells = []
-    for index, spec in enumerate(pipeline_specs):
-        ref = spec.workload_ref()
-        if ref is None:
-            raise ValueError(
-                f"pipeline {index} ({spec!r}) has a source the sweep engine "
-                "cannot rebuild from data; run it with Pipeline.run() instead"
+    shared: dict[str, WorkloadRef] = {}
+    segments = []
+    try:
+        for index, spec in enumerate(pipeline_specs):
+            ref = spec.workload_ref()
+            if ref is None:
+                # Dedupe by the source's canonical spec JSON: identical
+                # sources (e.g. one netwide stream fed to several
+                # collectors) are materialized and shared exactly once.
+                source_key = json.dumps(dict(spec.source), sort_keys=True)
+                ref = shared.get(source_key)
+                if ref is None:
+                    from repro.shm import share_trace
+
+                    trace = build_source(spec.source).trace()
+                    shm_ref, segment = share_trace(
+                        trace, label=f"pipe{index}"
+                    )
+                    segments.append(segment)
+                    ref = WorkloadRef(shm=tuple(shm_ref))
+                    shared[source_key] = ref
+            cells.append(
+                SweepCell(
+                    workload=ref,
+                    metrics=("pipeline",),
+                    params={"pipeline": spec.to_dict()},
+                    label=index,
+                )
             )
-        cells.append(
-            SweepCell(
-                workload=ref,
-                metrics=("pipeline",),
-                params={"pipeline": spec.to_dict()},
-                label=index,
-            )
-        )
-    results = run_plan(cells, jobs=jobs)
+        results = run_plan(cells, jobs=jobs)
+    finally:
+        for segment in segments:
+            segment.unlink()
     return [dict(result.rows[0]) for result in results]

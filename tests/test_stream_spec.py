@@ -227,11 +227,14 @@ class TestParallelDispatch:
         parallel = run_pipelines(specs)
         assert parallel == serial
 
-    def test_non_dispatchable_source_rejected(self):
+    def test_non_refable_source_dispatches_via_shared_trace(self):
+        # Sources without a portable workload ref (netwide, pcap) are
+        # materialized once and shared through a /dev/shm segment
+        # (repro.shm) instead of being rejected.
         spec = PipelineSpec(
             source={"kind": "netwide",
                     "params": {"profile": "caida", "n_flows": 100}},
             collector=_HF,
         )
-        with pytest.raises(ValueError, match="cannot rebuild"):
-            run_pipelines([spec], jobs=1)
+        direct = Pipeline.from_spec(spec).run().summary()
+        assert run_pipelines([spec], jobs=1) == [direct]
