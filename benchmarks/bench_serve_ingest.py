@@ -1,0 +1,164 @@
+"""Live-daemon ingest throughput for ``repro.serve`` (not a paper
+figure).
+
+Replays an unpaced NetFlow v5 stream over loopback UDP into a running
+:class:`~repro.serve.daemon.ServeDaemon` and measures the sustained
+decode-route-ring-feed rate, asserting the delivered record set still
+matches the offline ``Pipeline.run`` ground truth (the determinism
+contract holds at speed, not just in the unit tests).  Persists:
+
+* ``benchmarks/results/BENCH_serve_ingest.json`` — the full record
+  (wall clock, pps, drop rate, per-worker meters);
+* ``BENCH_headline.json`` at the repo root — ``serve_pps`` and
+  ``serve_drop_rate`` join the headline perf trajectory.
+
+The daemon's parent (listener) and worker are separate processes, so a
+meaningful rate needs at least 2 CPUs: on a single-core container the
+listener and worker time-slice, measuring the scheduler rather than
+the pipeline.  With fewer than 2 CPUs the timed run is *skipped with
+an explicit reason* and the headline records ``serve_pps = null`` plus
+that reason (the ``shard_skip_reason`` convention), instead of a
+number a future PR might mistake for a regression.  Stream size
+follows ``REPRO_SCALE``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR, update_headline
+from repro.native import kernel_info
+from repro.serve import ServeDaemon, ServeSpec, replay_datagrams, trace_datagrams
+from repro.specs import resolve_scale
+from repro.stream.pipeline import Pipeline
+from repro.traces.profiles import CAIDA
+
+JSON_PATH = RESULTS_DIR / "BENCH_serve_ingest.json"
+
+#: Synthetic clock rate; a whole-millisecond period (2 ms) keeps the
+#: replayed timestamps bit-identical to the offline pipeline clock.
+PACKET_RATE = 500.0
+
+
+def _serve_spec(scale: float) -> ServeSpec:
+    cells = max(4096, int(round(262_144 * scale)))
+    return ServeSpec(
+        pipeline={
+            "source": {"kind": "udp", "params": {"host": "127.0.0.1", "port": 0}},
+            "collector": {"kind": "hashflow", "params": {"main_cells": cells, "seed": 5}},
+            "rotation": {"kind": "interval", "params": {"window": 10.0}},
+            "sinks": [{"kind": "archive"}],
+            "packet_rate": PACKET_RATE,
+        },
+        workers=1,
+        backpressure="block",
+        stats_interval=60.0,
+    )
+
+
+def _environment_fields() -> dict:
+    """The measurement environment every headline record must carry."""
+    info = kernel_info()
+    return {
+        "cpus": os.cpu_count(),
+        "kernel": info["requested"],
+        "native_available": info["available"],
+        "compiler": info["compiler"],
+    }
+
+
+def test_serve_ingest_recorded():
+    """Record the daemon's sustained loopback ingest rate."""
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        reason = (
+            f"serve ingest rate not measurable on {cpus} CPU: the "
+            "listener and worker processes time-slice one core"
+        )
+        update_headline(
+            serve_pps=None,
+            serve_drop_rate=None,
+            serve_skip_reason=reason,
+            **_environment_fields(),
+        )
+        pytest.skip(reason)
+
+    scale = resolve_scale(None)
+    n_flows = max(20_000, int(round(1_000_000 * scale)))
+    trace = CAIDA.generate(n_flows=n_flows, seed=23)
+    # Encode outside the timed region: the bench measures the daemon,
+    # not the replayer's encoder.
+    datagrams = trace_datagrams(trace, packet_rate=PACKET_RATE)
+
+    spec = _serve_spec(scale)
+    daemon = ServeDaemon(spec, quiet=True)
+    address = daemon.bind()
+    sent = {}
+    timing = {}
+
+    def feed() -> None:
+        start = time.perf_counter()
+        sent["packets"] = replay_datagrams(datagrams, address)
+        deadline = time.monotonic() + 300.0
+        while (
+            daemon.packets_received < sent["packets"]
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.005)
+        # Ingest complete: everything is off the socket and in (or
+        # through) the ring.  The drain that follows is shutdown cost,
+        # not steady-state throughput, so the clock stops here.
+        timing["ingest_s"] = time.perf_counter() - start
+        daemon.request_stop()
+
+    feeder = threading.Thread(target=feed, daemon=True)
+    feeder.start()
+    result = daemon.run(duration=300.0)
+    feeder.join(timeout=30.0)
+
+    offline = Pipeline.from_spec(
+        spec.pipeline_spec.with_stages(
+            source={"kind": "synthetic", "params": {"profile": "caida", "n_flows": 1}}
+        )
+    ).run(trace=trace)
+    assert result.packets == sent["packets"] == len(trace)
+    assert result.drops == 0, "block back-pressure must be lossless"
+    assert result.records == offline.records, "live records diverged from offline"
+
+    ingest_s = timing["ingest_s"]
+    pps = result.packets / ingest_s
+    drop_rate = result.drops / result.packets
+    record = {
+        "experiment": "serve_ingest",
+        "n_flows": n_flows,
+        "n_packets": result.packets,
+        "datagrams": result.datagrams,
+        "cpus": cpus,
+        "scale": scale,
+        "kernel": kernel_info()["requested"],
+        "workers": spec.workers,
+        "backpressure": spec.backpressure,
+        "ingest_s": round(ingest_s, 3),
+        "serve_pps": round(pps),
+        "drop_rate": drop_rate,
+        "rotations": result.rotations,
+        "exported": result.exported,
+        "meters": {str(w): m for w, m in result.meters.items()},
+    }
+    JSON_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(
+        f"\nserve ingest: {result.packets} packets in {ingest_s:.2f}s "
+        f"({pps:,.0f} pps, {result.drops} drops)"
+    )
+
+    update_headline(
+        serve_pps=round(pps),
+        serve_drop_rate=drop_rate,
+        serve_skip_reason=None,
+        **_environment_fields(),
+    )

@@ -14,6 +14,8 @@ Examples::
     repro-experiments stream --spec pipeline.json
     repro-experiments collect --collector hashflow --kernel native
     repro-experiments kernels
+    repro-experiments serve --listen 2055 --rotate interval:10
+    repro-experiments serve --replay caida:5000 --jobs 2 --save-spec serve.json
 """
 
 from __future__ import annotations
@@ -225,6 +227,111 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the pipeline's spec to a JSON file",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the live collection daemon: UDP NetFlow v5 ingest over "
+        "shared-memory rings, rotating under load",
+    )
+    serve.add_argument(
+        "--spec",
+        metavar="FILE.json",
+        default=None,
+        help="run a ServeSpec JSON file (stage flags are ignored; "
+        "--listen/--jobs/--duration still apply)",
+    )
+    serve.add_argument(
+        "--listen",
+        metavar="[HOST:]PORT",
+        default=None,
+        help="listen address override (port 0 binds an ephemeral port and "
+        "prints it; default: the spec's, else 127.0.0.1:2055)",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="seconds to serve before draining (default: until SIGTERM/SIGINT; "
+        "with --replay and no duration, the daemon drains after the replay)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="collector worker processes (default: the spec's, else 1); more "
+        "than one requires a sharded collector (composed specs are wrapped "
+        "automatically)",
+    )
+    serve.add_argument(
+        "--stats-interval",
+        type=float,
+        default=None,
+        help="seconds between stats lines (default: spec / "
+        "REPRO_SERVE_STATS_INTERVAL / 5)",
+    )
+    serve.add_argument(
+        "--ring-slots",
+        type=int,
+        default=None,
+        help="packet slots per worker ring, a power of two (default: spec / "
+        "REPRO_SERVE_RING_SLOTS / 65536)",
+    )
+    serve.add_argument(
+        "--backpressure",
+        choices=("block", "drop"),
+        default=None,
+        help="full-ring policy: block (lossless) or drop (shed + count; "
+        "default: spec / REPRO_SERVE_BACKPRESSURE / block)",
+    )
+    serve.add_argument(
+        "--replay",
+        metavar="PROFILE:FLOWS[:PPS]",
+        default=None,
+        help="soak mode: replay a synthetic trace into the daemon over "
+        "loopback UDP (unpaced unless PPS is given)",
+    )
+    serve.add_argument(
+        "--collector",
+        metavar="KIND",
+        default="hashflow",
+        help="registered collector kind for composed specs (default: hashflow)",
+    )
+    serve.add_argument(
+        "--memory",
+        type=int,
+        default=None,
+        help="collector memory budget in bytes (default: the paper's 1 MB "
+        "budget at the REPRO_SCALE factor)",
+    )
+    serve.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="size factor applied to the memory budget (default: REPRO_SCALE "
+        "env or 0.1)",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="hash seed")
+    serve.add_argument(
+        "--rotate",
+        metavar="POLICY",
+        default="interval:10",
+        help="rotation policy for composed specs (same grammar as stream; "
+        "default: interval:10 — 10-second wall-clock windows)",
+    )
+    serve.add_argument(
+        "--sink",
+        metavar="SINK",
+        action="append",
+        default=None,
+        help="sink to attach (repeatable, same grammar as stream; "
+        "default: netflow + archive)",
+    )
+    serve.add_argument(
+        "--save-spec",
+        metavar="FILE.json",
+        default=None,
+        help="write the daemon's ServeSpec to a JSON file",
+    )
+
     sub.add_parser(
         "kernels",
         help="report kernel-tier availability: compiler, build cache, library",
@@ -279,6 +386,164 @@ def _parse_sink(text: str) -> dict:
             raise SystemExit("--sink heavy_hitters needs a threshold (heavy_hitters:T)")
         return {"kind": "heavy_hitters", "params": {"threshold": int(arg)}}
     raise SystemExit(f"unknown sink {text!r}")
+
+
+def _parse_listen(text: str) -> tuple[str, int]:
+    """Parse a ``--listen`` value (``[HOST:]PORT``) into an address."""
+    host, _, port = text.rpartition(":")
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise SystemExit(f"bad --listen address {text!r} (expected [HOST:]PORT)")
+
+
+def _parse_replay(text: str) -> tuple[str, int, float | None]:
+    """Parse a ``--replay`` value (``PROFILE:FLOWS[:PPS]``)."""
+    parts = text.split(":")
+    if len(parts) not in (2, 3) or parts[0] not in PROFILES:
+        raise SystemExit(
+            f"bad --replay {text!r} (expected PROFILE:FLOWS[:PPS] with a "
+            f"profile from: {', '.join(sorted(PROFILES))})"
+        )
+    try:
+        flows = int(parts[1])
+        pps = float(parts[2]) if len(parts) == 3 else None
+    except ValueError:
+        raise SystemExit(f"bad --replay {text!r} (FLOWS and PPS must be numbers)")
+    return parts[0], flows, pps
+
+
+def run_serve(args) -> int:
+    """Build (or load) a serve spec and run the live collection daemon."""
+    import signal
+    import threading
+
+    from repro.serve import (
+        ServeDaemon,
+        ServeSpec,
+        env_serve_defaults,
+        load_serve_spec,
+        replay_trace,
+        save_serve_spec,
+    )
+
+    replay = _parse_replay(args.replay) if args.replay else None
+    try:
+        overrides = {}
+        if args.jobs is not None:
+            overrides["workers"] = args.jobs
+        if args.ring_slots is not None:
+            overrides["ring_slots"] = args.ring_slots
+        if args.backpressure is not None:
+            overrides["backpressure"] = args.backpressure
+        if args.stats_interval is not None:
+            overrides["stats_interval"] = args.stats_interval
+        if args.spec:
+            spec = load_serve_spec(args.spec)
+            if overrides:
+                spec = ServeSpec.from_dict({**spec.to_dict(), **overrides})
+        else:
+            # Composed specs carry fully resolved collector params (as
+            # in `stream`): budget and scale are applied once, here.
+            scale = args.scale
+            if args.memory is None and scale is None:
+                scale = resolve_scale(None)
+            collector = build(
+                args.collector, memory_bytes=args.memory, scale=scale, seed=args.seed
+            ).spec.to_dict()
+            workers = overrides.get("workers", 1)
+            if workers > 1 and collector["kind"] != "sharded":
+                # Multi-worker serving needs a home shard per flow key;
+                # wrap the composed collector one-shard-per-worker.
+                collector = {
+                    "kind": "sharded",
+                    "params": {
+                        "collector": collector,
+                        "n_shards": workers,
+                        "seed": args.seed,
+                    },
+                }
+            pipeline = {
+                "source": {"kind": "udp", "params": {"host": "127.0.0.1", "port": 2055}},
+                "collector": collector,
+                "rotation": _parse_rotation(args.rotate),
+                "sinks": [_parse_sink(s) for s in (args.sink or ["netflow", "archive"])],
+            }
+            spec = ServeSpec(pipeline=pipeline, **{**env_serve_defaults(), **overrides})
+        if args.listen:
+            spec = spec.with_listen(*_parse_listen(args.listen))
+        if args.save_spec:
+            save_serve_spec(spec, args.save_spec)
+            print(f"# serve spec saved to {args.save_spec}")
+        daemon = ServeDaemon(spec)
+    except (SpecError, OSError, ValueError) as exc:
+        print(f"cannot build serve daemon: {exc}", file=sys.stderr)
+        return 2
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: daemon.request_stop())
+
+    try:
+        address = daemon.bind()
+    except OSError as exc:
+        print(f"cannot bind {spec.listen[0]}:{spec.listen[1]}: {exc}", file=sys.stderr)
+        return 2
+
+    replayer = None
+    replayed = {"packets": 0}
+    if replay is not None:
+        profile, flows, pps = replay
+        trace = PROFILES[profile].generate(n_flows=flows, seed=args.seed)
+        packet_rate = spec.pipeline_spec.packet_rate
+        drain_after = args.duration is None
+
+        def _replay() -> None:
+            replayed["packets"] = replay_trace(
+                trace, address, packet_rate=packet_rate, pps=pps
+            )
+            if drain_after:
+                # Everything was sent over loopback; once the daemon has
+                # pulled it all off the socket, ask for the drain.
+                deadline = time.monotonic() + 30.0
+                while (
+                    daemon.packets_received < replayed["packets"]
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.02)
+                daemon.request_stop()
+
+        replayer = threading.Thread(target=_replay, name="serve-replay", daemon=True)
+        replayer.start()
+
+    try:
+        result = daemon.run(duration=args.duration)
+    except RuntimeError as exc:
+        print(f"serve failed: {exc}", file=sys.stderr)
+        return 1
+    if replayer is not None:
+        replayer.join(timeout=10.0)
+
+    table = ExperimentResult(
+        experiment_id="serve",
+        title=f"serve daemon ({spec.workers} worker(s), "
+        f"{spec.backpressure} back-pressure)",
+        columns=["metric", "value"],
+        params={"workers": spec.workers, "backpressure": spec.backpressure},
+    )
+    table.add_row(metric="datagrams", value=result.datagrams)
+    table.add_row(metric="packets", value=result.packets)
+    if replay is not None:
+        table.add_row(metric="replayed_packets", value=replayed["packets"])
+    table.add_row(metric="drops", value=result.drops)
+    table.add_row(metric="rotations", value=result.rotations)
+    table.add_row(metric="exported_records", value=result.exported)
+    table.add_row(metric="flows", value=len(result.records))
+    for label, summary in result.sinks.items():
+        for key, value in summary.items():
+            table.add_row(metric=f"{label}.{key}", value=value)
+    print(render_table(table))
+    print(f"# elapsed: {result.elapsed:.1f}s")
+    return 0
 
 
 def run_stream(args) -> int:
@@ -527,6 +792,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_collect(args)
     if args.command == "stream":
         return run_stream(args)
+    if args.command == "serve":
+        return run_serve(args)
     if args.command == "sweep":
         if args.experiment not in EXPERIMENTS:
             print(f"unknown experiment {args.experiment!r}", file=sys.stderr)

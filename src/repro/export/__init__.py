@@ -1,12 +1,18 @@
 """Record export: NetFlow v5 datagrams and CSV/JSON text formats."""
 
 from repro.export.netflow_v5 import (
+    HEADER_BYTES,
     MAX_RECORDS_PER_DATAGRAM,
     NETFLOW_V5_VERSION,
+    RECORD_BYTES,
     NetFlowV5Exporter,
     NetFlowV5Record,
+    encode_header,
+    encode_record,
     parse_datagram,
+    parse_datagram_partial,
     parse_stream,
+    split_datagram,
 )
 from repro.export.text import (
     records_from_csv,
@@ -16,12 +22,18 @@ from repro.export.text import (
 )
 
 __all__ = [
+    "HEADER_BYTES",
     "MAX_RECORDS_PER_DATAGRAM",
     "NETFLOW_V5_VERSION",
+    "RECORD_BYTES",
     "NetFlowV5Exporter",
     "NetFlowV5Record",
+    "encode_header",
+    "encode_record",
     "parse_datagram",
+    "parse_datagram_partial",
     "parse_stream",
+    "split_datagram",
     "records_from_csv",
     "records_from_jsonl",
     "records_to_csv",

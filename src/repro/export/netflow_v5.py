@@ -206,7 +206,6 @@ class NetFlowV5Exporter:
         octets_map: Mapping[int, int] | None = None,
         times_map: Mapping[int, tuple[int, int]] | None = None,
     ) -> bytes:
-        src_ip, dst_ip, src_port, dst_port, proto = unpack_key(key)
         octets = None if octets_map is None else octets_map.get(key)
         if octets is None:
             # Fallback: estimate from the configured mean packet size.
@@ -214,28 +213,131 @@ class NetFlowV5Exporter:
         first_ms = last_ms = uptime_ms
         if times_map is not None:
             first_ms, last_ms = times_map.get(key, (uptime_ms, uptime_ms))
-        return _RECORD.pack(
-            src_ip,
-            dst_ip,
-            0,  # nexthop
-            0,  # input if
-            0,  # output if
-            count & 0xFFFFFFFF,
-            octets & 0xFFFFFFFF,
-            first_ms & 0xFFFFFFFF,
-            last_ms & 0xFFFFFFFF,
-            src_port,
-            dst_port,
-            0,  # pad1
-            0,  # tcp_flags
-            proto,
-            0,  # tos
-            0,  # src_as
-            0,  # dst_as
-            0,  # src_mask
-            0,  # dst_mask
-            0,  # pad2
+        return encode_record(key, count, octets, first_ms, last_ms)
+
+
+def encode_header(
+    count: int,
+    sys_uptime_ms: int = 0,
+    unix_secs: int = 0,
+    flow_sequence: int = 0,
+    engine_id: int = 0,
+    sampling_interval: int = 0,
+) -> bytes:
+    """Pack one 24-byte v5 header for ``count`` records."""
+    return _HEADER.pack(
+        NETFLOW_V5_VERSION,
+        count,
+        sys_uptime_ms & 0xFFFFFFFF,
+        unix_secs & 0xFFFFFFFF,
+        0,  # unix_nsecs
+        flow_sequence & 0xFFFFFFFF,
+        0,  # engine_type
+        engine_id,
+        sampling_interval,
+    )
+
+
+def encode_record(
+    key: int,
+    packets: int,
+    octets: int,
+    first_ms: int = 0,
+    last_ms: int | None = None,
+) -> bytes:
+    """Pack one 48-byte v5 record from a packed flow key.
+
+    The inverse of the record half of :func:`parse_datagram`: the
+    5-tuple comes from the key, counters and SysUptime timing from the
+    arguments, everything else (AS numbers, interfaces, masks) zero.
+    """
+    src_ip, dst_ip, src_port, dst_port, proto = unpack_key(key)
+    if last_ms is None:
+        last_ms = first_ms
+    return _RECORD.pack(
+        src_ip,
+        dst_ip,
+        0,  # nexthop
+        0,  # input if
+        0,  # output if
+        packets & 0xFFFFFFFF,
+        octets & 0xFFFFFFFF,
+        first_ms & 0xFFFFFFFF,
+        last_ms & 0xFFFFFFFF,
+        src_port,
+        dst_port,
+        0,  # pad1
+        0,  # tcp_flags
+        proto,
+        0,  # tos
+        0,  # src_as
+        0,  # dst_as
+        0,  # src_mask
+        0,  # dst_mask
+        0,  # pad2
+    )
+
+
+def split_datagram(data: bytes) -> tuple[dict, memoryview] | None:
+    """Header + the *complete* record payload of a v5 datagram.
+
+    The tolerant front half shared by :func:`parse_datagram` and
+    :func:`parse_datagram_partial`: a datagram too short for a header,
+    or carrying a different NetFlow version, yields None; otherwise the
+    payload view covers ``min(count, records that fit)`` whole records
+    — a truncated trailing record is excluded, never an error.
+
+    Returns:
+        ``(header_fields, payload)`` where ``payload`` is a zero-copy
+        ``memoryview`` over a whole number of 48-byte records.
+    """
+    if len(data) < HEADER_BYTES:
+        return None
+    (
+        version,
+        count,
+        sys_uptime,
+        unix_secs,
+        _unix_nsecs,
+        flow_sequence,
+        _engine_type,
+        engine_id,
+        sampling_interval,
+    ) = _HEADER.unpack_from(data, 0)
+    if version != NETFLOW_V5_VERSION:
+        return None
+    header = {
+        "version": version,
+        "count": count,
+        "sys_uptime": sys_uptime,
+        "unix_secs": unix_secs,
+        "flow_sequence": flow_sequence,
+        "engine_id": engine_id,
+        "sampling_interval": sampling_interval,
+    }
+    complete = min(count, (len(data) - HEADER_BYTES) // RECORD_BYTES)
+    payload = memoryview(data)[
+        HEADER_BYTES : HEADER_BYTES + complete * RECORD_BYTES
+    ]
+    return header, payload
+
+
+def _decode_records(payload: memoryview) -> list[NetFlowV5Record]:
+    records = []
+    for offset in range(0, len(payload), RECORD_BYTES):
+        (src_ip, dst_ip, _nh, _in, _out, pkts, octets, first, last,
+         sport, dport, _pad1, _flags, proto, _tos, _sas, _das, _sm, _dm,
+         _pad2) = _RECORD.unpack_from(payload, offset)
+        records.append(
+            NetFlowV5Record(
+                key=pack_key(src_ip, dst_ip, sport, dport, proto),
+                packets=pkts,
+                octets=octets,
+                first_ms=first,
+                last_ms=last,
+            )
         )
+    return records
 
 
 def parse_datagram(data: bytes) -> tuple[dict, list[NetFlowV5Record]]:
@@ -249,51 +351,44 @@ def parse_datagram(data: bytes) -> tuple[dict, list[NetFlowV5Record]]:
     Raises:
         ValueError: on a malformed or non-v5 datagram.
     """
-    if len(data) < HEADER_BYTES:
-        raise ValueError("datagram shorter than a v5 header")
-    (
-        version,
-        count,
-        sys_uptime,
-        unix_secs,
-        _unix_nsecs,
-        flow_sequence,
-        _engine_type,
-        engine_id,
-        sampling_interval,
-    ) = _HEADER.unpack_from(data, 0)
-    if version != NETFLOW_V5_VERSION:
+    split = split_datagram(data)
+    if split is None:
+        if len(data) < HEADER_BYTES:
+            raise ValueError("datagram shorter than a v5 header")
+        version = _HEADER.unpack_from(data, 0)[0]
         raise ValueError(f"not a NetFlow v5 datagram (version {version})")
-    expected = HEADER_BYTES + count * RECORD_BYTES
-    if len(data) < expected:
+    header, payload = split
+    if len(payload) < header["count"] * RECORD_BYTES:
         raise ValueError(
-            f"datagram truncated: {len(data)} bytes for {count} records"
+            f"datagram truncated: {len(data)} bytes for {header['count']} records"
         )
-    header = {
-        "version": version,
-        "count": count,
-        "sys_uptime": sys_uptime,
-        "unix_secs": unix_secs,
-        "flow_sequence": flow_sequence,
-        "engine_id": engine_id,
-        "sampling_interval": sampling_interval,
-    }
-    records = []
-    for i in range(count):
-        fields = _RECORD.unpack_from(data, HEADER_BYTES + i * RECORD_BYTES)
-        (src_ip, dst_ip, _nh, _in, _out, pkts, octets, first, last,
-         sport, dport, _pad1, _flags, proto, _tos, _sas, _das, _sm, _dm,
-         _pad2) = fields
-        records.append(
-            NetFlowV5Record(
-                key=pack_key(src_ip, dst_ip, sport, dport, proto),
-                packets=pkts,
-                octets=octets,
-                first_ms=first,
-                last_ms=last,
-            )
-        )
-    return header, records
+    return header, _decode_records(payload)
+
+
+def parse_datagram_partial(
+    data: bytes,
+) -> tuple[dict | None, list[NetFlowV5Record], int]:
+    """Parse as much of a v5 datagram as is actually present.
+
+    The live-collector counterpart of :func:`parse_datagram`: a UDP
+    listener cannot afford to raise away a whole datagram because the
+    wire truncated its tail (or a stray non-NetFlow packet hit the
+    port), so this returns what decoded cleanly plus how far decoding
+    got instead of raising mid-datagram.
+
+    Returns:
+        ``(header, records, consumed)`` — ``header`` is None (with no
+        records and ``consumed == 0``) for a datagram too short for a
+        v5 header or of a different NetFlow version; otherwise
+        ``records`` holds every complete record (at most the header's
+        claimed count) and ``consumed`` is the byte offset one past the
+        last decoded record.
+    """
+    split = split_datagram(data)
+    if split is None:
+        return None, [], 0
+    header, payload = split
+    return header, _decode_records(payload), HEADER_BYTES + len(payload)
 
 
 def parse_stream(datagrams: Iterator[bytes]) -> dict[int, int]:

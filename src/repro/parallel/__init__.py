@@ -25,12 +25,15 @@ exactly the pre-engine behavior; see DESIGN.md §6 for the contract.
 
 from repro.parallel.engine import (
     JOBS_ENV,
+    SHM_TRACES_ENV,
     TRACE_CACHE_ENV,
     default_trace_root,
     materialize_refs,
     merge_meters,
     resolve_jobs,
     run_plan,
+    share_plan_traces,
+    shm_traces_enabled,
 )
 from repro.parallel.evaluate import CellWorkload, WorkloadStore, evaluate_cell
 from repro.parallel.plan import CellResult, SweepCell, WorkloadRef
@@ -39,6 +42,7 @@ __all__ = [
     "CellResult",
     "CellWorkload",
     "JOBS_ENV",
+    "SHM_TRACES_ENV",
     "SweepCell",
     "TRACE_CACHE_ENV",
     "WorkloadRef",
@@ -49,4 +53,6 @@ __all__ = [
     "merge_meters",
     "resolve_jobs",
     "run_plan",
+    "share_plan_traces",
+    "shm_traces_enabled",
 ]

@@ -48,6 +48,10 @@ JOBS_ENV = "REPRO_JOBS"
 #: Environment variable overriding the on-disk trace cache location.
 TRACE_CACHE_ENV = "REPRO_TRACE_CACHE"
 
+#: Environment variable gating shared-memory trace hand-off for
+#: parallel plans (default on; set to ``0`` to force the disk path).
+SHM_TRACES_ENV = "REPRO_SHM_TRACES"
+
 
 def resolve_jobs(jobs: int | None = None) -> int:
     """Resolve the worker count: argument, else ``REPRO_JOBS``, else 1.
@@ -111,6 +115,78 @@ def materialize_refs(
     return root
 
 
+def shm_traces_enabled() -> bool:
+    """Whether parallel plans park base traces in shared memory.
+
+    On by default: workers attach the parent's segment zero-copy
+    instead of re-reading (and re-building flow keys from) the disk
+    cache once per process.  ``REPRO_SHM_TRACES=0`` forces the disk
+    path — the two are bit-identical, this is purely a transport knob.
+    """
+    return os.environ.get(SHM_TRACES_ENV, "").strip() not in ("0", "false", "no")
+
+
+def share_plan_traces(
+    cells: Sequence[SweepCell], trace_root: Path
+) -> tuple[list[SweepCell], list]:
+    """Rewrite profile-backed refs onto shared-memory trace segments.
+
+    Each distinct base trace (already materialized on disk by
+    :func:`materialize_refs`) is copied into one owned segment via
+    :func:`repro.shm.share_trace`; every cell naming it gets a
+    ``shm``-backed :class:`~repro.parallel.plan.WorkloadRef` carrying
+    the original ``n_flows``/``base_flows``/``seed``, so trial
+    subsetting in the worker stays exactly what the profile ref would
+    have done.  Cells whose base trace cannot be shared (e.g. the
+    segment would not fit) keep their original ref — the disk path
+    still works.
+
+    Returns:
+        ``(cells, segments)`` — the rewritten plan plus the owned
+        segments, which the caller must keep alive until every worker
+        is done and then unlink.
+    """
+    from dataclasses import replace
+
+    from repro.shm import share_trace
+    from repro.traces.io import load_trace_arrays
+
+    shared: dict[tuple, tuple | None] = {}
+    segments: list = []
+    rewritten: list[SweepCell] = []
+    for cell in cells:
+        ref = cell.workload
+        if ref.profile is None:
+            rewritten.append(cell)
+            continue
+        key = ref.base_key()
+        if key not in shared:
+            try:
+                trace = load_trace_arrays(trace_root / ref.cache_token())
+                shm_ref, segment = share_trace(trace, label="plan-trace")
+            except OSError:
+                shared[key] = None
+            else:
+                shared[key] = tuple(shm_ref)
+                segments.append(segment)
+        shm_ref = shared[key]
+        if shm_ref is None:
+            rewritten.append(cell)
+        else:
+            rewritten.append(
+                replace(
+                    cell,
+                    workload=WorkloadRef(
+                        shm=shm_ref,
+                        n_flows=ref.n_flows,
+                        base_flows=ref.base_flows,
+                        seed=ref.seed,
+                    ),
+                )
+            )
+    return rewritten, segments
+
+
 # ----------------------------------------------------------------------
 # Worker-side state
 # ----------------------------------------------------------------------
@@ -168,23 +244,30 @@ def run_plan(
         return [evaluate_cell(cell, store, index=i) for i, cell in enumerate(cells)]
 
     root = materialize_refs(cells, trace_root)
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, len(cells)),
-        mp_context=_mp_context(),
-        initializer=_init_worker,
-        initargs=(str(root),),
-    ) as pool:
-        futures = [
-            pool.submit(_execute_in_worker, i, cell)
-            for i, cell in enumerate(cells)
-        ]
-        try:
-            return [future.result() for future in futures]
-        except BaseException:
-            for future in futures:
-                future.cancel()
-            pool.shutdown(wait=True, cancel_futures=True)
-            raise
+    segments: list = []
+    if shm_traces_enabled():
+        cells, segments = share_plan_traces(cells, root)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(cells)),
+            mp_context=_mp_context(),
+            initializer=_init_worker,
+            initargs=(str(root),),
+        ) as pool:
+            futures = [
+                pool.submit(_execute_in_worker, i, cell)
+                for i, cell in enumerate(cells)
+            ]
+            try:
+                return [future.result() for future in futures]
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                pool.shutdown(wait=True, cancel_futures=True)
+                raise
+    finally:
+        for segment in segments:
+            segment.unlink()
 
 
 def merge_meters(results: Iterable[CellResult]) -> dict[str, int]:

@@ -167,7 +167,11 @@ class WorkloadStore:
             trace = self.base_trace(ref)
             if ref.start is not None:
                 trace = trace.slice_packets(ref.start, min(ref.stop, len(trace)))
-            elif ref.profile is not None and ref.generated_flows > ref.n_flows:
+            elif ref.n_flows is not None and ref.generated_flows > ref.n_flows:
+                # Trial subsetting applies to shm-backed refs too: the
+                # engine's shared-trace rewrite carries the original
+                # n_flows/base_flows/seed so this subset is exactly the
+                # one the profile-backed ref would have taken.
                 trace = trace.subset_flows(ref.n_flows, seed=ref.seed + 1)
             cw = CellWorkload(trace)
             self._remember(self._workloads, ref, cw)

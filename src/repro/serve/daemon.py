@@ -1,0 +1,610 @@
+"""The live collection daemon: UDP ingest → rings → workers → sinks.
+
+:class:`ServeDaemon` runs a :class:`~repro.serve.spec.ServeSpec` as a
+long-lived multi-process service:
+
+* the **parent** owns the UDP socket and the sinks.  It decodes each
+  NetFlow v5 datagram into packet arrays (:mod:`repro.serve.codec`),
+  routes them to a worker (for several workers: by the sharded
+  collector's own owner hash, so every flow key has exactly one home
+  process), and pushes them into that worker's
+  :class:`~repro.serve.ring.PacketRing` under the spec's back-pressure
+  policy;
+* each **worker** process pops batches from its ring and drives the
+  exact offline loop — a :class:`~repro.stream.pipeline.StreamFeeder`
+  over the spec's collector and rotation policy — sending every export
+  back over a pipe for the parent to fan out to the sinks.
+
+Determinism contract (tested): a daemon fed a finite trace as v5
+datagrams exports *bit-identical* records to the offline
+``Pipeline.run`` over the same spec — exactly, in order, for one
+worker; as the same merged record set for several workers under
+interval rotation (whose absolute window grid is worker-independent).
+
+Lifecycle: ``run`` returns after ``duration`` seconds, or after
+:meth:`ServeDaemon.request_stop` (the CLI wires SIGTERM/SIGINT to it).
+Shutdown always drains: the socket stops, every ring gets its stop
+flag, workers consume what remains, run their final rotation, and
+report; only then are sinks closed and the rings unlinked.  Ring
+segments come from :mod:`repro.shm.segments`, so even a ``kill -9``
+leaves no ``/dev/shm`` litter behind.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import select
+import socket
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.flow.batch import KeyBatch
+from repro.hashing.families import HashFunction
+from repro.serve.codec import decode_datagram, keys_from_halves
+from repro.serve.ring import PacketRing
+from repro.serve.spec import ServeSpec
+from repro.sketches.base import FlowCollector
+from repro.specs import CollectorSpec, build as build_collector
+from repro.stream.pipeline import StreamFeeder
+from repro.stream.records import FlowRecord, merge_flow_records
+from repro.stream.rotation import build_rotation
+from repro.stream.sinks import build_sink
+from repro.stream.spec import PipelineSpec
+
+#: Receive-buffer request for the listen socket: the kernel-side slack
+#: that absorbs ingest stalls under ``block`` back-pressure.
+RECV_BUFFER_BYTES = 1 << 22
+
+#: Datagrams drained from the socket per parent loop iteration before
+#: pipe messages and stats get a turn.
+_SOCKET_BURST = 512
+
+#: Worker idle poll (seconds) while its ring is empty.
+_IDLE_POLL_S = 0.0005
+
+#: How long shutdown waits for workers to drain before giving up.
+DRAIN_TIMEOUT_S = 60.0
+
+
+def _mp_context():
+    """Fork where available (cheap, inherits numpy); spawn elsewhere."""
+    try:
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        return mp.get_context("spawn")
+
+
+class _HalfBatch:
+    """Just enough of a KeyBatch for the vectorized owner hash:
+    :func:`~repro.hashing.mixers.split_keys` only asks for halves."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo, hi):
+        self.lo = lo
+        self.hi = hi
+
+    def halves(self):
+        return self.lo, self.hi
+
+
+class _ShardSubset(FlowCollector):
+    """A worker's slice of a sharded collector: only its owned shards.
+
+    Worker ``w`` of ``W`` builds shard ``s`` iff ``s % W == w``, with
+    the same derived seed the full :class:`~repro.netwide.sharding.
+    ShardedCollector` would use (``spec.reseed(s)``) — so the union of
+    every worker's records is bit-identical to one process running the
+    full collector, at ``1/W`` of the table memory per process.  The
+    parent only routes a worker packets whose owner shard it holds.
+    """
+
+    name = "ShardSubset"
+
+    def __init__(self, params: Mapping[str, Any], worker: int, workers: int):
+        super().__init__()
+        shard_spec = CollectorSpec.from_dict(params["collector"])
+        self.n_shards = int(params["n_shards"])
+        self.seed = int(params.get("seed", 0))
+        self._shard_hash = HashFunction(self.seed ^ 0x5AAD)
+        self.shards = {
+            s: build_collector(shard_spec.reseed(s))
+            for s in range(self.n_shards)
+            if s % workers == worker
+        }
+
+    def shard_of(self, key: int) -> int:
+        return self._shard_hash.bucket(key, self.n_shards)
+
+    def process(self, key: int) -> None:
+        self.meter.packets += 1
+        self.meter.hashes += 1
+        self.shards[self.shard_of(key)].process(key)
+
+    def process_batch(self, keys) -> None:
+        batch = KeyBatch.coerce(keys)
+        n = len(batch)
+        if not n:
+            return
+        owners = self._shard_hash.buckets_batch(batch, self.n_shards)
+        self.meter.add(packets=n, hashes=n)
+        lo, hi = batch.halves()
+        sizes = batch.sizes
+        keys_list = batch.keys
+        for s, shard in self.shards.items():
+            members = np.nonzero(owners == np.uint64(s))[0]
+            if not len(members):
+                continue
+            sub = KeyBatch(
+                [keys_list[i] for i in members.tolist()],
+                lo[members],
+                hi[members],
+                None if sizes is None else sizes[members],
+            )
+            shard.process_batch(sub)
+
+    def records(self) -> dict[int, int]:
+        merged: dict[int, int] = {}
+        for shard in self.shards.values():
+            merged.update(shard.records())
+        return merged
+
+    def query(self, key: int) -> int:
+        shard = self.shards.get(self.shard_of(key))
+        return 0 if shard is None else shard.query(key)
+
+    def evict(self, key: int) -> None:
+        shard = self.shards.get(self.shard_of(key))
+        if shard is not None:
+            shard.evict(key)
+
+    def shard_loads(self) -> dict[int, int]:
+        """Packets processed per owned shard (stats-line currency)."""
+        return {s: shard.meter.packets for s, shard in self.shards.items()}
+
+    def reset(self) -> None:
+        for shard in self.shards.values():
+            shard.reset()
+        self.meter.reset()
+
+    @property
+    def memory_bits(self) -> int:
+        return sum(shard.memory_bits for shard in self.shards.values())
+
+
+def _worker_meters(feeder: StreamFeeder, collector) -> dict[str, Any]:
+    """One worker's stats snapshot, JSON-native."""
+    meters = {
+        "packets": feeder.packets,
+        "exported": feeder.exported,
+        "rotations": feeder.rotations,
+        "hashes": collector.meter.hashes,
+        "accesses": collector.meter.memory_accesses,
+    }
+    shard_loads = getattr(collector, "shard_loads", None)
+    if shard_loads is not None:
+        loads = shard_loads()
+        if isinstance(loads, dict):
+            meters["shards"] = {str(s): n for s, n in loads.items()}
+        else:
+            meters["shards"] = {str(s): n for s, n in enumerate(loads)}
+    return meters
+
+
+def _worker_main(
+    worker_index: int,
+    workers: int,
+    ring_name: str,
+    pipeline: dict,
+    stats_interval: float,
+    conn,
+) -> None:
+    """Worker process: pop the ring, drive the offline feed loop.
+
+    Messages to the parent: ``("export", worker, rotation_index, now,
+    records)`` for every rotation (the parent emits them to the sinks),
+    ``("stats", worker, meters)`` every ``stats_interval`` seconds, and
+    a final ``("done", worker, meters)`` after the end-of-stream drain.
+    """
+    ring = PacketRing.attach(ring_name)
+    spec = PipelineSpec.from_dict(pipeline)
+    if workers > 1:
+        collector = _ShardSubset(spec.collector["params"], worker_index, workers)
+    else:
+        collector = build_collector(spec.collector)
+    rotation = build_rotation(spec.rotation)
+    track_bytes = getattr(collector, "track_bytes", False)
+
+    def emit(records, rotation_index, now):
+        conn.send(("export", worker_index, rotation_index, now, records))
+
+    feeder = StreamFeeder(collector, rotation, emit, chunk_size=spec.chunk_size)
+    next_stats = time.monotonic() + stats_interval
+    try:
+        while True:
+            item = ring.pop(spec.chunk_size)
+            if item is None:
+                if ring.stopped():
+                    break
+                time.sleep(_IDLE_POLL_S)
+            else:
+                lo, hi, sizes, timestamps = item
+                feeder.feed(
+                    keys_from_halves(lo, hi),
+                    lo,
+                    hi,
+                    sizes if track_bytes else None,
+                    timestamps,
+                )
+            if time.monotonic() >= next_stats:
+                conn.send(("stats", worker_index, _worker_meters(feeder, collector)))
+                next_stats = time.monotonic() + stats_interval
+        feeder.finish()
+        conn.send(("done", worker_index, _worker_meters(feeder, collector)))
+    finally:
+        conn.close()
+
+
+@dataclass
+class ServeResult:
+    """What one daemon run collected.
+
+    Attributes:
+        packets: packets decoded from the wire (before any ring drop).
+        datagrams: datagrams received (v5 or not).
+        drops: packets shed at full rings (``drop`` back-pressure).
+        rotations: rotation sweeps across workers (final drain excluded).
+        exported: flow records emitted to the sinks.
+        records: merged ``{key: packets}`` across every export.
+        sinks: summaries per sink, keyed like
+            :class:`~repro.stream.pipeline.PipelineResult`.
+        meters: final per-worker meters (as the workers reported them).
+        elapsed: wall-clock seconds from bind to drain.
+    """
+
+    packets: int
+    datagrams: int
+    drops: int
+    rotations: int
+    exported: int
+    records: dict[int, int]
+    sinks: dict[str, dict]
+    meters: dict[int, dict]
+    elapsed: float
+
+    def summary(self) -> dict[str, Any]:
+        """One flat JSON-native result row."""
+        return {
+            "packets": self.packets,
+            "datagrams": self.datagrams,
+            "drops": self.drops,
+            "rotations": self.rotations,
+            "exported": self.exported,
+            "flows": len(self.records),
+            "records": dict(self.records),
+            "sinks": {k: dict(v) for k, v in self.sinks.items()},
+            "meters": {str(w): dict(m) for w, m in self.meters.items()},
+            "elapsed": self.elapsed,
+        }
+
+
+class ServeDaemon:
+    """A runnable live-collection daemon (see the module docstring).
+
+    Args:
+        spec: the :class:`~repro.serve.spec.ServeSpec` (or its dict).
+        listen: optional ``(host, port)`` override of the spec's
+            udp-source address (port 0 binds an ephemeral port;
+            :attr:`address` reports the real one after :meth:`bind`).
+        quiet: suppress the listening banner and periodic stats lines.
+    """
+
+    def __init__(
+        self,
+        spec: ServeSpec | Mapping[str, Any],
+        listen: tuple[str, int] | None = None,
+        quiet: bool = False,
+    ):
+        if not isinstance(spec, ServeSpec):
+            spec = ServeSpec.from_dict(spec)
+        if listen is not None:
+            spec = spec.with_listen(listen[0], listen[1])
+        self.spec = spec
+        self.quiet = bool(quiet)
+        self.address: tuple[str, int] | None = None
+        #: Live monitoring counters, updated by the run loop (read-only
+        #: for other threads — e.g. a replayer waiting for its packets
+        #: to be ingested before requesting a drain).
+        self.packets_received = 0
+        self.datagrams_received = 0
+        self._sock: socket.socket | None = None
+        self._stop = False
+
+    # ------------------------------------------------------------------
+    # Control surface
+    # ------------------------------------------------------------------
+    def request_stop(self) -> None:
+        """Ask a running :meth:`run` to drain and return (signal-safe)."""
+        self._stop = True
+
+    def bind(self) -> tuple[str, int]:
+        """Bind the listen socket; returns the real bound address.
+
+        Idempotent; callable before :meth:`run` so a test (or a
+        supervisor health check) can learn an ephemeral port while the
+        daemon starts in another thread.
+        """
+        if self._sock is None:
+            host, port = self.spec.listen
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            try:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, RECV_BUFFER_BYTES)
+            except OSError:  # pragma: no cover - tiny rmem_max
+                pass
+            sock.bind((host, port))
+            sock.setblocking(False)
+            self._sock = sock
+            self.address = sock.getsockname()[:2]
+            self._say(f"serve: listening on {self.address[0]}:{self.address[1]}")
+        return self.address
+
+    def _say(self, line: str) -> None:
+        if not self.quiet:
+            print(line, file=sys.stderr, flush=True)
+
+    # ------------------------------------------------------------------
+    # The run loop
+    # ------------------------------------------------------------------
+    def run(self, duration: float | None = None) -> ServeResult:
+        """Serve until ``duration`` elapses or :meth:`request_stop`.
+
+        Returns:
+            A :class:`ServeResult`; every worker has drained, every
+            sink is closed, and the ring segments are unlinked.
+
+        Raises:
+            RuntimeError: if a worker process dies mid-run (rings and
+                sinks are still cleaned up first).
+        """
+        spec = self.spec
+        self.bind()
+        sock = self._sock
+        pipeline = spec.pipeline_spec
+        ctx = _mp_context()
+
+        workers = spec.workers
+        route_hash = None
+        n_shards = 0
+        if workers > 1:
+            params = pipeline.collector["params"]
+            n_shards = int(params["n_shards"])
+            route_hash = HashFunction(int(params.get("seed", 0)) ^ 0x5AAD)
+
+        sinks = tuple(build_sink(s) for s in pipeline.sinks)
+        rings: list[PacketRing] = []
+        procs: list[mp.Process] = []
+        conns: list = []
+
+        # Run-level accounting (parent view).
+        packets = 0
+        datagrams = 0
+        export_events = 0
+        exported_all: list[FlowRecord] = []
+        meters: dict[int, dict] = {}
+        done: set[int] = set()
+        sinks_closed = False
+        start = time.monotonic()
+
+        def pump() -> None:
+            """Drain pending worker messages (never blocks)."""
+            nonlocal export_events
+            for conn in conns:
+                while True:
+                    try:
+                        if not conn.poll():
+                            break
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        break  # liveness is checked against the process
+                    kind = message[0]
+                    if kind == "export":
+                        _, _, rotation_index, now, records = message
+                        for sink in sinks:
+                            sink.emit(records, rotation_index, now)
+                        exported_all.extend(records)
+                        export_events += 1
+                    elif kind == "stats":
+                        meters[message[1]] = message[2]
+                    elif kind == "done":
+                        meters[message[1]] = message[2]
+                        done.add(message[1])
+
+        def check_workers() -> None:
+            """A worker that died before reporting done is a hard fault."""
+            pump()
+            for w, proc in enumerate(procs):
+                if w not in done and not proc.is_alive():
+                    # A clean exit can land between the pump above and
+                    # the liveness check; once the process is observed
+                    # dead its messages are all in the pipe, so one
+                    # more drain decides.
+                    pump()
+                    if w in done:
+                        continue
+                    raise RuntimeError(
+                        f"serve worker {w} died (exit code {proc.exitcode}) "
+                        "before draining its ring"
+                    )
+
+        def push(ring: PacketRing, lo, hi, sizes, timestamps) -> None:
+            if spec.backpressure == "drop":
+                accepted = ring.try_push(lo, hi, sizes, timestamps)
+                if accepted < len(lo):
+                    ring.add_drops(len(lo) - accepted)
+                return
+            # block: wait for ring space, but keep draining worker
+            # messages meanwhile — a worker blocked on a full export
+            # pipe while the parent blocks on its full ring would
+            # deadlock otherwise.
+            def stalled() -> bool:
+                check_workers()
+                return False
+
+            ring.push(lo, hi, sizes, timestamps, should_abort=stalled)
+
+        try:
+            for w in range(workers):
+                rings.append(PacketRing.create(spec.ring_slots, label=f"serve-w{w}"))
+            for w in range(workers):
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        w,
+                        workers,
+                        rings[w].name,
+                        pipeline.to_dict(),
+                        spec.stats_interval,
+                        child_conn,
+                    ),
+                    name=f"serve-worker-{w}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                procs.append(proc)
+                conns.append(parent_conn)
+
+            deadline = None if duration is None else start + duration
+            next_stats = start + spec.stats_interval
+            stats_packets = 0
+            stats_at = start
+
+            while not self._stop:
+                now = time.monotonic()
+                if deadline is not None and now >= deadline:
+                    break
+                burst = 0
+                while burst < _SOCKET_BURST:
+                    try:
+                        data = sock.recv(65535)
+                    except BlockingIOError:
+                        break
+                    except OSError:
+                        break
+                    burst += 1
+                    datagrams += 1
+                    decoded = decode_datagram(data)
+                    if decoded is None:
+                        continue
+                    lo, hi, sizes, timestamps = decoded
+                    packets += len(lo)
+                    if workers == 1:
+                        push(rings[0], lo, hi, sizes, timestamps)
+                    else:
+                        owners = route_hash.values_batch(
+                            _HalfBatch(lo, hi)
+                        ) % np.uint64(n_shards)
+                        homes = owners % np.uint64(workers)
+                        for w in range(workers):
+                            members = np.nonzero(homes == np.uint64(w))[0]
+                            if len(members):
+                                push(
+                                    rings[w],
+                                    lo[members],
+                                    hi[members],
+                                    sizes[members],
+                                    timestamps[members],
+                                )
+                self.packets_received = packets
+                self.datagrams_received = datagrams
+                check_workers()
+                now = time.monotonic()
+                if now >= next_stats:
+                    elapsed = now - stats_at
+                    pps = (packets - stats_packets) / elapsed if elapsed > 0 else 0.0
+                    occupancy = "/".join(str(r.occupancy()) for r in rings)
+                    drops = sum(r.drops for r in rings)
+                    per_worker = " ".join(
+                        f"w{w}:{m.get('packets', 0)}p/{m.get('rotations', 0)}r"
+                        for w, m in sorted(meters.items())
+                    )
+                    self._say(
+                        f"serve: t={now - start:7.1f}s pps={pps:9.0f} "
+                        f"packets={packets} datagrams={datagrams} "
+                        f"occ={occupancy} drops={drops} "
+                        f"exports={export_events} {per_worker}".rstrip()
+                    )
+                    stats_packets = packets
+                    stats_at = now
+                    next_stats = now + spec.stats_interval
+                if burst == 0:
+                    # Idle: sleep until traffic or a worker message.
+                    select.select([sock] + conns, [], [], 0.01)
+
+            # ----------------------------------------------------------
+            # Graceful drain: stop ingest, let workers finish the rings,
+            # run their final rotation, and report.
+            # ----------------------------------------------------------
+            for ring in rings:
+                ring.request_stop()
+            drain_deadline = time.monotonic() + DRAIN_TIMEOUT_S
+            while len(done) < workers:
+                check_workers()
+                if time.monotonic() >= drain_deadline:
+                    raise RuntimeError(
+                        f"serve drain timed out after {DRAIN_TIMEOUT_S}s "
+                        f"({workers - len(done)} workers still busy)"
+                    )
+                select.select(conns, [], [], 0.05)
+            for proc in procs:
+                proc.join(timeout=10.0)
+            pump()
+
+            drops = sum(ring.drops for ring in rings)
+            for sink in sinks:
+                sink.close()
+            sinks_closed = True
+            names: dict[str, int] = {}
+            summaries: dict[str, dict] = {}
+            for sink in sinks:
+                count = names.get(sink.kind, 0)
+                names[sink.kind] = count + 1
+                label = sink.kind if count == 0 else f"{sink.kind}#{count}"
+                summaries[label] = sink.summary()
+            rotation_total = sum(m.get("rotations", 0) for m in meters.values())
+            return ServeResult(
+                packets=packets,
+                datagrams=datagrams,
+                drops=drops,
+                rotations=rotation_total,
+                exported=len(exported_all),
+                records=merge_flow_records(exported_all),
+                sinks=summaries,
+                meters=dict(sorted(meters.items())),
+                elapsed=time.monotonic() - start,
+            )
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+            for conn in conns:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+            for ring in rings:
+                ring.unlink()
+            sock.close()
+            self._sock = None
+            if not sinks_closed:
+                for sink in sinks:
+                    try:
+                        sink.close()
+                    except Exception:  # pragma: no cover - best effort
+                        pass

@@ -24,7 +24,12 @@ Quickstart::
     twin = spec.build()              # bit-identical reconstruction
 """
 
-from repro.stream.pipeline import Pipeline, PipelineResult, run_pipelines
+from repro.stream.pipeline import (
+    Pipeline,
+    PipelineResult,
+    StreamFeeder,
+    run_pipelines,
+)
 from repro.stream.records import FlowRecord, merge_flow_records
 from repro.stream.rotation import (
     ROTATIONS,
@@ -53,6 +58,7 @@ from repro.stream.sources import (
     Source,
     SyntheticSource,
     TraceArraySource,
+    UDPSource,
     build_source,
 )
 from repro.stream.spec import (
@@ -83,10 +89,12 @@ __all__ = [
     "SOURCES",
     "Sink",
     "Source",
+    "StreamFeeder",
     "SyntheticSource",
     "TextSink",
     "TimeoutRotation",
     "TraceArraySource",
+    "UDPSource",
     "build_rotation",
     "build_sink",
     "build_source",

@@ -89,6 +89,126 @@ class _MeasuredBytes:
         return default if value is None else value
 
 
+class StreamFeeder:
+    """The admit → feed → note → rotate loop over a standing collector.
+
+    The stateful core of :meth:`Pipeline.run`, factored out so a live
+    daemon (:mod:`repro.serve`) can drive the *same* loop over an
+    unbounded stream: each :meth:`feed` call pushes one array batch
+    through the collector under the rotation policy, carrying window
+    state, sweep counters, and the clock across calls; :meth:`finish`
+    runs the end-of-stream drain.  A finite source fed as one ``feed``
+    + ``finish`` reproduces ``Pipeline.run`` exactly — rotation
+    boundaries land on the same packet positions regardless of how the
+    stream is sliced into ``feed`` calls.
+
+    Args:
+        collector: the fed :class:`~repro.sketches.base.FlowCollector`.
+        rotation: the rotation policy, or None for one end-of-stream
+            export.
+        emit: callback ``emit(records, rotation_index, now)`` invoked
+            for every export (including the final drain).
+        chunk_size: packets per batched feed chunk.
+    """
+
+    def __init__(self, collector, rotation, emit, chunk_size=DEFAULT_CHUNK_SIZE):
+        self.collector = collector
+        self.rotation = rotation
+        self.emit = emit
+        self.chunk_size = int(chunk_size)
+        self.rotations = 0
+        self.packets = 0
+        self.exported = 0
+        self.now = 0.0
+        self._finished = False
+
+    def _byte_counts(self):
+        """Measured per-flow byte counts, when the collector tracks them.
+
+        Read *before* a rotation sweep frees the cells the counters
+        live in.  Export-all policies get the whole-table dict;
+        expiry-style sweeps (which export a few flows) get a lazy
+        per-key view.
+        """
+        if not getattr(self.collector, "track_bytes", False):
+            return None
+        if isinstance(self.rotation, TimeoutRotation) and hasattr(
+            self.collector, "byte_query"
+        ):
+            return _MeasuredBytes(self.collector.byte_query)
+        return self.collector.byte_records()
+
+    def feed(self, keys, lo, hi, sizes, timestamps) -> None:
+        """Push one batch of packets through collector and rotation.
+
+        Args:
+            keys: per-packet Python-int flow keys.
+            lo: per-packet low key halves (``np.uint64``).
+            hi: per-packet high key halves (``np.uint64``).
+            sizes: optional per-packet byte sizes (``np.int64``).
+            timestamps: per-packet arrival times (``np.float64``,
+                non-decreasing across calls).
+        """
+        rotation = self.rotation
+        collector = self.collector
+        pos = 0
+        n = len(keys)
+        while pos < n:
+            limit = min(self.chunk_size, n - pos)
+            if rotation is None:
+                take = limit
+            else:
+                take = rotation.admit(limit, timestamps[pos : pos + limit])
+                if take == 0 and not rotation.due():
+                    raise RuntimeError(
+                        f"{type(rotation).__name__} admitted 0 packets "
+                        "without a due rotation"
+                    )
+            if take:
+                sub = KeyBatch(
+                    keys[pos : pos + take],
+                    lo[pos : pos + take],
+                    hi[pos : pos + take],
+                    None if sizes is None else sizes[pos : pos + take],
+                )
+                collector.process_batch(sub)
+                if rotation is not None:
+                    rotation.note(sub, timestamps[pos : pos + take])
+                pos += take
+                self.now = float(timestamps[pos - 1])
+            if rotation is not None and rotation.due():
+                exported = rotation.collect(collector, self._byte_counts())
+                self.emit(exported, self.rotations, self.now)
+                self.exported += len(exported)
+                self.rotations += 1
+        self.packets += n
+
+    def finish(self) -> None:
+        """End-of-stream drain: export everything still resident.
+
+        Emits exactly once (idempotent across calls), so the export
+        stream is a complete record set.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        byte_counts = self._byte_counts()
+        if self.rotation is None:
+            final = [
+                FlowRecord(
+                    key=key,
+                    packets=count,
+                    reason="final",
+                    octets=None if byte_counts is None else byte_counts.get(key),
+                )
+                for key, count in self.collector.records().items()
+            ]
+        else:
+            final = self.rotation.drain(self.collector, byte_counts)
+        self.emit(final, self.rotations, self.now)
+        self.exported += len(final)
+
+
 class Pipeline:
     """A composable streaming collection pipeline.
 
@@ -182,22 +302,6 @@ class Pipeline:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def _byte_counts(self):
-        """Measured per-flow byte counts, when the collector tracks them.
-
-        Read *before* a rotation sweep frees the cells the counters
-        live in.  Export-all policies get the whole-table dict;
-        expiry-style sweeps (which export a few flows) get a lazy
-        per-key view.
-        """
-        if not getattr(self.collector, "track_bytes", False):
-            return None
-        if isinstance(self.rotation, TimeoutRotation) and hasattr(
-            self.collector, "byte_query"
-        ):
-            return _MeasuredBytes(self.collector.byte_query)
-        return self.collector.byte_records()
-
     def _emit(self, exported: list[FlowRecord], rotation: int, now: float) -> None:
         for sink in self.sinks:
             sink.emit(exported, rotation, now)
@@ -242,62 +346,23 @@ class Pipeline:
             # over untimestamped streams.
             timestamps = np.arange(len(trace), dtype=np.float64) / self.packet_rate
         lo, hi = batch.halves() if len(batch) else (None, None)
-        keys = batch.keys
-        byte_sizes = batch.sizes
-
-        rotation = self.rotation
-        collector = self.collector
-        exported_all: list[FlowRecord] = []
-        rotations = 0
-        now = 0.0
-        pos = 0
         n = len(batch)
-        while pos < n:
-            limit = min(self.chunk_size, n - pos)
-            if rotation is None:
-                take = limit
-            else:
-                take = rotation.admit(limit, timestamps[pos : pos + limit])
-                if take == 0 and not rotation.due():
-                    raise RuntimeError(
-                        f"{type(rotation).__name__} admitted 0 packets "
-                        "without a due rotation"
-                    )
-            if take:
-                sub = KeyBatch(
-                    keys[pos : pos + take],
-                    lo[pos : pos + take],
-                    hi[pos : pos + take],
-                    None if byte_sizes is None else byte_sizes[pos : pos + take],
-                )
-                collector.process_batch(sub)
-                if rotation is not None:
-                    rotation.note(sub, timestamps[pos : pos + take])
-                pos += take
-                now = float(timestamps[pos - 1])
-            if rotation is not None and rotation.due():
-                exported = rotation.collect(collector, self._byte_counts())
-                self._emit(exported, rotations, now)
-                exported_all.extend(exported)
-                rotations += 1
 
+        exported_all: list[FlowRecord] = []
+
+        def emit(exported, rotation_index, now):
+            self._emit(exported, rotation_index, now)
+            exported_all.extend(exported)
+
+        feeder = StreamFeeder(
+            self.collector, self.rotation, emit, chunk_size=self.chunk_size
+        )
+        if n:
+            feeder.feed(batch.keys, lo, hi, batch.sizes, timestamps)
         # End-of-stream drain: everything still resident goes through
         # the sinks, so the export stream is a complete record set.
-        byte_counts = self._byte_counts()
-        if rotation is None:
-            final = [
-                FlowRecord(
-                    key=key,
-                    packets=count,
-                    reason="final",
-                    octets=None if byte_counts is None else byte_counts.get(key),
-                )
-                for key, count in collector.records().items()
-            ]
-        else:
-            final = rotation.drain(collector, byte_counts)
-        self._emit(final, rotations, now)
-        exported_all.extend(final)
+        feeder.finish()
+        rotations = feeder.rotations
         for sink in self.sinks:
             sink.close()
 

@@ -232,12 +232,48 @@ class NetwideSource(Source):
         return trace_from_keys(keys, name=f"{base.name}-netwide")
 
 
+class UDPSource(Source):
+    """A live UDP NetFlow v5 listener (the :mod:`repro.serve` source).
+
+    Unlike every other source this one has no finite trace: datagrams
+    arrive on the wire and are decoded straight into the serve daemon's
+    shared-memory packet rings (:mod:`repro.serve.codec`).  It exists
+    as a registered source kind so a :class:`~repro.stream.spec.
+    PipelineSpec` can *name* live traffic the same way it names a
+    profile — such a spec is runnable by ``repro-experiments serve``,
+    not by :meth:`~repro.stream.pipeline.Pipeline.run`.
+
+    Args:
+        host: listen address (default loopback).
+        port: listen UDP port; 0 binds an ephemeral port (the daemon
+            reports the bound address).
+    """
+
+    kind = "udp"
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 2055):
+        if not 0 <= int(port) <= 0xFFFF:
+            raise ValueError(f"port out of range: {port}")
+        self.host = str(host)
+        self.port = int(port)
+
+    def spec_params(self) -> dict[str, Any]:
+        return {"host": self.host, "port": self.port}
+
+    def trace(self) -> Trace:
+        raise RuntimeError(
+            "a live UDP source has no finite trace; run this pipeline "
+            "under the serve daemon (repro-experiments serve)"
+        )
+
+
 #: Registered source kinds.
 SOURCES: dict[str, type[Source]] = {
     SyntheticSource.kind: SyntheticSource,
     TraceArraySource.kind: TraceArraySource,
     PcapSource.kind: PcapSource,
     NetwideSource.kind: NetwideSource,
+    UDPSource.kind: UDPSource,
 }
 
 

@@ -12,7 +12,9 @@ from repro.export.netflow_v5 import (
     RECORD_BYTES,
     NetFlowV5Exporter,
     parse_datagram,
+    parse_datagram_partial,
     parse_stream,
+    split_datagram,
 )
 from repro.flow.key import pack_key
 
@@ -122,6 +124,70 @@ class TestParseErrors:
         good = NetFlowV5Exporter().export(sample_records(2))[0]
         with pytest.raises(ValueError, match="truncated"):
             parse_datagram(good[:-10])
+
+
+class TestTolerantParsing:
+    """split_datagram / parse_datagram_partial: the live listener's
+    never-raise front end."""
+
+    def test_split_short_datagram_is_none(self):
+        assert split_datagram(b"\x00" * 10) is None
+
+    def test_split_other_version_is_none(self):
+        v9 = (9).to_bytes(2, "big") + b"\x00" * 22
+        assert split_datagram(v9) is None
+
+    def test_split_complete_datagram(self):
+        datagram = NetFlowV5Exporter().export(sample_records(3))[0]
+        header, payload = split_datagram(datagram)
+        assert header["count"] == 3
+        assert len(payload) == 3 * RECORD_BYTES
+
+    def test_split_excludes_truncated_trailing_record(self):
+        datagram = NetFlowV5Exporter().export(sample_records(3))[0]
+        header, payload = split_datagram(datagram[:-10])
+        assert header["count"] == 3  # the header still claims 3
+        assert len(payload) == 2 * RECORD_BYTES  # only 2 are whole
+
+    def test_split_caps_payload_at_header_count(self):
+        # Trailing garbage beyond the claimed count is not decoded.
+        datagram = NetFlowV5Exporter().export(sample_records(2))[0]
+        header, payload = split_datagram(datagram + b"\x00" * RECORD_BYTES)
+        assert header["count"] == 2
+        assert len(payload) == 2 * RECORD_BYTES
+
+    def test_partial_matches_strict_on_good_datagrams(self):
+        records = sample_records(7)
+        datagram = NetFlowV5Exporter().export(records)[0]
+        strict_header, strict_records = parse_datagram(datagram)
+        header, parsed, consumed = parse_datagram_partial(datagram)
+        assert header == strict_header
+        assert parsed == strict_records
+        assert consumed == len(datagram)
+
+    def test_partial_keeps_complete_records_of_truncated_datagram(self):
+        records = sample_records(5)
+        datagram = NetFlowV5Exporter().export(records)[0]
+        truncated = datagram[: HEADER_BYTES + 3 * RECORD_BYTES + 7]
+        header, parsed, consumed = parse_datagram_partial(truncated)
+        assert header["count"] == 5
+        assert len(parsed) == 3
+        assert consumed == HEADER_BYTES + 3 * RECORD_BYTES
+        assert {r.key: r.packets for r in parsed}.items() <= records.items()
+
+    def test_partial_rejects_non_v5_quietly(self):
+        assert parse_datagram_partial(b"junk") == (None, [], 0)
+        v9 = (9).to_bytes(2, "big") + b"\x00" * 22
+        assert parse_datagram_partial(v9) == (None, [], 0)
+
+    def test_strict_parser_still_raises_on_truncation(self):
+        # parse_datagram keeps its contract: archival reads must fail
+        # loudly where the live path degrades gracefully.
+        datagram = NetFlowV5Exporter().export(sample_records(2))[0]
+        with pytest.raises(ValueError, match="truncated"):
+            parse_datagram(datagram[:-10])
+        header, parsed, _ = parse_datagram_partial(datagram[:-10])
+        assert len(parsed) == 1
 
 
 class TestMeasuredFields:

@@ -1,0 +1,249 @@
+"""Lifecycle and determinism tests for the live collection daemon.
+
+The backbone contract: a finite trace replayed into the daemon as v5
+datagrams exports records bit-identical to the offline ``Pipeline.run``
+of the same collector/rotation/sinks — exactly for one worker, as the
+merged record set for several workers under interval rotation.
+
+``packet_rate=500`` throughout: a 2 ms period makes the replayer's
+millisecond SysUptime stamps reproduce the offline synthetic clock
+``np.arange(n) / packet_rate`` bit for bit (see repro.serve.replay).
+"""
+
+from __future__ import annotations
+
+import glob
+import multiprocessing as mp
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.serve import ServeDaemon, ServeSpec, replay_trace
+from repro.stream.pipeline import Pipeline
+from repro.traces.profiles import CAIDA
+
+PACKET_RATE = 500.0
+
+
+def shm_segments() -> set[str]:
+    return set(glob.glob("/dev/shm/repro-shm-*"))
+
+
+def serve_spec(workers: int = 1, **overrides) -> ServeSpec:
+    collector = {"kind": "hashflow", "params": {"main_cells": 2048, "seed": 3}}
+    if workers > 1:
+        collector = {
+            "kind": "sharded",
+            "params": {"collector": collector, "n_shards": 2 * workers, "seed": 3},
+        }
+    pipeline = {
+        "source": {"kind": "udp", "params": {"host": "127.0.0.1", "port": 0}},
+        "collector": collector,
+        "rotation": {"kind": "interval", "params": {"window": 0.5}},
+        "sinks": [{"kind": "netflow_v5"}, {"kind": "archive"}],
+        "packet_rate": PACKET_RATE,
+    }
+    fields = dict(workers=workers, ring_slots=4096, stats_interval=30.0)
+    fields.update(overrides)
+    return ServeSpec(pipeline=pipeline, **fields)
+
+
+def run_replayed(spec: ServeSpec, trace, timeout_s: float = 60.0):
+    """Serve ``trace`` over loopback, drain once it is fully ingested."""
+    daemon = ServeDaemon(spec, quiet=True)
+    address = daemon.bind()
+    sent = {}
+
+    def feed() -> None:
+        sent["packets"] = replay_trace(trace, address, packet_rate=PACKET_RATE)
+        deadline = time.monotonic() + timeout_s
+        while (
+            daemon.packets_received < sent["packets"]
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.005)
+        daemon.request_stop()
+
+    feeder = threading.Thread(target=feed, daemon=True)
+    feeder.start()
+    result = daemon.run(duration=timeout_s)
+    feeder.join(timeout=10.0)
+    return result, sent["packets"]
+
+
+def offline_result(spec: ServeSpec, trace):
+    """The offline ground truth: the same pipeline over the same trace."""
+    offline = spec.pipeline_spec.with_stages(
+        source={"kind": "synthetic", "params": {"profile": "caida", "n_flows": 1}}
+    )
+    return Pipeline.from_spec(offline).run(trace=trace)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return CAIDA.generate(n_flows=300, seed=7)
+
+
+class TestDeterminism:
+    def test_single_worker_is_bit_identical_to_offline(self, trace):
+        before = shm_segments()
+        spec = serve_spec(workers=1)
+        result, sent = run_replayed(spec, trace)
+        offline = offline_result(spec, trace)
+        assert sent == len(trace)
+        assert result.packets == len(trace)
+        assert result.drops == 0
+        assert result.records == offline.records
+        assert result.exported == offline.exported
+        assert result.rotations == offline.rotations
+        # The sinks saw the identical export stream.
+        assert result.sinks == offline.sinks
+        assert shm_segments() == before
+
+    def test_two_workers_export_the_same_merged_records(self, trace):
+        before = shm_segments()
+        spec = serve_spec(workers=2)
+        result, _ = run_replayed(spec, trace)
+        offline = offline_result(spec, trace)
+        assert result.records == offline.records
+        assert result.exported == offline.exported
+        # Interval windows are absolute, so each worker rotates on the
+        # same grid: rotations count once per worker.
+        assert result.rotations == 2 * offline.rotations
+        assert result.sinks["archive"]["flows"] == offline.sinks["archive"]["flows"]
+        assert shm_segments() == before
+
+    def test_worker_packet_accounting_closes(self, trace):
+        spec = serve_spec(workers=2)
+        result, sent = run_replayed(spec, trace)
+        fed = sum(m["packets"] for m in result.meters.values())
+        assert fed + result.drops == result.packets == sent
+
+
+class TestBackpressure:
+    def test_drop_mode_counts_what_it_sheds(self, trace):
+        # A 64-slot ring against an unpaced burst: whatever the worker
+        # cannot keep up with is counted, and everything the workers
+        # did feed still adds up.
+        spec = serve_spec(workers=1, ring_slots=64, backpressure="drop")
+        result, sent = run_replayed(spec, trace)
+        assert result.packets == sent
+        fed = sum(m["packets"] for m in result.meters.values())
+        assert fed + result.drops == sent
+        assert len(result.records) <= 300
+
+    def test_block_mode_is_lossless(self, trace):
+        spec = serve_spec(workers=1, ring_slots=64, backpressure="block")
+        result, sent = run_replayed(spec, trace)
+        assert result.drops == 0
+        assert sum(m["packets"] for m in result.meters.values()) == sent
+
+
+class TestLifecycle:
+    def test_sigterm_drains_and_exits_clean(self, trace, tmp_path):
+        # A real daemon process: SIGTERM must drain the rings, run the
+        # final rotation, and exit 0 with nothing left in /dev/shm.
+        before = shm_segments()
+        script = tmp_path / "daemon.py"
+        script.write_text(
+            "import signal, sys, threading\n"
+            "from repro.serve import ServeDaemon, ServeSpec, replay_trace\n"
+            "from repro.traces.profiles import CAIDA\n"
+            f"spec = ServeSpec.from_json({serve_spec(workers=1).to_json()!r})\n"
+            "daemon = ServeDaemon(spec, quiet=True)\n"
+            "signal.signal(signal.SIGTERM, lambda *a: daemon.request_stop())\n"
+            "address = daemon.bind()\n"
+            "trace = CAIDA.generate(n_flows=300, seed=7)\n"
+            "threading.Thread(\n"
+            "    target=replay_trace, args=(trace, address),\n"
+            f"    kwargs={{'packet_rate': {PACKET_RATE}}}, daemon=True,\n"
+            ").start()\n"
+            "result = daemon.run(duration=60.0)\n"
+            "print('DRAINED', result.packets, len(result.records), flush=True)\n"
+        )
+        proc = subprocess.Popen(
+            [sys.executable, str(script)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        try:
+            time.sleep(3.0)  # replay (300 flows, unthrottled) finishes well within
+            proc.send_signal(signal.SIGTERM)
+            stdout, stderr = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, stderr
+        assert stdout.startswith("DRAINED"), (stdout, stderr)
+        packets = int(stdout.split()[1])
+        assert packets == len(CAIDA.generate(n_flows=300, seed=7))
+        assert shm_segments() == before
+
+    def test_killed_worker_is_a_hard_fault_with_cleanup(self, trace):
+        before = shm_segments()
+        spec = serve_spec(workers=1)
+        daemon = ServeDaemon(spec, quiet=True)
+        daemon.bind()
+
+        def kill_worker() -> None:
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                victims = [
+                    p
+                    for p in mp.active_children()
+                    if p.name.startswith("serve-worker") and p.pid
+                ]
+                if victims:
+                    os.kill(victims[0].pid, signal.SIGKILL)
+                    return
+                time.sleep(0.01)
+
+        killer = threading.Thread(target=kill_worker, daemon=True)
+        killer.start()
+        with pytest.raises(RuntimeError, match="died"):
+            daemon.run(duration=30.0)
+        killer.join(timeout=10.0)
+        # The fault path still unlinked every ring segment.
+        assert shm_segments() == before
+
+    def test_duration_alone_stops_an_idle_daemon(self):
+        spec = serve_spec(workers=1)
+        daemon = ServeDaemon(spec, quiet=True)
+        result = daemon.run(duration=0.2)
+        assert result.packets == 0
+        assert result.datagrams == 0
+        # No rotation ever fired, but the drain still closed the sinks.
+        assert result.sinks["archive"]["exports"] == 0
+
+    def test_stray_non_netflow_datagrams_ignored(self):
+        import socket
+
+        spec = serve_spec(workers=1)
+        daemon = ServeDaemon(spec, quiet=True)
+        address = daemon.bind()
+
+        def send_junk() -> None:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            for _ in range(5):
+                sock.sendto(b"not netflow", address)
+            sock.close()
+            deadline = time.monotonic() + 10.0
+            while daemon.datagrams_received < 5 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            daemon.request_stop()
+
+        sender = threading.Thread(target=send_junk, daemon=True)
+        sender.start()
+        result = daemon.run(duration=30.0)
+        sender.join(timeout=10.0)
+        assert result.datagrams == 5
+        assert result.packets == 0

@@ -1,0 +1,132 @@
+"""Tests for repro.serve.ring: the SPSC shared-memory packet ring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.ring import DEFAULT_RING_SLOTS, PacketRing
+
+
+def batch(n: int, offset: int = 0):
+    """n distinct packets as (lo, hi, sizes, timestamps) arrays."""
+    base = np.arange(offset, offset + n, dtype=np.uint64)
+    return (
+        base,
+        base + np.uint64(1_000_000),
+        base.astype(np.int64) + 40,
+        base.astype(np.float64) / 1000.0,
+    )
+
+
+@pytest.fixture()
+def ring():
+    r = PacketRing.create(slots=16, label="test-ring")
+    yield r
+    r.unlink()
+
+
+class TestLifecycle:
+    def test_default_capacity(self):
+        r = PacketRing.create()
+        try:
+            assert r.capacity == DEFAULT_RING_SLOTS
+        finally:
+            r.unlink()
+
+    @pytest.mark.parametrize("slots", [0, 1, 3, 100])
+    def test_slots_must_be_power_of_two(self, slots):
+        with pytest.raises(ValueError, match="power of two"):
+            PacketRing.create(slots=slots)
+
+    def test_attach_by_name_sees_same_slots(self, ring):
+        other = PacketRing.attach(ring.name)
+        assert other.capacity == ring.capacity
+        ring.try_push(*batch(3))
+        assert other.occupancy() == 3
+
+    def test_fresh_ring_is_empty(self, ring):
+        assert ring.occupancy() == 0
+        assert ring.drops == 0
+        assert not ring.stopped()
+        assert ring.pop(10) is None
+
+
+class TestPushPop:
+    def test_round_trip_preserves_payload(self, ring):
+        lo, hi, sizes, ts = batch(10)
+        assert ring.try_push(lo, hi, sizes, ts) == 10
+        out = ring.pop(16)
+        np.testing.assert_array_equal(out[0], lo)
+        np.testing.assert_array_equal(out[1], hi)
+        np.testing.assert_array_equal(out[2], sizes)
+        np.testing.assert_array_equal(out[3], ts)
+        assert ring.occupancy() == 0
+
+    def test_partial_accept_when_full(self, ring):
+        lo, hi, sizes, ts = batch(20)
+        assert ring.try_push(lo, hi, sizes, ts) == 16  # capacity
+        assert ring.try_push(lo, hi, sizes, ts, start=16) == 0
+        out = ring.pop(16)
+        np.testing.assert_array_equal(out[0], lo[:16])
+
+    def test_pop_caps_at_max_n(self, ring):
+        ring.try_push(*batch(10))
+        assert len(ring.pop(4)[0]) == 4
+        assert ring.occupancy() == 6
+
+    def test_wraparound_keeps_order(self, ring):
+        # Fill, drain, refill past the physical end of the buffer.
+        ring.try_push(*batch(12))
+        ring.pop(12)
+        lo, hi, sizes, ts = batch(10, offset=100)
+        assert ring.try_push(lo, hi, sizes, ts) == 10
+        out = ring.pop(10)
+        np.testing.assert_array_equal(out[0], lo)
+        np.testing.assert_array_equal(out[3], ts)
+
+    def test_interleaved_stream_survives_many_wraps(self, ring):
+        seen = []
+        pushed = 0
+        for round_index in range(50):
+            lo, hi, sizes, ts = batch(7, offset=pushed)
+            pushed += ring.try_push(lo, hi, sizes, ts)
+            out = ring.pop(5)
+            if out is not None:
+                seen.extend(out[0].tolist())
+        while (out := ring.pop(16)) is not None:
+            seen.extend(out[0].tolist())
+        # Everything accepted comes back exactly once, in order.
+        assert seen == list(range(len(seen)))
+        assert len(seen) == pushed
+
+    def test_blocking_push_aborts_on_callback(self, ring):
+        lo, hi, sizes, ts = batch(20)
+        calls = []
+
+        def give_up():
+            calls.append(1)
+            return len(calls) >= 3
+
+        done = ring.push(lo, hi, sizes, ts, should_abort=give_up)
+        assert done == 16  # capacity; the rest abandoned on abort
+        assert len(calls) == 3
+
+
+class TestControlPlane:
+    def test_drop_counter_visible_to_attacher(self, ring):
+        ring.add_drops(7)
+        ring.add_drops(2)
+        assert PacketRing.attach(ring.name).drops == 9
+
+    def test_stop_flag_visible_to_attacher(self, ring):
+        other = PacketRing.attach(ring.name)
+        ring.request_stop()
+        assert other.stopped()
+
+    def test_unlink_removes_segment_name(self):
+        r = PacketRing.create(slots=16, label="test-unlink")
+        name = r.name
+        r.unlink()
+        with pytest.raises(OSError):
+            PacketRing.attach(name)

@@ -1,0 +1,150 @@
+"""Tests for repro.serve.spec: the frozen serve-daemon description."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ServeSpec, load_serve_spec, save_serve_spec
+from repro.serve.spec import (
+    BACKPRESSURE_ENV,
+    RING_SLOTS_ENV,
+    STATS_INTERVAL_ENV,
+    env_serve_defaults,
+)
+from repro.specs import SpecError
+
+
+def pipeline_dict(**overrides) -> dict:
+    base = {
+        "source": {"kind": "udp", "params": {"host": "127.0.0.1", "port": 0}},
+        "collector": {"kind": "hashflow", "params": {"main_cells": 1024}},
+        "rotation": {"kind": "interval", "params": {"window": 1.0}},
+        "sinks": [{"kind": "archive"}],
+    }
+    base.update(overrides)
+    return base
+
+
+def sharded_collector(n_shards: int) -> dict:
+    return {
+        "kind": "sharded",
+        "params": {
+            "collector": {"kind": "hashflow", "params": {"main_cells": 512}},
+            "n_shards": n_shards,
+            "seed": 0,
+        },
+    }
+
+
+class TestValidation:
+    def test_source_must_be_udp(self):
+        offline = pipeline_dict(
+            source={"kind": "synthetic", "params": {"profile": "caida", "n_flows": 10}}
+        )
+        with pytest.raises(SpecError, match="udp"):
+            ServeSpec(pipeline=offline)
+
+    def test_multi_worker_needs_sharded_collector(self):
+        with pytest.raises(SpecError, match="sharded"):
+            ServeSpec(pipeline=pipeline_dict(), workers=2)
+
+    def test_multi_worker_needs_enough_shards(self):
+        pipeline = pipeline_dict(collector=sharded_collector(2))
+        with pytest.raises(SpecError, match="shards"):
+            ServeSpec(pipeline=pipeline, workers=3)
+        ServeSpec(pipeline=pipeline, workers=2)  # enough
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(SpecError, match="workers"):
+            ServeSpec(pipeline=pipeline_dict(), workers=0)
+
+    @pytest.mark.parametrize("slots", [0, 1, 3, 1000])
+    def test_ring_slots_power_of_two(self, slots):
+        with pytest.raises(SpecError, match="power of two"):
+            ServeSpec(pipeline=pipeline_dict(), ring_slots=slots)
+
+    def test_backpressure_mode_checked(self):
+        with pytest.raises(SpecError, match="backpressure"):
+            ServeSpec(pipeline=pipeline_dict(), backpressure="explode")
+
+    def test_stats_interval_positive(self):
+        with pytest.raises(SpecError, match="stats_interval"):
+            ServeSpec(pipeline=pipeline_dict(), stats_interval=0)
+
+    def test_nested_pipeline_validated(self):
+        with pytest.raises(SpecError):
+            ServeSpec(pipeline={"source": {"kind": "udp"}})  # no collector
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        spec = ServeSpec(
+            pipeline=pipeline_dict(collector=sharded_collector(4)),
+            workers=2,
+            ring_slots=4096,
+            backpressure="drop",
+            stats_interval=2.5,
+        )
+        again = ServeSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.to_dict() == spec.to_dict()
+
+    def test_file_round_trip(self, tmp_path):
+        spec = ServeSpec(pipeline=pipeline_dict())
+        path = tmp_path / "serve.json"
+        save_serve_spec(spec, path)
+        assert load_serve_spec(path) == spec
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(SpecError, match="unknown"):
+            ServeSpec.from_dict({"pipeline": pipeline_dict(), "turbo": True})
+
+    def test_not_a_mapping_rejected(self):
+        with pytest.raises(SpecError):
+            ServeSpec.from_dict(["nope"])
+
+
+class TestAccessors:
+    def test_listen_reads_source_params(self):
+        spec = ServeSpec(
+            pipeline=pipeline_dict(
+                source={"kind": "udp", "params": {"host": "0.0.0.0", "port": 9999}}
+            )
+        )
+        assert spec.listen == ("0.0.0.0", 9999)
+
+    def test_with_listen_rebinds_only_the_source(self):
+        spec = ServeSpec(pipeline=pipeline_dict())
+        moved = spec.with_listen("10.0.0.1", 2055)
+        assert moved.listen == ("10.0.0.1", 2055)
+        assert moved.pipeline["collector"] == spec.pipeline["collector"]
+        assert spec.listen == ("127.0.0.1", 0)  # original untouched
+
+    def test_pipeline_spec_property(self):
+        spec = ServeSpec(pipeline=pipeline_dict())
+        assert spec.pipeline_spec.source["kind"] == "udp"
+
+
+class TestEnvDefaults:
+    def test_unset_env_is_empty(self, monkeypatch):
+        for var in (RING_SLOTS_ENV, BACKPRESSURE_ENV, STATS_INTERVAL_ENV):
+            monkeypatch.delenv(var, raising=False)
+        assert env_serve_defaults() == {}
+
+    def test_env_values_parsed(self, monkeypatch):
+        monkeypatch.setenv(RING_SLOTS_ENV, "4096")
+        monkeypatch.setenv(BACKPRESSURE_ENV, "drop")
+        monkeypatch.setenv(STATS_INTERVAL_ENV, "1.5")
+        assert env_serve_defaults() == {
+            "ring_slots": 4096,
+            "backpressure": "drop",
+            "stats_interval": 1.5,
+        }
+
+    def test_env_defaults_feed_spec(self, monkeypatch):
+        monkeypatch.setenv(RING_SLOTS_ENV, "256")
+        monkeypatch.delenv(BACKPRESSURE_ENV, raising=False)
+        monkeypatch.delenv(STATS_INTERVAL_ENV, raising=False)
+        spec = ServeSpec(pipeline=pipeline_dict(), **env_serve_defaults())
+        assert spec.ring_slots == 256
+        assert spec.backpressure == "block"
