@@ -162,3 +162,100 @@ def test_serve_ingest_recorded():
         serve_skip_reason=None,
         **_environment_fields(),
     )
+
+
+RECOVERY_JSON_PATH = RESULTS_DIR / "BENCH_serve_recovery.json"
+
+
+def test_serve_recovery_recorded():
+    """Record how fast supervision restores a killed worker.
+
+    A ``kill_worker`` fault (:mod:`repro.faults`) SIGKILLs the worker
+    mid-stream; with a restart budget the daemon quarantines the ring,
+    respawns, and replays the resident packets.  ``recovery_ms`` is
+    the supervisor's own measurement: death detection to the respawn's
+    first ring consumption.  Needs the same >= 2 CPUs as the ingest
+    bench — on one core the "recovery" time is scheduler time-slicing.
+    """
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        reason = (
+            f"serve recovery latency not measurable on {cpus} CPU: the "
+            "listener and worker processes time-slice one core"
+        )
+        update_headline(
+            serve_recovery_ms=None,
+            serve_recovery_skip_reason=reason,
+            **_environment_fields(),
+        )
+        pytest.skip(reason)
+
+    scale = resolve_scale(None)
+    n_flows = max(20_000, int(round(200_000 * scale)))
+    trace = CAIDA.generate(n_flows=n_flows, seed=29)
+    datagrams = trace_datagrams(trace, packet_rate=PACKET_RATE)
+
+    base = _serve_spec(scale)
+    spec = ServeSpec.from_dict(
+        {
+            **base.to_dict(),
+            "max_restarts": 2,
+            "faults": [
+                {
+                    "kind": "kill_worker",
+                    "worker": 0,
+                    "at_packets": len(trace) // 2,
+                }
+            ],
+        }
+    )
+    daemon = ServeDaemon(spec, quiet=True)
+    address = daemon.bind()
+    sent = {}
+
+    def feed() -> None:
+        sent["packets"] = replay_datagrams(datagrams, address)
+        deadline = time.monotonic() + 300.0
+        while (
+            daemon.packets_received < sent["packets"]
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.005)
+        daemon.request_stop()
+
+    feeder = threading.Thread(target=feed, daemon=True)
+    feeder.start()
+    result = daemon.run(duration=300.0)
+    feeder.join(timeout=30.0)
+
+    assert result.packets == sent["packets"] == len(trace)
+    assert result.accounting_exact, "fed + drops + lost must equal received"
+    assert len(result.restarts) == 1, "the kill fault must fire exactly once"
+    recovery_ms = result.restarts[0]["recovery_ms"]
+    assert recovery_ms is not None and recovery_ms > 0
+
+    record = {
+        "experiment": "serve_recovery",
+        "n_flows": n_flows,
+        "n_packets": result.packets,
+        "cpus": cpus,
+        "scale": scale,
+        "kernel": kernel_info()["requested"],
+        "workers": spec.workers,
+        "kill_at_packets": spec.faults[0]["at_packets"],
+        "disposition": result.restarts[0]["disposition"],
+        "resident_replayed": result.restarts[0]["resident"],
+        "degraded_rotations": result.degraded,
+        "recovery_ms": round(recovery_ms, 3),
+    }
+    RECOVERY_JSON_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(
+        f"\nserve recovery: worker restored in {recovery_ms:.1f} ms "
+        f"({result.restarts[0]['resident']} resident packets replayed)"
+    )
+
+    update_headline(
+        serve_recovery_ms=round(recovery_ms, 3),
+        serve_recovery_skip_reason=None,
+        **_environment_fields(),
+    )

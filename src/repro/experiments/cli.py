@@ -283,11 +283,34 @@ def build_parser() -> argparse.ArgumentParser:
         "default: spec / REPRO_SERVE_BACKPRESSURE / block)",
     )
     serve.add_argument(
+        "--max-restarts",
+        type=int,
+        default=None,
+        help="worker respawns allowed within --restart-window before a "
+        "death is a hard fault (default: spec, else 0 = fail fast)",
+    )
+    serve.add_argument(
+        "--restart-window",
+        type=float,
+        default=None,
+        help="sliding window in seconds the restart budget counts over "
+        "(default: spec, else 30)",
+    )
+    serve.add_argument(
+        "--on-worker-loss",
+        choices=("auto", "replay", "drop"),
+        default=None,
+        help="disposition of a dead worker's ring-resident packets: "
+        "replay to the respawn (lossless) or drop as `lost` (default: "
+        "auto — block back-pressure replays, drop back-pressure drops)",
+    )
+    serve.add_argument(
         "--replay",
         metavar="PROFILE:FLOWS[:PPS]",
         default=None,
         help="soak mode: replay a synthetic trace into the daemon over "
-        "loopback UDP (unpaced unless PPS is given)",
+        "loopback UDP (unpaced unless PPS is given); REPRO_FAULTS "
+        "datagram_chaos entries mutate the replayed stream",
     )
     serve.add_argument(
         "--collector",
@@ -438,6 +461,12 @@ def run_serve(args) -> int:
             overrides["backpressure"] = args.backpressure
         if args.stats_interval is not None:
             overrides["stats_interval"] = args.stats_interval
+        if args.max_restarts is not None:
+            overrides["max_restarts"] = args.max_restarts
+        if args.restart_window is not None:
+            overrides["restart_window"] = args.restart_window
+        if args.on_worker_loss is not None:
+            overrides["on_worker_loss"] = args.on_worker_loss
         if args.spec:
             spec = load_serve_spec(args.spec)
             if overrides:
@@ -499,7 +528,11 @@ def run_serve(args) -> int:
 
         def _replay() -> None:
             replayed["packets"] = replay_trace(
-                trace, address, packet_rate=packet_rate, pps=pps
+                trace,
+                address,
+                packet_rate=packet_rate,
+                pps=pps,
+                faults=daemon.fault_plan,
             )
             if drain_after:
                 # Everything was sent over loopback; once the daemon has
@@ -535,6 +568,22 @@ def run_serve(args) -> int:
     if replay is not None:
         table.add_row(metric="replayed_packets", value=replayed["packets"])
     table.add_row(metric="drops", value=result.drops)
+    table.add_row(metric="fed", value=result.fed)
+    table.add_row(metric="lost", value=result.lost)
+    table.add_row(metric="restarts", value=len(result.restarts))
+    table.add_row(
+        metric="degraded_rotations",
+        value=",".join(str(r) for r in result.degraded) or "none",
+    )
+    if result.recv_errors:
+        table.add_row(
+            metric="recv_errors",
+            value=",".join(f"{k}:{v}" for k, v in sorted(result.recv_errors.items())),
+        )
+    table.add_row(
+        metric="accounting",
+        value="exact" if result.accounting_exact else "VIOLATED",
+    )
     table.add_row(metric="rotations", value=result.rotations)
     table.add_row(metric="exported_records", value=result.exported)
     table.add_row(metric="flows", value=len(result.records))
@@ -543,6 +592,13 @@ def run_serve(args) -> int:
             table.add_row(metric=f"{label}.{key}", value=value)
     print(render_table(table))
     print(f"# elapsed: {result.elapsed:.1f}s")
+    if not result.accounting_exact:
+        print(
+            f"serve accounting violated: fed={result.fed} + drops={result.drops} "
+            f"+ lost={result.lost} != received={result.packets}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -391,6 +391,45 @@ def parse_datagram_partial(
     return header, _decode_records(payload), HEADER_BYTES + len(payload)
 
 
+def split_stream(data: bytes) -> list[bytes]:
+    """Split concatenated v5 datagrams back into individual datagrams.
+
+    The inverse of ``b"".join(datagrams)`` as written by durable
+    rotation archives (:class:`~repro.stream.durable.RotationArchive`
+    files hold one rotation's datagrams back to back): each datagram's
+    length is ``HEADER_BYTES + count * RECORD_BYTES``, recoverable from
+    its own header.
+
+    Raises:
+        ValueError: when the bytes are not a whole number of well-formed
+            v5 datagrams (a truncated archive — which the atomic write
+            discipline is there to prevent).
+    """
+    datagrams: list[bytes] = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if total - offset < HEADER_BYTES:
+            raise ValueError(
+                f"trailing {total - offset} bytes are shorter than a v5 header"
+            )
+        version, count = _HEADER.unpack_from(data, offset)[:2]
+        if version != NETFLOW_V5_VERSION:
+            raise ValueError(
+                f"not a NetFlow v5 datagram at offset {offset} "
+                f"(version {version})"
+            )
+        size = HEADER_BYTES + count * RECORD_BYTES
+        if total - offset < size:
+            raise ValueError(
+                f"datagram at offset {offset} truncated: {total - offset} "
+                f"bytes for {count} records"
+            )
+        datagrams.append(bytes(data[offset : offset + size]))
+        offset += size
+    return datagrams
+
+
 def parse_stream(datagrams: Iterator[bytes]) -> dict[int, int]:
     """Merge a sequence of datagrams back into ``{flow: packets}``.
 

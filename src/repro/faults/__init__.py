@@ -1,0 +1,312 @@
+"""Deterministic fault injection for the serving stack (DESIGN §11).
+
+Proving the recovery paths of a long-lived collection service needs
+faults that are *repeatable*: "kill worker 1 the moment it has fed
+5 000 packets" must mean the same thing on every run, or a chaos test
+is just a flake generator.  This module describes faults as JSON-native
+dicts, parses them into a :class:`FaultPlan`, and exposes the hooks the
+rest of the package calls at its injection points:
+
+* ``kill_worker`` — a serve worker SIGKILLs itself once its feeder has
+  consumed ``at_packets`` packets (:mod:`repro.serve.daemon` checks
+  after every ring batch).  ``incarnation`` (default 0) scopes the
+  fault to one worker lifetime, so a respawned worker does not
+  immediately re-trip it.
+* ``stall_worker`` — the worker sleeps ``seconds`` once at the same
+  trigger point, simulating a wedged ring consumer.
+* ``sink_write`` — the ``nth`` physical durable-sink write attempt
+  (1-based, counted process-wide by :mod:`repro.stream.durable`)
+  raises ``OSError(errno)``; ``times`` consecutive attempts fail.
+* ``datagram_chaos`` — the loopback replayer
+  (:func:`repro.serve.replay.replay_datagrams`) drops, duplicates, or
+  truncates datagrams with the given probabilities, driven by a seeded
+  RNG so the mutation sequence is a pure function of ``seed``.
+
+Plans install two ways: the ``REPRO_FAULTS`` environment variable (a
+JSON list, or ``@path`` naming a JSON file) or a ``ServeSpec``'s
+``faults`` field; the daemon merges both (spec first, env appended).
+An empty environment means no faults — production code pays one dict
+lookup per injection point and nothing else.
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+import json
+import os
+import random
+import threading
+from typing import Any, Iterable, Mapping, Sequence
+
+#: Environment variable carrying a fault plan (JSON text or ``@file``).
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Recognized fault kinds and their parameter schema
+#: (``name: (required, default)``; default None marks a required param).
+FAULT_KINDS: dict[str, dict[str, Any]] = {
+    "kill_worker": {"worker": 0, "at_packets": None, "incarnation": 0},
+    "stall_worker": {
+        "worker": 0,
+        "at_packets": None,
+        "seconds": None,
+        "incarnation": 0,
+    },
+    "sink_write": {"nth": None, "times": 1, "errno": _errno.ENOSPC},
+    "datagram_chaos": {"seed": 0, "drop": 0.0, "dup": 0.0, "truncate": 0.0},
+}
+
+
+class FaultSpecError(ValueError):
+    """A fault description that does not parse or validate."""
+
+
+def _validated(entry: Mapping[str, Any]) -> dict[str, Any]:
+    """One canonical fault dict from a raw mapping.
+
+    Raises:
+        FaultSpecError: unknown kind, unknown/missing params, bad types.
+    """
+    if not isinstance(entry, Mapping) or "kind" not in entry:
+        raise FaultSpecError(f"not a fault mapping (needs 'kind'): {entry!r}")
+    kind = entry["kind"]
+    schema = FAULT_KINDS.get(kind)
+    if schema is None:
+        raise FaultSpecError(
+            f"unknown fault kind {kind!r}; available: "
+            f"{', '.join(sorted(FAULT_KINDS))}"
+        )
+    extra = set(entry) - set(schema) - {"kind"}
+    if extra:
+        raise FaultSpecError(f"unknown {kind} fault params {sorted(extra)}")
+    fault: dict[str, Any] = {"kind": kind}
+    for name, default in schema.items():
+        if name in entry:
+            value = entry[name]
+        elif default is None:
+            raise FaultSpecError(f"{kind} fault needs {name!r}: {entry!r}")
+        else:
+            value = default
+        if name in ("worker", "at_packets", "incarnation", "nth", "times",
+                    "errno", "seed"):
+            value = int(value)
+            if name in ("at_packets", "worker", "incarnation", "seed") and value < 0:
+                raise FaultSpecError(f"{kind}.{name} must be >= 0, got {value}")
+            if name in ("nth", "times") and value < 1:
+                raise FaultSpecError(f"{kind}.{name} must be >= 1, got {value}")
+        else:
+            value = float(value)
+            if name in ("drop", "dup", "truncate") and not 0.0 <= value <= 1.0:
+                raise FaultSpecError(
+                    f"{kind}.{name} must be a probability in [0, 1], got {value}"
+                )
+            if name == "seconds" and value < 0:
+                raise FaultSpecError(f"{kind}.seconds must be >= 0, got {value}")
+        fault[name] = value
+    return fault
+
+
+class FaultPlan:
+    """A validated, deterministic set of faults plus their trigger state.
+
+    The fault *descriptions* are immutable (:attr:`entries` round-trips
+    through JSON); trigger state (which one-shot faults already fired,
+    the process-wide sink-write counter) lives on the instance, so a
+    fresh plan means fresh triggers.
+    """
+
+    def __init__(self, entries: Iterable[Mapping[str, Any]] = ()):
+        self._entries = tuple(_validated(e) for e in entries)
+        self._lock = threading.Lock()
+        self._sink_writes = 0
+        self._fired: set[tuple[int, str]] = set()
+
+    # ------------------------------------------------------------------
+    # Construction / serialization
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse a JSON fault list (or a single fault dict)."""
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise FaultSpecError(f"invalid fault plan JSON: {exc}") from exc
+        if isinstance(data, Mapping):
+            data = [data]
+        if not isinstance(data, Sequence):
+            raise FaultSpecError(f"fault plan must be a JSON list: {text!r}")
+        return cls(data)
+
+    @classmethod
+    def from_env(cls, environ: Mapping[str, str] | None = None) -> "FaultPlan | None":
+        """The plan named by ``REPRO_FAULTS``, or None when unset.
+
+        A value starting with ``@`` names a JSON file (CI-friendly:
+        no shell quoting of nested JSON).
+        """
+        raw = (environ if environ is not None else os.environ).get(
+            FAULTS_ENV, ""
+        ).strip()
+        if not raw:
+            return None
+        if raw.startswith("@"):
+            with open(raw[1:], "r", encoding="utf-8") as fh:
+                raw = fh.read()
+        return cls.parse(raw)
+
+    @classmethod
+    def merged(cls, *parts) -> "FaultPlan | None":
+        """One plan from several sources (dict lists, plans, or None)."""
+        entries: list[Mapping[str, Any]] = []
+        for part in parts:
+            if part is None:
+                continue
+            if isinstance(part, FaultPlan):
+                entries.extend(part.entries)
+            else:
+                entries.extend(part)
+        return cls(entries) if entries else None
+
+    @property
+    def entries(self) -> tuple[dict[str, Any], ...]:
+        """The canonical fault dicts (JSON-native, validated)."""
+        return self._entries
+
+    def to_json(self) -> str:
+        return json.dumps(list(self._entries), sort_keys=True)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = ", ".join(e["kind"] for e in self._entries)
+        return f"FaultPlan([{kinds}])"
+
+    # ------------------------------------------------------------------
+    # Worker-side hooks (repro.serve.daemon)
+    # ------------------------------------------------------------------
+    def _worker_due(
+        self, kind: str, worker: int, incarnation: int, packets: int
+    ):
+        for index, fault in enumerate(self._entries):
+            if fault["kind"] != kind:
+                continue
+            if fault["worker"] != worker or fault["incarnation"] != incarnation:
+                continue
+            if packets < fault["at_packets"]:
+                continue
+            key = (index, f"w{worker}i{incarnation}")
+            with self._lock:
+                if key in self._fired:
+                    continue
+                self._fired.add(key)
+            return fault
+        return None
+
+    def kill_due(self, worker: int, incarnation: int, packets: int) -> bool:
+        """Whether a ``kill_worker`` fault fires at this point (one-shot)."""
+        return self._worker_due("kill_worker", worker, incarnation, packets) is not None
+
+    def stall_due(self, worker: int, incarnation: int, packets: int) -> float:
+        """Seconds a due ``stall_worker`` fault asks to sleep (0 = none)."""
+        fault = self._worker_due("stall_worker", worker, incarnation, packets)
+        return 0.0 if fault is None else fault["seconds"]
+
+    # ------------------------------------------------------------------
+    # Sink-side hook (repro.stream.durable)
+    # ------------------------------------------------------------------
+    def sink_write_error(self) -> OSError | None:
+        """Count one physical sink write; the injected error, if due.
+
+        The counter is process-wide across every durable write this
+        plan observes, so "the Mth sink write" means the Mth attempt
+        anywhere in the process — which is what a chaos scenario
+        scripts against.
+        """
+        with self._lock:
+            self._sink_writes += 1
+            ordinal = self._sink_writes
+        for fault in self._entries:
+            if fault["kind"] != "sink_write":
+                continue
+            if fault["nth"] <= ordinal < fault["nth"] + fault["times"]:
+                code = fault["errno"]
+                return OSError(code, f"injected sink fault: {os.strerror(code)}")
+        return None
+
+    @property
+    def sink_writes(self) -> int:
+        """Physical sink write attempts observed so far."""
+        return self._sink_writes
+
+    # ------------------------------------------------------------------
+    # Replay-side hook (repro.serve.replay)
+    # ------------------------------------------------------------------
+    def mutate_datagrams(self, datagrams: Sequence[bytes]) -> list[bytes]:
+        """Apply every ``datagram_chaos`` fault, deterministically.
+
+        Each fault walks the stream with its own ``random.Random(seed)``
+        so the mutation sequence is a pure function of (seed, input) —
+        two runs of the same plan over the same datagrams produce the
+        same wire stream.
+        """
+        out = list(datagrams)
+        for fault in self._entries:
+            if fault["kind"] != "datagram_chaos":
+                continue
+            rng = random.Random(fault["seed"])
+            mutated: list[bytes] = []
+            for datagram in out:
+                if rng.random() < fault["drop"]:
+                    continue
+                if rng.random() < fault["truncate"]:
+                    datagram = datagram[: rng.randrange(len(datagram) + 1)]
+                mutated.append(datagram)
+                if rng.random() < fault["dup"]:
+                    mutated.append(datagram)
+            out = mutated
+        return out
+
+
+# ----------------------------------------------------------------------
+# Process-wide active plan (the durable-write layer's lookup point)
+# ----------------------------------------------------------------------
+_ACTIVE: FaultPlan | None = None
+_ENV_CACHE: tuple[str, FaultPlan | None] | None = None
+
+
+def activate(plan: FaultPlan | None) -> FaultPlan | None:
+    """Install ``plan`` as the process's active plan (None clears it)."""
+    global _ACTIVE
+    _ACTIVE = plan
+    return plan
+
+
+def deactivate() -> None:
+    """Clear any explicitly installed plan (env plans still apply)."""
+    activate(None)
+
+
+def active() -> FaultPlan | None:
+    """The plan injection points consult: the installed one, else
+    ``REPRO_FAULTS`` (parsed once per distinct env value so one-shot
+    trigger state survives across calls)."""
+    if _ACTIVE is not None:
+        return _ACTIVE
+    global _ENV_CACHE
+    raw = os.environ.get(FAULTS_ENV, "").strip()
+    if not raw:
+        return None
+    if _ENV_CACHE is None or _ENV_CACHE[0] != raw:
+        _ENV_CACHE = (raw, FaultPlan.from_env())
+    return _ENV_CACHE[1]
+
+
+__all__ = [
+    "FAULTS_ENV",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpecError",
+    "activate",
+    "active",
+    "deactivate",
+]

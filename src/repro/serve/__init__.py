@@ -13,6 +13,8 @@ rotation and export happening *while* traffic arrives:
   :class:`~repro.stream.spec.PipelineSpec`;
 * :mod:`repro.serve.daemon` — :class:`ServeDaemon`, the UDP listener +
   worker processes + graceful-drain lifecycle;
+* :mod:`repro.serve.supervisor` — worker-death detection, ring
+  quarantine, respawn-with-backoff, exact loss accounting (DESIGN §11);
 * :mod:`repro.serve.replay` — paced v5 trace replay, the soak rig.
 
 Quickstart (see also ``repro-experiments serve``)::
@@ -42,11 +44,13 @@ from repro.serve.replay import replay_datagrams, replay_trace, trace_datagrams
 from repro.serve.ring import DEFAULT_RING_SLOTS, PacketRing
 from repro.serve.spec import (
     BACKPRESSURE_MODES,
+    WORKER_LOSS_MODES,
     ServeSpec,
     env_serve_defaults,
     load_serve_spec,
     save_serve_spec,
 )
+from repro.serve.supervisor import Supervisor
 
 __all__ = [
     "BACKPRESSURE_MODES",
@@ -55,6 +59,8 @@ __all__ = [
     "ServeDaemon",
     "ServeResult",
     "ServeSpec",
+    "Supervisor",
+    "WORKER_LOSS_MODES",
     "decode_datagram",
     "encode_datagrams",
     "env_serve_defaults",

@@ -32,21 +32,27 @@ leaves no ``/dev/shm`` litter behind.
 
 from __future__ import annotations
 
+import errno as _errno
 import multiprocessing as mp
+import os
 import select
+import signal
 import socket
 import sys
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 import numpy as np
 
+from repro import faults as _faults
+from repro.faults import FaultPlan
 from repro.flow.batch import KeyBatch
 from repro.hashing.families import HashFunction
 from repro.serve.codec import decode_datagram, keys_from_halves
 from repro.serve.ring import PacketRing
 from repro.serve.spec import ServeSpec
+from repro.serve.supervisor import Supervisor
 from repro.sketches.base import FlowCollector
 from repro.specs import CollectorSpec, build as build_collector
 from repro.stream.pipeline import StreamFeeder
@@ -202,6 +208,8 @@ def _worker_main(
     pipeline: dict,
     stats_interval: float,
     conn,
+    incarnation: int = 0,
+    fault_entries: tuple = (),
 ) -> None:
     """Worker process: pop the ring, drive the offline feed loop.
 
@@ -209,6 +217,12 @@ def _worker_main(
     records)`` for every rotation (the parent emits them to the sinks),
     ``("stats", worker, meters)`` every ``stats_interval`` seconds, and
     a final ``("done", worker, meters)`` after the end-of-stream drain.
+
+    ``incarnation`` counts respawns of this worker slot (the
+    supervisor's currency for rotation-index mapping and for scoping
+    ``fault_entries`` — a ``kill_worker`` fault aimed at incarnation 0
+    must not re-trip the moment the respawn's packet counter passes
+    the same threshold).
     """
     ring = PacketRing.attach(ring_name)
     spec = PipelineSpec.from_dict(pipeline)
@@ -218,11 +232,20 @@ def _worker_main(
         collector = build_collector(spec.collector)
     rotation = build_rotation(spec.rotation)
     track_bytes = getattr(collector, "track_bytes", False)
+    plan = FaultPlan(fault_entries) if fault_entries else None
 
     def emit(records, rotation_index, now):
         conn.send(("export", worker_index, rotation_index, now, records))
 
     feeder = StreamFeeder(collector, rotation, emit, chunk_size=spec.chunk_size)
+
+    def maybe_fault() -> None:
+        stall = plan.stall_due(worker_index, incarnation, feeder.packets)
+        if stall > 0:
+            time.sleep(stall)
+        if plan.kill_due(worker_index, incarnation, feeder.packets):
+            os.kill(os.getpid(), signal.SIGKILL)
+
     next_stats = time.monotonic() + stats_interval
     try:
         while True:
@@ -230,6 +253,8 @@ def _worker_main(
             if item is None:
                 if ring.stopped():
                     break
+                if plan is not None:
+                    maybe_fault()
                 time.sleep(_IDLE_POLL_S)
             else:
                 lo, hi, sizes, timestamps = item
@@ -240,6 +265,8 @@ def _worker_main(
                     sizes if track_bytes else None,
                     timestamps,
                 )
+                if plan is not None:
+                    maybe_fault()
             if time.monotonic() >= next_stats:
                 conn.send(("stats", worker_index, _worker_meters(feeder, collector)))
                 next_stats = time.monotonic() + stats_interval
@@ -262,8 +289,21 @@ class ServeResult:
         records: merged ``{key: packets}`` across every export.
         sinks: summaries per sink, keyed like
             :class:`~repro.stream.pipeline.PipelineResult`.
-        meters: final per-worker meters (as the workers reported them).
+        meters: final per-worker meters (as the workers reported them;
+            after a restart, the live incarnation's view).
         elapsed: wall-clock seconds from bind to drain.
+        fed: packets consumed by worker feeders across every
+            incarnation (exact, from ring tail deltas).
+        lost: packets discarded from dead workers' rings
+            (``on_worker_loss="drop"``) — zero in replay mode.
+        restarts: one record per worker respawn (worker, incarnation,
+            exitcode, resident, disposition, backoff_s, recovery_ms).
+        recv_errors: UDP receive errors by errno name.
+        degraded: global rotation indices whose content a worker loss
+            made incomplete (also flagged in sink metadata).
+        rotation_records: merged ``{key: packets}`` per global
+            rotation index (supervision tests compare the non-degraded
+            ones against an offline run).
     """
 
     packets: int
@@ -275,6 +315,21 @@ class ServeResult:
     sinks: dict[str, dict]
     meters: dict[int, dict]
     elapsed: float
+    fed: int = 0
+    lost: int = 0
+    restarts: list = field(default_factory=list)
+    recv_errors: dict = field(default_factory=dict)
+    degraded: list = field(default_factory=list)
+    rotation_records: dict = field(default_factory=dict)
+
+    @property
+    def accounting_exact(self) -> bool:
+        """The supervision identity: ``fed + drops + lost == packets``.
+
+        Holds exactly through any number of worker restarts — a
+        violation means packets were silently created or destroyed.
+        """
+        return self.fed + self.drops + self.lost == self.packets
 
     def summary(self) -> dict[str, Any]:
         """One flat JSON-native result row."""
@@ -289,6 +344,12 @@ class ServeResult:
             "sinks": {k: dict(v) for k, v in self.sinks.items()},
             "meters": {str(w): dict(m) for w, m in self.meters.items()},
             "elapsed": self.elapsed,
+            "fed": self.fed,
+            "lost": self.lost,
+            "restarts": [dict(r) for r in self.restarts],
+            "recv_errors": dict(self.recv_errors),
+            "degraded": list(self.degraded),
+            "accounting_exact": self.accounting_exact,
         }
 
 
@@ -321,6 +382,9 @@ class ServeDaemon:
         #: to be ingested before requesting a drain).
         self.packets_received = 0
         self.datagrams_received = 0
+        #: The merged fault-injection plan: the spec's baked-in faults
+        #: plus anything ``REPRO_FAULTS`` names (None when both empty).
+        self.fault_plan = FaultPlan.merged(spec.faults, FaultPlan.from_env())
         self._sock: socket.socket | None = None
         self._stop = False
 
@@ -367,8 +431,10 @@ class ServeDaemon:
             sink is closed, and the ring segments are unlinked.
 
         Raises:
-            RuntimeError: if a worker process dies mid-run (rings and
-                sinks are still cleaned up first).
+            RuntimeError: if a worker process dies with no restart
+                budget left — ``max_restarts=0``, the default, makes
+                any death a hard fault (rings and sinks are still
+                cleaned up first; sinks via their abort path).
         """
         spec = self.spec
         self.bind()
@@ -385,60 +451,38 @@ class ServeDaemon:
             route_hash = HashFunction(int(params.get("seed", 0)) ^ 0x5AAD)
 
         sinks = tuple(build_sink(s) for s in pipeline.sinks)
-        rings: list[PacketRing] = []
-        procs: list[mp.Process] = []
-        conns: list = []
 
         # Run-level accounting (parent view).
         packets = 0
         datagrams = 0
         export_events = 0
         exported_all: list[FlowRecord] = []
-        meters: dict[int, dict] = {}
-        done: set[int] = set()
-        sinks_closed = False
+        rotation_records: dict[int, list[FlowRecord]] = {}
+        recv_errors: dict[str, int] = {}
+        sinks_settled = False
         start = time.monotonic()
 
-        def pump() -> None:
-            """Drain pending worker messages (never blocks)."""
+        def on_export(worker, rotation, now, records) -> None:
             nonlocal export_events
-            for conn in conns:
-                while True:
-                    try:
-                        if not conn.poll():
-                            break
-                        message = conn.recv()
-                    except (EOFError, OSError):
-                        break  # liveness is checked against the process
-                    kind = message[0]
-                    if kind == "export":
-                        _, _, rotation_index, now, records = message
-                        for sink in sinks:
-                            sink.emit(records, rotation_index, now)
-                        exported_all.extend(records)
-                        export_events += 1
-                    elif kind == "stats":
-                        meters[message[1]] = message[2]
-                    elif kind == "done":
-                        meters[message[1]] = message[2]
-                        done.add(message[1])
+            for sink in sinks:
+                sink.emit(records, rotation, now)
+            exported_all.extend(records)
+            if records:
+                rotation_records.setdefault(rotation, []).extend(records)
+            export_events += 1
 
-        def check_workers() -> None:
-            """A worker that died before reporting done is a hard fault."""
-            pump()
-            for w, proc in enumerate(procs):
-                if w not in done and not proc.is_alive():
-                    # A clean exit can land between the pump above and
-                    # the liveness check; once the process is observed
-                    # dead its messages are all in the pipe, so one
-                    # more drain decides.
-                    pump()
-                    if w in done:
-                        continue
-                    raise RuntimeError(
-                        f"serve worker {w} died (exit code {proc.exitcode}) "
-                        "before draining its ring"
-                    )
+        def on_degraded(rotation) -> None:
+            for sink in sinks:
+                sink.flag_degraded(rotation)
+
+        supervisor = Supervisor(
+            spec,
+            ctx,
+            worker_faults=self.fault_plan.entries if self.fault_plan else (),
+            on_export=on_export,
+            on_degraded=on_degraded,
+            say=self._say,
+        )
 
         def push(ring: PacketRing, lo, hi, sizes, timestamps) -> None:
             if spec.backpressure == "drop":
@@ -446,38 +490,22 @@ class ServeDaemon:
                 if accepted < len(lo):
                     ring.add_drops(len(lo) - accepted)
                 return
-            # block: wait for ring space, but keep draining worker
-            # messages meanwhile — a worker blocked on a full export
+            # block: wait for ring space, but keep the supervisor
+            # turning meanwhile — a worker blocked on a full export
             # pipe while the parent blocks on its full ring would
-            # deadlock otherwise.
+            # deadlock otherwise, and a pending respawn must still be
+            # progressed or a dead worker's full ring never empties.
             def stalled() -> bool:
-                check_workers()
+                supervisor.check()
                 return False
 
             ring.push(lo, hi, sizes, timestamps, should_abort=stalled)
 
+        if self.fault_plan:
+            _faults.activate(self.fault_plan)
         try:
-            for w in range(workers):
-                rings.append(PacketRing.create(spec.ring_slots, label=f"serve-w{w}"))
-            for w in range(workers):
-                parent_conn, child_conn = ctx.Pipe(duplex=False)
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(
-                        w,
-                        workers,
-                        rings[w].name,
-                        pipeline.to_dict(),
-                        spec.stats_interval,
-                        child_conn,
-                    ),
-                    name=f"serve-worker-{w}",
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()
-                procs.append(proc)
-                conns.append(parent_conn)
+            supervisor.start()
+            rings = supervisor.rings
 
             deadline = None if duration is None else start + duration
             next_stats = start + spec.stats_interval
@@ -494,7 +522,19 @@ class ServeDaemon:
                         data = sock.recv(65535)
                     except BlockingIOError:
                         break
-                    except OSError:
+                    except OSError as exc:
+                        # Count and surface rather than silently
+                        # swallow: one log line per error class, a
+                        # counter per errno in the daemon stats.
+                        name = _errno.errorcode.get(
+                            exc.errno, f"errno {exc.errno}"
+                        )
+                        if name not in recv_errors:
+                            self._say(
+                                f"serve: recv error {name}: {exc} "
+                                "(counting further occurrences silently)"
+                            )
+                        recv_errors[name] = recv_errors.get(name, 0) + 1
                         break
                     burst += 1
                     datagrams += 1
@@ -522,7 +562,7 @@ class ServeDaemon:
                                 )
                 self.packets_received = packets
                 self.datagrams_received = datagrams
-                check_workers()
+                supervisor.check()
                 now = time.monotonic()
                 if now >= next_stats:
                     elapsed = now - stats_at
@@ -531,7 +571,7 @@ class ServeDaemon:
                     drops = sum(r.drops for r in rings)
                     per_worker = " ".join(
                         f"w{w}:{m.get('packets', 0)}p/{m.get('rotations', 0)}r"
-                        for w, m in sorted(meters.items())
+                        for w, m in sorted(supervisor.meters.items())
                     )
                     self._say(
                         f"serve: t={now - start:7.1f}s pps={pps:9.0f} "
@@ -544,31 +584,40 @@ class ServeDaemon:
                     next_stats = now + spec.stats_interval
                 if burst == 0:
                     # Idle: sleep until traffic or a worker message.
-                    select.select([sock] + conns, [], [], 0.01)
+                    select.select([sock] + supervisor.conns, [], [], 0.01)
 
             # ----------------------------------------------------------
             # Graceful drain: stop ingest, let workers finish the rings,
-            # run their final rotation, and report.
+            # run their final rotation, and report.  The stop flag
+            # lives in the ring segment, so it survives a respawn: a
+            # worker that dies mid-drain is respawned, consumes what
+            # remains, and finishes the drain itself.
             # ----------------------------------------------------------
-            for ring in rings:
-                ring.request_stop()
+            supervisor.request_stop()
             drain_deadline = time.monotonic() + DRAIN_TIMEOUT_S
-            while len(done) < workers:
-                check_workers()
+            while not supervisor.all_done():
+                supervisor.check()
                 if time.monotonic() >= drain_deadline:
+                    busy = sum(1 for s in supervisor.slots if not s.done)
                     raise RuntimeError(
                         f"serve drain timed out after {DRAIN_TIMEOUT_S}s "
-                        f"({workers - len(done)} workers still busy)"
+                        f"({busy} workers still busy)"
                     )
-                select.select(conns, [], [], 0.05)
-            for proc in procs:
-                proc.join(timeout=10.0)
-            pump()
+                conns = supervisor.conns
+                if conns:
+                    select.select(conns, [], [], 0.05)
+                else:  # every live pipe closed (respawn pending)
+                    time.sleep(0.01)
+            for slot in supervisor.slots:
+                slot.proc.join(timeout=10.0)
+            supervisor.pump()
 
             drops = sum(ring.drops for ring in rings)
+            for rotation in sorted(supervisor.degraded):
+                self._say(f"serve: rotation {rotation} flagged degraded")
             for sink in sinks:
                 sink.close()
-            sinks_closed = True
+            sinks_settled = True
             names: dict[str, int] = {}
             summaries: dict[str, dict] = {}
             for sink in sinks:
@@ -576,35 +625,39 @@ class ServeDaemon:
                 names[sink.kind] = count + 1
                 label = sink.kind if count == 0 else f"{sink.kind}#{count}"
                 summaries[label] = sink.summary()
-            rotation_total = sum(m.get("rotations", 0) for m in meters.values())
             return ServeResult(
                 packets=packets,
                 datagrams=datagrams,
                 drops=drops,
-                rotations=rotation_total,
+                rotations=supervisor.rotation_total(),
                 exported=len(exported_all),
                 records=merge_flow_records(exported_all),
                 sinks=summaries,
-                meters=dict(sorted(meters.items())),
+                meters=dict(sorted(supervisor.meters.items())),
                 elapsed=time.monotonic() - start,
+                fed=supervisor.fed,
+                lost=supervisor.lost,
+                restarts=list(supervisor.restarts),
+                recv_errors=dict(recv_errors),
+                degraded=sorted(supervisor.degraded),
+                rotation_records={
+                    r: merge_flow_records(records)
+                    for r, records in sorted(rotation_records.items())
+                },
             )
         finally:
-            for proc in procs:
-                if proc.is_alive():
-                    proc.terminate()
-                    proc.join(timeout=5.0)
-            for conn in conns:
-                try:
-                    conn.close()
-                except OSError:  # pragma: no cover
-                    pass
-            for ring in rings:
-                ring.unlink()
+            supervisor.shutdown()
             sock.close()
             self._sock = None
-            if not sinks_closed:
+            if self.fault_plan:
+                _faults.deactivate()
+            if not sinks_settled:
+                # The run died: settle sinks through their abort path
+                # so a crashed rotation never leaves a half-written
+                # archive (abort and close are both idempotent, so
+                # this is safe whatever state the failure left).
                 for sink in sinks:
                     try:
-                        sink.close()
+                        sink.abort()
                     except Exception:  # pragma: no cover - best effort
                         pass

@@ -70,6 +70,7 @@ def replay_datagrams(
     address: tuple[str, int],
     pps: float | None = None,
     sock: socket.socket | None = None,
+    faults=None,
 ) -> int:
     """Send datagrams to ``address``, optionally paced.
 
@@ -81,10 +82,16 @@ def replay_datagrams(
             (each datagram waits for ``records_sent / pps`` since
             start), so short sleeps don't accumulate drift.
         sock: socket to send on (one is created and closed otherwise).
+        faults: optional :class:`~repro.faults.FaultPlan` whose
+            ``datagram_chaos`` entries mutate the wire stream
+            deterministically (drop / duplicate / truncate) before
+            sending — a lossy network in a test harness.
 
     Returns:
-        Records (= packets) sent.
+        Records (= packets) sent (counted on the post-chaos stream).
     """
+    if faults is not None and faults:
+        datagrams = faults.mutate_datagrams(list(datagrams))
     own = sock is None
     if own:
         sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
@@ -111,14 +118,16 @@ def replay_trace(
     packet_rate: float = DEFAULT_PACKET_RATE,
     packet_bytes: int | None = None,
     pps: float | None = None,
+    faults=None,
 ) -> int:
     """Encode ``trace`` and replay it to a listening daemon.
 
     Returns:
-        Packets sent.
+        Packets sent (after any ``faults`` datagram chaos).
     """
     return replay_datagrams(
         trace_datagrams(trace, packet_rate=packet_rate, packet_bytes=packet_bytes),
         address,
         pps=pps,
+        faults=faults,
     )

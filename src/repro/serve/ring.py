@@ -117,6 +117,16 @@ class PacketRing:
         return int(self._header[_HEAD] - self._header[_TAIL])
 
     @property
+    def consumed(self) -> int:
+        """Packets ever consumed (the monotonic tail counter).
+
+        Supervision derives a dead worker incarnation's exact *fed*
+        count from tail deltas — the tail only moves after a payload
+        is copied out, so everything before it reached the feeder.
+        """
+        return int(self._header[_TAIL])
+
+    @property
     def drops(self) -> int:
         """Packets dropped at the ring door (back-pressure ``drop``)."""
         return int(self._header[_DROPS])

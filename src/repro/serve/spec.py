@@ -25,13 +25,29 @@ from repro.stream.spec import PipelineSpec
 #: Allowed back-pressure policies at the ring door (DESIGN §10).
 BACKPRESSURE_MODES = ("block", "drop")
 
+#: Worker-loss dispositions for ring-resident packets (DESIGN §11):
+#: ``auto`` resolves by back-pressure mode (block → replay, drop →
+#: drop), ``replay`` re-feeds drained packets to the respawned worker,
+#: ``drop`` counts them as ``lost``.
+WORKER_LOSS_MODES = ("auto", "replay", "drop")
+
 #: Environment defaults for specs *composed* by the CLI (spec files
 #: are taken verbatim; explicit flags override both).
 RING_SLOTS_ENV = "REPRO_SERVE_RING_SLOTS"
 BACKPRESSURE_ENV = "REPRO_SERVE_BACKPRESSURE"
 STATS_INTERVAL_ENV = "REPRO_SERVE_STATS_INTERVAL"
 
-_FIELDS = {"pipeline", "workers", "ring_slots", "backpressure", "stats_interval"}
+_FIELDS = {
+    "pipeline",
+    "workers",
+    "ring_slots",
+    "backpressure",
+    "stats_interval",
+    "max_restarts",
+    "restart_window",
+    "on_worker_loss",
+    "faults",
+}
 
 
 def env_serve_defaults() -> dict[str, Any]:
@@ -72,6 +88,20 @@ class ServeSpec:
             the stall) or ``"drop"`` (shed at the ring door, counted
             in the ring's drop counter and the stats line).
         stats_interval: seconds between periodic stats lines.
+        max_restarts: worker respawns allowed within
+            ``restart_window`` before a death becomes a hard fault.
+            The default 0 preserves the original fail-fast behavior:
+            any worker death tears the daemon down.
+        restart_window: sliding window (seconds) the restart budget
+            counts over.
+        on_worker_loss: disposition of packets resident in a dead
+            worker's ring — ``"replay"`` (drain and re-feed to the
+            respawn: lossless), ``"drop"`` (count as ``lost``:
+            bounded-latency), or ``"auto"`` (resolve by back-pressure
+            mode: block → replay, drop → drop; stored resolved).
+        faults: deterministic fault-injection plan entries
+            (:mod:`repro.faults` dicts) baked into the spec — merged
+            with any ``REPRO_FAULTS`` environment plan at run time.
     """
 
     pipeline: Mapping[str, Any]
@@ -79,6 +109,10 @@ class ServeSpec:
     ring_slots: int = DEFAULT_RING_SLOTS
     backpressure: str = "block"
     stats_interval: float = 5.0
+    max_restarts: int = 0
+    restart_window: float = 30.0
+    on_worker_loss: str = "auto"
+    faults: tuple = ()
 
     def __post_init__(self):
         # Nested validation (and error messages) are PipelineSpec's own.
@@ -124,6 +158,30 @@ class ServeSpec:
                 f"stats_interval must be positive, got {self.stats_interval}"
             )
         object.__setattr__(self, "stats_interval", float(self.stats_interval))
+        max_restarts = int(self.max_restarts)
+        if max_restarts < 0:
+            raise SpecError(f"max_restarts must be >= 0, got {max_restarts}")
+        object.__setattr__(self, "max_restarts", max_restarts)
+        if not self.restart_window > 0:
+            raise SpecError(
+                f"restart_window must be positive, got {self.restart_window}"
+            )
+        object.__setattr__(self, "restart_window", float(self.restart_window))
+        if self.on_worker_loss not in WORKER_LOSS_MODES:
+            raise SpecError(
+                f"on_worker_loss must be one of {WORKER_LOSS_MODES}, "
+                f"got {self.on_worker_loss!r}"
+            )
+        if self.on_worker_loss == "auto":
+            resolved = "replay" if self.backpressure == "block" else "drop"
+            object.__setattr__(self, "on_worker_loss", resolved)
+        from repro.faults import FaultSpecError, _validated
+
+        try:
+            faults = tuple(_validated(entry) for entry in self.faults)
+        except FaultSpecError as exc:
+            raise SpecError(f"invalid serve spec faults: {exc}") from exc
+        object.__setattr__(self, "faults", faults)
 
     # ------------------------------------------------------------------
     # Identity
@@ -167,6 +225,10 @@ class ServeSpec:
             "ring_slots": self.ring_slots,
             "backpressure": self.backpressure,
             "stats_interval": self.stats_interval,
+            "max_restarts": self.max_restarts,
+            "restart_window": self.restart_window,
+            "on_worker_loss": self.on_worker_loss,
+            "faults": [dict(f) for f in self.faults],
         }
 
     @classmethod

@@ -1,0 +1,196 @@
+"""Durable file writes for sinks: atomic, fsynced, retried (DESIGN §11).
+
+A rotation archive that a crashed writer leaves half-written is worse
+than no archive — downstream tooling (Flowyager-style aggregation
+layers, ``nfdump`` over an archive directory) assumes a file either
+holds a complete rotation or does not exist.  This module pins the
+discipline every file-writing sink uses:
+
+* **Atomic visibility.**  Content is written to a same-directory temp
+  file and ``os.replace``\\ d into place; readers never observe a
+  partial file, and a crash leaves at worst an orphaned temp (cleaned
+  on the next write or by :meth:`RotationArchive.abort`).
+* **Durability.**  The temp file is fsynced before the rename and the
+  directory is fsynced after it, so a completed rotation survives a
+  host crash, not just a process crash.
+* **Bounded retry.**  Transient ``OSError``\\ s (``EINTR``, ``EAGAIN``,
+  ``ENOSPC`` — the disk-full case an operator may clear) are retried
+  with capped exponential backoff; anything else, or exhaustion of the
+  budget, propagates to the caller's abort path.
+
+Every physical write attempt first consults :func:`repro.faults.active`
+so a chaos plan can fail "the Mth sink write" deterministically.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+#: OSError errnos worth retrying: interrupted call, transient
+#: resource pressure, and disk-full (an operator-clearable condition).
+TRANSIENT_ERRNOS = frozenset({errno.EINTR, errno.EAGAIN, errno.ENOSPC})
+
+#: Retry budget per logical write (attempts = retries + 1).
+DEFAULT_RETRIES = 3
+
+#: First backoff sleep; doubles per retry (0.02, 0.04, 0.08 ...).
+DEFAULT_BACKOFF_S = 0.02
+
+
+def _inject_fault() -> None:
+    """Raise the active fault plan's injected sink-write error, if due."""
+    from repro import faults
+
+    plan = faults.active()
+    if plan is not None:
+        error = plan.sink_write_error()
+        if error is not None:
+            raise error
+
+
+def _fsync_dir(directory: Path) -> None:
+    """fsync a directory so a completed rename survives a host crash."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _write_once(path: Path, data: bytes, fsync: bool) -> None:
+    """One atomic write attempt: temp file → fsync → rename → dir fsync."""
+    _inject_fault()
+    tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            if fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        _fsync_dir(path.parent)
+
+
+def atomic_write_bytes(
+    path,
+    data: bytes,
+    fsync: bool = True,
+    retries: int = DEFAULT_RETRIES,
+    backoff_s: float = DEFAULT_BACKOFF_S,
+) -> None:
+    """Write ``data`` to ``path`` atomically, retrying transient errors.
+
+    Args:
+        path: destination file; the temp file lives beside it so the
+            rename never crosses filesystems.
+        data: full file content.
+        fsync: fsync the file before and the directory after the
+            rename (off only for tests and throwaway output).
+        retries: transient-error retries after the first attempt.
+        backoff_s: first retry sleep; doubles per further retry.
+
+    Raises:
+        OSError: a non-transient error, or a transient one that
+            outlived the retry budget — the caller's abort path.
+    """
+    path = Path(path)
+    for attempt in range(retries + 1):
+        try:
+            _write_once(path, data, fsync)
+            return
+        except OSError as exc:
+            if exc.errno not in TRANSIENT_ERRNOS or attempt >= retries:
+                raise
+            time.sleep(backoff_s * (2 ** attempt))
+
+
+def atomic_write_text(path, text: str, **kwargs) -> None:
+    """UTF-8 convenience wrapper over :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode("utf-8"), **kwargs)
+
+
+class RotationArchive:
+    """One directory of per-rotation archive files plus a manifest.
+
+    The shared backing of file-writing sinks
+    (:class:`~repro.stream.sinks.NetFlowV5Sink`,
+    :class:`~repro.stream.sinks.TextSink`): each export lands in its
+    own atomically-written ``rotation-RRRRRR-PP<suffix>`` file
+    (``RRRRRR`` the rotation index, ``PP`` a per-rotation part counter
+    — several workers export the same wall-clock window), and
+    :meth:`finalize` writes ``MANIFEST.json`` recording every file with
+    its record counts and whether its rotation was flagged *degraded*
+    (a worker loss made that window's content incomplete).
+
+    Args:
+        directory: archive directory (created if missing).
+        suffix: rotation-file suffix, e.g. ``".nfv5"`` / ``".jsonl"``.
+    """
+
+    MANIFEST_NAME = "MANIFEST.json"
+
+    def __init__(self, directory, suffix: str):
+        self.directory = Path(directory)
+        self.suffix = str(suffix)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.entries: list[dict[str, Any]] = []
+        self._parts: dict[int, int] = {}
+
+    def write(self, rotation: int, data: bytes, **meta) -> str:
+        """Write one rotation part atomically; returns the file name."""
+        rotation = int(rotation)
+        part = self._parts.get(rotation, 0)
+        self._parts[rotation] = part + 1
+        name = f"rotation-{rotation:06d}-{part:02d}{self.suffix}"
+        atomic_write_bytes(self.directory / name, data)
+        self.entries.append(
+            {"file": name, "rotation": rotation, "bytes": len(data), **meta}
+        )
+        return name
+
+    def finalize(self, degraded: set[int] = frozenset()) -> None:
+        """Write the manifest: every file, every degraded rotation."""
+        manifest = {
+            "complete": True,
+            "suffix": self.suffix,
+            "degraded": sorted(int(r) for r in degraded),
+            "files": [
+                {**entry, "degraded": entry["rotation"] in degraded}
+                for entry in self.entries
+            ],
+        }
+        atomic_write_text(
+            self.directory / self.MANIFEST_NAME,
+            json.dumps(manifest, indent=2) + "\n",
+        )
+
+    def abort(self) -> None:
+        """Best-effort cleanup of orphaned temp files; no manifest.
+
+        Completed rotation files stay (they are whole by construction);
+        only ``.*.tmp.*`` leftovers from an interrupted attempt go.
+        """
+        try:
+            strays = list(self.directory.glob(".*.tmp.*"))
+        except OSError:  # pragma: no cover - directory vanished
+            return
+        for stray in strays:
+            try:
+                stray.unlink()
+            except OSError:  # pragma: no cover - best effort
+                pass

@@ -49,8 +49,41 @@ class Sink(ABC):
             now: the pipeline clock at export time (seconds).
         """
 
+    @property
+    def degraded(self) -> set[int]:
+        """Rotation indices flagged degraded (lazily materialized so
+        subclasses need no ``super().__init__`` call)."""
+        flagged = getattr(self, "_degraded", None)
+        if flagged is None:
+            flagged = set()
+            self._degraded = flagged
+        return flagged
+
+    def flag_degraded(self, rotation: int) -> None:
+        """Mark one rotation's content as incomplete (a worker died
+        holding part of that window's state) — recorded in metadata
+        rather than silently wrong."""
+        self.degraded.add(int(rotation))
+
+    def _degraded_fields(self) -> dict[str, Any]:
+        """Summary fields for degraded rotations (empty when clean, so
+        fault-free summaries are byte-identical to pre-supervision ones)."""
+        if not self.degraded:
+            return {}
+        return {"degraded": sorted(self.degraded)}
+
     def close(self) -> None:
-        """End-of-stream hook (flush files, settle state)."""
+        """End-of-stream hook (flush files, settle state); idempotent."""
+
+    def abort(self) -> None:
+        """Failure-path hook: settle state *without* emitting output.
+
+        Called instead of :meth:`close` when the run died — a crashed
+        rotation must never leave a half-written archive.  Default:
+        delegate to :meth:`close` (memory sinks have nothing to skip);
+        file-writing sinks override to clean up instead of write.
+        """
+        self.close()
 
     @abstractmethod
     def summary(self) -> dict[str, Any]:
@@ -66,6 +99,16 @@ class NetFlowV5Sink(Sink):
     the fallback precedence); the datagrams accumulate on
     :attr:`datagrams` for transport or parse-back verification.
 
+    With ``directory`` set the sink is *durable*: every export is also
+    written as its own rotation archive file
+    (``rotation-RRRRRR-PP.nfv5``, the emit's datagrams concatenated)
+    through the atomic write-then-rename + fsync + bounded-retry
+    discipline of :mod:`repro.stream.durable`, and :meth:`close` seals
+    the directory with a ``MANIFEST.json`` naming every file and every
+    degraded rotation.  A crashed run (:meth:`abort`) never leaves a
+    half-written archive — completed files are whole by construction
+    and temp files are removed.
+
     Args:
         engine_id: exporter identifier carried in every header.
         sampling_interval: header sampling field (0 = unsampled).
@@ -73,6 +116,7 @@ class NetFlowV5Sink(Sink):
             without measured byte counts.
         unix_secs: export wall-clock stamp for the headers (kept a
             constant parameter so pipeline runs are deterministic).
+        directory: optional rotation-archive directory (durable mode).
     """
 
     kind = "netflow_v5"
@@ -83,6 +127,7 @@ class NetFlowV5Sink(Sink):
         sampling_interval: int = 0,
         mean_packet_bytes: int = DEFAULT_PACKET_BYTES,
         unix_secs: int = 0,
+        directory: str | None = None,
     ):
         from repro.export.netflow_v5 import NetFlowV5Exporter
 
@@ -92,8 +137,15 @@ class NetFlowV5Sink(Sink):
             mean_packet_bytes=mean_packet_bytes,
         )
         self.unix_secs = int(unix_secs)
+        self.directory = None if directory is None else str(directory)
         self.datagrams: list[bytes] = []
         self._records = 0
+        self._archive = None
+        if self.directory is not None:
+            from repro.stream.durable import RotationArchive
+
+            self._archive = RotationArchive(self.directory, ".nfv5")
+        self._closed = False
 
     def spec_params(self) -> dict[str, Any]:
         return {
@@ -101,18 +153,25 @@ class NetFlowV5Sink(Sink):
             "sampling_interval": self.exporter.sampling_interval,
             "mean_packet_bytes": self.exporter.mean_packet_bytes,
             "unix_secs": self.unix_secs,
+            "directory": self.directory,
         }
 
     def emit(self, records: list[FlowRecord], rotation: int, now: float) -> None:
         if not records:
             return
-        self.datagrams.extend(
-            self.exporter.export_flows(
-                records,
-                sys_uptime_ms=int(round(now * 1000.0)),
-                unix_secs=self.unix_secs,
-            )
+        datagrams = self.exporter.export_flows(
+            records,
+            sys_uptime_ms=int(round(now * 1000.0)),
+            unix_secs=self.unix_secs,
         )
+        if self._archive is not None:
+            self._archive.write(
+                rotation,
+                b"".join(datagrams),
+                records=len(records),
+                datagrams=len(datagrams),
+            )
+        self.datagrams.extend(datagrams)
         self._records += len(records)
 
     def parse_back(self) -> dict[int, int]:
@@ -121,12 +180,31 @@ class NetFlowV5Sink(Sink):
 
         return parse_stream(iter(self.datagrams))
 
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._archive is not None:
+            self._archive.finalize(self.degraded)
+
+    def abort(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._archive is not None:
+            self._archive.abort()
+
     def summary(self) -> dict[str, Any]:
-        return {
+        fields: dict[str, Any] = {
             "datagrams": len(self.datagrams),
             "records": self._records,
             "bytes": sum(len(d) for d in self.datagrams),
         }
+        if self._archive is not None:
+            fields["directory"] = self.directory
+            fields["files"] = len(self._archive.entries)
+        fields.update(self._degraded_fields())
+        return fields
 
 
 class TextSink(Sink):
@@ -136,10 +214,19 @@ class TextSink(Sink):
     per-rotation sibling of :mod:`repro.export.text`'s whole-run
     dumps), annotated with the rotation index and export reason.
 
+    With ``path`` the whole run's output is written once at
+    :meth:`close`, atomically (write-then-rename + fsync + bounded
+    retry, :mod:`repro.stream.durable`); with ``directory`` each
+    export additionally lands in its own atomically-written rotation
+    file plus a closing ``MANIFEST.json`` — the same durable-archive
+    contract as :class:`NetFlowV5Sink`.  ``close``/``abort`` are
+    idempotent and safe after a failed emit.
+
     Args:
         fmt: ``"jsonl"`` or ``"csv"``.
         path: optional output file, written on :meth:`close`; when
             None the text stays in memory (:meth:`text`).
+        directory: optional per-rotation archive directory.
     """
 
     CSV_COLUMNS = (
@@ -147,23 +234,36 @@ class TextSink(Sink):
         "packets", "octets", "first_seen", "last_seen", "reason",
     )
 
-    def __init__(self, fmt: str = "jsonl", path: str | None = None):
+    def __init__(
+        self,
+        fmt: str = "jsonl",
+        path: str | None = None,
+        directory: str | None = None,
+    ):
         if fmt not in ("jsonl", "csv"):
             raise ValueError(f"unknown text sink format {fmt!r}")
         self.fmt = fmt
         self.path = None if path is None else str(path)
+        self.directory = None if directory is None else str(directory)
         self._lines: list[str] = []
+        self._archive = None
+        if self.directory is not None:
+            from repro.stream.durable import RotationArchive
+
+            self._archive = RotationArchive(self.directory, f".{fmt}")
+        self._closed = False
 
     @property
     def kind(self) -> str:  # type: ignore[override]
         return self.fmt
 
     def spec_params(self) -> dict[str, Any]:
-        return {"path": self.path}
+        return {"path": self.path, "directory": self.directory}
 
-    def emit(self, records: list[FlowRecord], rotation: int, now: float) -> None:
+    def _format(self, records: list[FlowRecord], rotation: int) -> list[str]:
         from repro.flow.key import format_ip, unpack_key
 
+        lines = []
         for record in records:
             src_ip, dst_ip, src_port, dst_port, proto = unpack_key(record.key)
             row = {
@@ -180,11 +280,25 @@ class TextSink(Sink):
                 "reason": record.reason,
             }
             if self.fmt == "jsonl":
-                self._lines.append(json.dumps(row, separators=(",", ":")))
+                lines.append(json.dumps(row, separators=(",", ":")))
             else:
                 buffer = io.StringIO()
                 csv.writer(buffer).writerow(row[c] for c in self.CSV_COLUMNS)
-                self._lines.append(buffer.getvalue().rstrip("\r\n"))
+                lines.append(buffer.getvalue().rstrip("\r\n"))
+        return lines
+
+    def emit(self, records: list[FlowRecord], rotation: int, now: float) -> None:
+        # Format the whole emit before touching sink state, so a
+        # mid-emit failure never leaves half a rotation appended.
+        lines = self._format(records, rotation)
+        if self._archive is not None and lines:
+            header = [",".join(self.CSV_COLUMNS)] if self.fmt == "csv" else []
+            self._archive.write(
+                rotation,
+                ("\n".join(header + lines) + "\n").encode("utf-8"),
+                records=len(lines),
+            )
+        self._lines.extend(lines)
 
     def text(self) -> str:
         """The accumulated output (CSV includes its header line)."""
@@ -194,11 +308,30 @@ class TextSink(Sink):
         return "\n".join(lines) + ("\n" if lines else "")
 
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         if self.path is not None:
-            Path(self.path).write_text(self.text(), encoding="utf-8")
+            from repro.stream.durable import atomic_write_text
+
+            atomic_write_text(self.path, self.text())
+        if self._archive is not None:
+            self._archive.finalize(self.degraded)
+
+    def abort(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._archive is not None:
+            self._archive.abort()
 
     def summary(self) -> dict[str, Any]:
-        return {"lines": len(self._lines), "path": self.path}
+        fields: dict[str, Any] = {"lines": len(self._lines), "path": self.path}
+        if self._archive is not None:
+            fields["directory"] = self.directory
+            fields["files"] = len(self._archive.entries)
+        fields.update(self._degraded_fields())
+        return fields
 
 
 class ArchiveSink(Sink):
@@ -206,26 +339,35 @@ class ArchiveSink(Sink):
 
     The streaming counterpart of ``TimeoutHashFlow.exported`` /
     ``EpochedHashFlow``'s archive: :attr:`exported` preserves each
-    export verbatim, :meth:`merged` sums per flow.
+    export verbatim, :attr:`by_rotation` groups them per rotation
+    index (supervision tests compare live vs offline runs on the
+    non-degraded rotations), :meth:`merged` sums per flow.
     """
 
     kind = "archive"
 
     def __init__(self):
         self.exported: list[FlowRecord] = []
+        self.by_rotation: dict[int, list[FlowRecord]] = {}
 
     def spec_params(self) -> dict[str, Any]:
         return {}
 
     def emit(self, records: list[FlowRecord], rotation: int, now: float) -> None:
         self.exported.extend(records)
+        if records:
+            self.by_rotation.setdefault(int(rotation), []).extend(records)
 
     def merged(self) -> dict[int, int]:
         """Merged ``{key: packets}`` across every export."""
         return merge_flow_records(self.exported)
 
     def summary(self) -> dict[str, Any]:
-        return {"exports": len(self.exported), "flows": len(self.merged())}
+        return {
+            "exports": len(self.exported),
+            "flows": len(self.merged()),
+            **self._degraded_fields(),
+        }
 
 
 class HeavyHitterTap(Sink):
@@ -263,7 +405,11 @@ class HeavyHitterTap(Sink):
         return dict(self._top)
 
     def summary(self) -> dict[str, Any]:
-        return {"heavy_hitters": len(self._top), "threshold": self.threshold}
+        return {
+            "heavy_hitters": len(self._top),
+            "threshold": self.threshold,
+            **self._degraded_fields(),
+        }
 
 
 class CardinalityTap(Sink):
@@ -293,7 +439,11 @@ class CardinalityTap(Sink):
         return len(self._seen)
 
     def summary(self) -> dict[str, Any]:
-        return {"flows_seen": len(self._seen), "exports": sum(self.series)}
+        return {
+            "flows_seen": len(self._seen),
+            "exports": sum(self.series),
+            **self._degraded_fields(),
+        }
 
 
 class AnomalyTap(Sink):
@@ -348,7 +498,11 @@ class AnomalyTap(Sink):
                     self.scanners[src] = fanout
 
     def summary(self) -> dict[str, Any]:
-        return {"alerts": len(self.alerts), "scanners": len(self.scanners)}
+        return {
+            "alerts": len(self.alerts),
+            "scanners": len(self.scanners),
+            **self._degraded_fields(),
+        }
 
 
 #: Registered sink kinds (text formats register per format name).

@@ -15,6 +15,7 @@ from repro.export.netflow_v5 import (
     parse_datagram_partial,
     parse_stream,
     split_datagram,
+    split_stream,
 )
 from repro.flow.key import pack_key
 
@@ -349,3 +350,93 @@ class TestCollectorIntegration:
             for record in parse_datagram(datagram)[1]:
                 # Measured 123 B packets, not the 700 B estimate.
                 assert record.octets % 123 == 0
+
+
+class TestTruncationFuzz:
+    """The tolerant front end under every possible wire truncation.
+
+    A UDP datagram can be cut at any byte by the network (or by the
+    ``datagram_chaos`` fault); whatever arrives, ``split_datagram`` /
+    ``parse_datagram_partial`` must never raise and must never
+    fabricate a record that was not in the original payload.
+    """
+
+    def test_every_cut_offset_is_safe(self):
+        records = sample_records(5)
+        datagram = NetFlowV5Exporter().export(records)[0]
+        _, truth = parse_datagram(datagram)
+        for cut in range(len(datagram) + 1):
+            prefix = datagram[:cut]
+            split = split_datagram(prefix)
+            header, parsed, consumed = parse_datagram_partial(prefix)
+            if cut < HEADER_BYTES:
+                assert split is None
+                assert (header, parsed, consumed) == (None, [], 0)
+                continue
+            whole = min(5, (cut - HEADER_BYTES) // RECORD_BYTES)
+            assert header["count"] == 5
+            assert consumed == HEADER_BYTES + whole * RECORD_BYTES
+            assert consumed <= cut
+            # Exactly the records whose bytes fully arrived — an exact
+            # prefix of the original, nothing fabricated.
+            assert parsed == truth[:whole]
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        n_records=st.integers(min_value=1, max_value=12),
+        cut=st.integers(min_value=0, max_value=1024),
+        junk=st.binary(max_size=64),
+    )
+    def test_cut_then_junk_never_raises_or_fabricates(self, n_records, cut, junk):
+        datagram = NetFlowV5Exporter().export(sample_records(n_records))[0]
+        _, truth = parse_datagram(datagram)
+        mangled = datagram[: min(cut, len(datagram))] + junk
+        header, parsed, consumed = parse_datagram_partial(mangled)
+        if header is None:
+            assert (parsed, consumed) == ([], 0)
+        else:
+            assert consumed <= len(mangled)
+            assert len(parsed) <= header["count"]
+            # Records drawn from intact original bytes are the truth
+            # prefix; junk bytes may decode to garbage records, but a
+            # whole untouched record is never altered or reordered.
+            intact = max(
+                0, min(len(parsed), (min(cut, len(datagram)) - HEADER_BYTES))
+                // RECORD_BYTES
+            )
+            assert parsed[:intact] == truth[:intact]
+
+    @settings(max_examples=200, deadline=None)
+    @given(blob=st.binary(max_size=256))
+    def test_arbitrary_bytes_never_raise(self, blob):
+        split = split_datagram(blob)
+        header, parsed, consumed = parse_datagram_partial(blob)
+        if split is None:
+            assert (header, parsed, consumed) == (None, [], 0)
+        else:
+            assert 0 <= consumed <= len(blob)
+            assert len(parsed) * RECORD_BYTES == consumed - HEADER_BYTES
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=5), max_size=4),
+        cut=st.integers(min_value=0, max_value=64),
+    )
+    def test_split_stream_rejects_any_truncation_loudly(self, sizes, cut):
+        # split_stream is the strict archival inverse: whole streams
+        # round-trip, any shortened stream is a ValueError — never a
+        # silent partial read, never a different exception.
+        exporter = NetFlowV5Exporter()
+        datagrams = [exporter.export(sample_records(n))[0] for n in sizes]
+        stream = b"".join(datagrams)
+        assert split_stream(stream) == datagrams
+        if stream:
+            shortened = stream[: -min(max(cut, 1), len(stream))]
+            try:
+                again = split_stream(shortened)
+            except ValueError:
+                pass
+            else:
+                # A cut that lands exactly on a datagram boundary is a
+                # valid (shorter) stream.
+                assert b"".join(again) == shortened

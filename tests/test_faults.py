@@ -1,0 +1,149 @@
+"""Unit tests for the deterministic fault-injection subsystem."""
+
+from __future__ import annotations
+
+import errno
+import json
+
+import pytest
+
+from repro import faults
+from repro.faults import FAULTS_ENV, FaultPlan, FaultSpecError
+
+
+KILL = {"kind": "kill_worker", "worker": 1, "at_packets": 100}
+
+
+class TestParsing:
+    def test_parse_list_and_single_dict(self):
+        plan = FaultPlan.parse(json.dumps([KILL]))
+        assert plan.entries[0]["kind"] == "kill_worker"
+        assert plan.entries[0]["incarnation"] == 0  # default filled in
+        single = FaultPlan.parse(json.dumps(KILL))
+        assert single.entries == plan.entries
+
+    def test_round_trips_through_json(self):
+        plan = FaultPlan.parse(json.dumps([KILL]))
+        again = FaultPlan.parse(plan.to_json())
+        assert again.entries == plan.entries
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultSpecError, match="unknown fault kind"):
+            FaultPlan([{"kind": "meteor_strike"}])
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(FaultSpecError, match="unknown kill_worker"):
+            FaultPlan([{**KILL, "color": "red"}])
+
+    def test_missing_required_param_rejected(self):
+        with pytest.raises(FaultSpecError, match="needs 'at_packets'"):
+            FaultPlan([{"kind": "kill_worker", "worker": 0}])
+
+    def test_probabilities_validated(self):
+        with pytest.raises(FaultSpecError, match="probability"):
+            FaultPlan([{"kind": "datagram_chaos", "drop": 1.5}])
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(FaultSpecError, match="invalid fault plan JSON"):
+            FaultPlan.parse("{not json")
+
+    def test_from_env_and_file_indirection(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv(FAULTS_ENV, json.dumps([KILL]))
+        assert FaultPlan.from_env().entries[0]["worker"] == 1
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps([KILL]))
+        monkeypatch.setenv(FAULTS_ENV, f"@{path}")
+        assert FaultPlan.from_env().entries[0]["at_packets"] == 100
+
+    def test_merged_combines_sources(self):
+        merged = FaultPlan.merged(
+            (KILL,), None, FaultPlan([{"kind": "sink_write", "nth": 2}])
+        )
+        assert [e["kind"] for e in merged.entries] == ["kill_worker", "sink_write"]
+        assert FaultPlan.merged(None, ()) is None
+
+
+class TestWorkerHooks:
+    def test_kill_fires_once_at_threshold(self):
+        plan = FaultPlan([KILL])
+        assert not plan.kill_due(worker=1, incarnation=0, packets=99)
+        assert plan.kill_due(worker=1, incarnation=0, packets=100)
+        # One-shot: the same incarnation never re-trips.
+        assert not plan.kill_due(worker=1, incarnation=0, packets=200)
+
+    def test_kill_scoped_to_worker_and_incarnation(self):
+        plan = FaultPlan([KILL])
+        assert not plan.kill_due(worker=0, incarnation=0, packets=500)
+        # A respawn (incarnation 1) crossing the threshold is spared.
+        assert not plan.kill_due(worker=1, incarnation=1, packets=500)
+
+    def test_stall_returns_requested_seconds(self):
+        plan = FaultPlan(
+            [{"kind": "stall_worker", "worker": 0, "at_packets": 10, "seconds": 0.25}]
+        )
+        assert plan.stall_due(worker=0, incarnation=0, packets=9) == 0.0
+        assert plan.stall_due(worker=0, incarnation=0, packets=10) == 0.25
+        assert plan.stall_due(worker=0, incarnation=0, packets=11) == 0.0
+
+
+class TestSinkHook:
+    def test_nth_write_fails_for_times_attempts(self):
+        plan = FaultPlan([{"kind": "sink_write", "nth": 2, "times": 2}])
+        assert plan.sink_write_error() is None          # write 1
+        error = plan.sink_write_error()                 # write 2
+        assert isinstance(error, OSError)
+        assert error.errno == errno.ENOSPC
+        assert plan.sink_write_error() is not None      # write 3
+        assert plan.sink_write_error() is None          # write 4
+        assert plan.sink_writes == 4
+
+    def test_custom_errno(self):
+        plan = FaultPlan([{"kind": "sink_write", "nth": 1, "errno": errno.EINTR}])
+        assert plan.sink_write_error().errno == errno.EINTR
+
+
+class TestDatagramChaos:
+    DATAGRAMS = [bytes([i]) * 40 for i in range(50)]
+
+    def test_deterministic_across_runs(self):
+        fault = {"kind": "datagram_chaos", "seed": 9, "drop": 0.2, "dup": 0.1,
+                 "truncate": 0.1}
+        first = FaultPlan([fault]).mutate_datagrams(self.DATAGRAMS)
+        second = FaultPlan([fault]).mutate_datagrams(self.DATAGRAMS)
+        assert first == second
+        assert first != self.DATAGRAMS
+
+    def test_zero_probabilities_are_identity(self):
+        plan = FaultPlan([{"kind": "datagram_chaos", "seed": 1}])
+        assert plan.mutate_datagrams(self.DATAGRAMS) == self.DATAGRAMS
+
+    def test_drop_only_shrinks(self):
+        plan = FaultPlan([{"kind": "datagram_chaos", "seed": 3, "drop": 0.5}])
+        out = plan.mutate_datagrams(self.DATAGRAMS)
+        assert 0 < len(out) < len(self.DATAGRAMS)
+        assert all(d in self.DATAGRAMS for d in out)
+
+
+class TestActivePlan:
+    def test_installed_plan_wins_and_clears(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        assert faults.active() is None
+        plan = FaultPlan([KILL])
+        faults.activate(plan)
+        try:
+            assert faults.active() is plan
+        finally:
+            faults.deactivate()
+        assert faults.active() is None
+
+    def test_env_plan_cached_per_value(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, json.dumps([KILL]))
+        try:
+            first = faults.active()
+            assert first is not None
+            # Same raw value: the same instance (trigger state survives).
+            assert faults.active() is first
+        finally:
+            monkeypatch.delenv(FAULTS_ENV, raising=False)

@@ -1,0 +1,299 @@
+"""Worker supervision: kill a worker mid-replay, recover, account.
+
+The scenarios drive the daemon through deterministic ``kill_worker``
+faults (:mod:`repro.faults`) instead of racing an external SIGKILL:
+the victim kills itself the moment its feeder crosses ``at_packets``.
+A small worker ``chunk_size`` bounds how far past the threshold the
+feeder can run (one batch), which pins the death inside a known
+rotation window — so the degraded-rotation index and the offline
+comparison are stable, not flaky.
+
+``packet_rate=500`` and ``window=0.5`` as in test_serve_daemon: 250
+packets per rotation window, bit-identical live/offline clocks.
+"""
+
+from __future__ import annotations
+
+import glob
+import threading
+import time
+
+import pytest
+
+from repro.serve import ServeDaemon, ServeSpec, replay_trace
+from repro.specs import SpecError
+from repro.stream.pipeline import Pipeline
+from repro.traces.profiles import CAIDA
+
+PACKET_RATE = 500.0
+
+#: Worker feed batch bound: the kill threshold can overshoot by at
+#: most this many packets, well under the 250-packet window.
+CHUNK = 64
+
+#: Kill threshold — strictly inside a window (window 4 spans packets
+#: 1000..1249; 1100 + CHUNK = 1164 < 1250), so the respawn resumes in
+#: the same window the victim died in and rotation indices line up
+#: with the offline run on every non-degraded window.
+KILL_AT = 1100
+
+
+def shm_segments() -> set[str]:
+    return set(glob.glob("/dev/shm/repro-shm-*"))
+
+
+def serve_spec(workers: int = 1, **overrides) -> ServeSpec:
+    collector = {"kind": "hashflow", "params": {"main_cells": 2048, "seed": 3}}
+    if workers > 1:
+        collector = {
+            "kind": "sharded",
+            "params": {"collector": collector, "n_shards": 2 * workers, "seed": 3},
+        }
+    pipeline = {
+        "source": {"kind": "udp", "params": {"host": "127.0.0.1", "port": 0}},
+        "collector": collector,
+        "rotation": {"kind": "interval", "params": {"window": 0.5}},
+        "sinks": [{"kind": "netflow_v5"}, {"kind": "archive"}],
+        "packet_rate": PACKET_RATE,
+        "chunk_size": CHUNK,
+    }
+    fields = dict(workers=workers, ring_slots=4096, stats_interval=30.0)
+    fields.update(overrides)
+    return ServeSpec(pipeline=pipeline, **fields)
+
+
+def run_replayed(spec: ServeSpec, trace, timeout_s: float = 60.0):
+    daemon = ServeDaemon(spec, quiet=True)
+    address = daemon.bind()
+    sent = {}
+
+    def feed() -> None:
+        sent["packets"] = replay_trace(trace, address, packet_rate=PACKET_RATE)
+        deadline = time.monotonic() + timeout_s
+        while (
+            daemon.packets_received < sent["packets"]
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.005)
+        daemon.request_stop()
+
+    feeder = threading.Thread(target=feed, daemon=True)
+    feeder.start()
+    result = daemon.run(duration=timeout_s)
+    feeder.join(timeout=10.0)
+    return result, sent["packets"]
+
+
+def offline_by_rotation(spec: ServeSpec, trace) -> tuple[dict, object]:
+    """Offline ground truth: merged records per rotation index."""
+    from repro.stream.records import merge_flow_records
+
+    offline_spec = spec.pipeline_spec.with_stages(
+        source={"kind": "synthetic", "params": {"profile": "caida", "n_flows": 1}}
+    )
+    pipeline = Pipeline.from_spec(offline_spec)
+    result = pipeline.run(trace=trace)
+    archive = next(s for s in pipeline.sinks if s.kind == "archive")
+    return (
+        {r: merge_flow_records(recs) for r, recs in archive.by_rotation.items()},
+        result,
+    )
+
+
+@pytest.fixture(scope="module")
+def trace():
+    generated = CAIDA.generate(n_flows=800, seed=7)
+    assert len(generated) > KILL_AT + CHUNK + 500, "trace too short for the kill"
+    return generated
+
+
+class TestSpecFields:
+    def test_supervision_fields_round_trip(self):
+        spec = serve_spec(
+            max_restarts=3,
+            restart_window=12.0,
+            on_worker_loss="drop",
+            faults=({"kind": "kill_worker", "worker": 0, "at_packets": 5},),
+        )
+        again = ServeSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.max_restarts == 3
+        assert again.restart_window == 12.0
+        assert again.faults[0]["at_packets"] == 5
+
+    def test_auto_loss_mode_resolves_by_backpressure(self):
+        assert serve_spec(backpressure="block").on_worker_loss == "replay"
+        assert serve_spec(backpressure="drop").on_worker_loss == "drop"
+
+    def test_defaults_preserve_fail_fast(self):
+        spec = serve_spec()
+        assert spec.max_restarts == 0
+        assert spec.faults == ()
+
+    def test_invalid_fault_entries_rejected(self):
+        with pytest.raises(SpecError, match="invalid serve spec faults"):
+            serve_spec(faults=({"kind": "meteor_strike"},))
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(SpecError, match="max_restarts"):
+            serve_spec(max_restarts=-1)
+
+
+class TestKillWithRestarts:
+    def test_replay_mode_recovers_with_exact_accounting(self, trace):
+        before = shm_segments()
+        spec = serve_spec(
+            workers=1,
+            max_restarts=2,
+            faults=({"kind": "kill_worker", "worker": 0, "at_packets": KILL_AT},),
+        )
+        result, sent = run_replayed(spec, trace)
+        offline_rotations, offline = offline_by_rotation(spec, trace)
+
+        # Exact accounting through the restart: every received packet
+        # is fed (possibly twice-pushed, once-counted), dropped at the
+        # ring door, or declared lost — here block+replay is lossless.
+        assert result.packets == sent
+        assert result.drops == 0
+        assert result.lost == 0
+        assert result.fed == result.packets
+        assert result.accounting_exact
+
+        # Exactly one restart, with its recovery measured.
+        assert len(result.restarts) == 1
+        restart = result.restarts[0]
+        assert restart["worker"] == 0
+        assert restart["incarnation"] == 1
+        assert restart["disposition"] == "replay"
+        assert restart["recovery_ms"] is not None
+        assert restart["recovery_ms"] > 0
+
+        # The window the victim died inside is flagged degraded —
+        # everywhere: result, sink summaries, archive manifest later.
+        assert result.degraded
+        assert result.sinks["netflow_v5"]["degraded"] == result.degraded
+        assert result.sinks["archive"]["degraded"] == result.degraded
+
+        # Every non-degraded rotation matches the offline run exactly.
+        degraded = set(result.degraded)
+        live_clean = {
+            r: m for r, m in result.rotation_records.items() if r not in degraded
+        }
+        offline_clean = {
+            r: m for r, m in offline_rotations.items() if r not in degraded
+        }
+        assert live_clean == offline_clean
+        # And the degraded window really did lose content (the dead
+        # incarnation's un-exported state) — otherwise the flag is noise.
+        assert result.records != offline.records
+
+        assert shm_segments() == before
+
+    def test_drop_mode_counts_residue_as_lost(self, trace):
+        spec = serve_spec(
+            workers=1,
+            backpressure="drop",
+            max_restarts=2,
+            faults=({"kind": "kill_worker", "worker": 0, "at_packets": KILL_AT},),
+        )
+        result, sent = run_replayed(spec, trace)
+        assert result.packets == sent
+        assert result.fed + result.drops + result.lost == result.packets
+        assert result.accounting_exact
+        assert len(result.restarts) == 1
+        assert result.restarts[0]["disposition"] == "drop"
+        assert result.restarts[0]["resident"] == result.lost
+        assert result.degraded
+
+    def test_two_workers_one_killed(self, trace):
+        before = shm_segments()
+        spec = serve_spec(
+            workers=2,
+            max_restarts=2,
+            faults=({"kind": "kill_worker", "worker": 1, "at_packets": 400},),
+        )
+        result, sent = run_replayed(spec, trace)
+        assert result.packets == sent
+        assert result.drops == 0
+        assert result.lost == 0
+        assert result.fed == result.packets
+        assert result.accounting_exact
+        assert [r["worker"] for r in result.restarts] == [1]
+        assert result.degraded
+        assert shm_segments() == before
+
+    def test_budget_exhaustion_is_the_original_hard_fault(self, trace):
+        before = shm_segments()
+        spec = serve_spec(
+            workers=1,
+            max_restarts=1,
+            faults=(
+                {"kind": "kill_worker", "worker": 0, "at_packets": KILL_AT},
+                {
+                    "kind": "kill_worker",
+                    "worker": 0,
+                    "at_packets": 0,
+                    "incarnation": 1,
+                },
+            ),
+        )
+        daemon = ServeDaemon(spec, quiet=True)
+        address = daemon.bind()
+        feeder = threading.Thread(
+            target=replay_trace,
+            args=(trace, address),
+            kwargs={"packet_rate": PACKET_RATE},
+            daemon=True,
+        )
+        feeder.start()
+        with pytest.raises(RuntimeError, match="died.*restart budget exhausted"):
+            daemon.run(duration=60.0)
+        feeder.join(timeout=10.0)
+        assert shm_segments() == before
+
+
+class TestRecvErrors:
+    def test_clean_run_reports_none(self, trace):
+        spec = serve_spec(workers=1)
+        result, _ = run_replayed(spec, trace)
+        assert result.recv_errors == {}
+        assert result.restarts == []
+        assert result.degraded == []
+        assert result.fed == result.packets
+        assert result.accounting_exact
+
+
+class TestDatagramChaosEndToEnd:
+    def test_truncating_replay_still_accounts_exactly(self, trace):
+        from repro.faults import FaultPlan
+
+        spec = serve_spec(workers=1)
+        daemon = ServeDaemon(spec, quiet=True)
+        address = daemon.bind()
+        chaos = FaultPlan(
+            [{"kind": "datagram_chaos", "seed": 11, "drop": 0.1, "dup": 0.05,
+              "truncate": 0.1}]
+        )
+        sent = {}
+
+        def feed() -> None:
+            sent["packets"] = replay_trace(
+                trace, address, packet_rate=PACKET_RATE, faults=chaos
+            )
+            deadline = time.monotonic() + 30.0
+            while (
+                daemon.packets_received < sent["packets"]
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.005)
+            daemon.request_stop()
+
+        feeder = threading.Thread(target=feed, daemon=True)
+        feeder.start()
+        result = daemon.run(duration=60.0)
+        feeder.join(timeout=10.0)
+        # The chaos plan mutates the wire; the daemon decodes whatever
+        # whole records arrive and the identity still closes.
+        assert result.packets == sent["packets"]
+        assert result.fed == result.packets
+        assert result.accounting_exact

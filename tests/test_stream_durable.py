@@ -1,0 +1,196 @@
+"""Durable sink writes: atomicity, retry, archives, idempotent close."""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan
+from repro.stream.durable import (
+    RotationArchive,
+    atomic_write_bytes,
+    atomic_write_text,
+)
+from repro.stream.records import FlowRecord
+from repro.stream.sinks import NetFlowV5Sink, TextSink
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_plan():
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+def records(rotation: int, n: int = 3) -> list[FlowRecord]:
+    return [
+        FlowRecord(
+            key=rotation * 100 + i + 1,
+            packets=i + 1,
+            octets=64 * (i + 1),
+            first_seen=float(rotation),
+            last_seen=float(rotation) + 0.5,
+            reason="rotation",
+        )
+        for i in range(n)
+    ]
+
+
+class TestAtomicWrite:
+    def test_writes_content_and_leaves_no_temp(self, tmp_path):
+        path = tmp_path / "out.bin"
+        atomic_write_bytes(path, b"hello")
+        assert path.read_bytes() == b"hello"
+        assert list(tmp_path.glob(".*.tmp.*")) == []
+
+    def test_overwrites_atomically(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "one")
+        atomic_write_text(path, "two")
+        assert path.read_text() == "two"
+
+    def test_transient_fault_is_retried(self, tmp_path):
+        # The first physical attempt fails ENOSPC (injected); the retry
+        # succeeds and the content lands whole.
+        faults.activate(FaultPlan([{"kind": "sink_write", "nth": 1}]))
+        path = tmp_path / "out.bin"
+        atomic_write_bytes(path, b"payload", backoff_s=0.001)
+        assert path.read_bytes() == b"payload"
+        assert list(tmp_path.glob(".*.tmp.*")) == []
+
+    def test_persistent_transient_fault_exhausts_budget(self, tmp_path):
+        faults.activate(FaultPlan([{"kind": "sink_write", "nth": 1, "times": 10}]))
+        path = tmp_path / "out.bin"
+        with pytest.raises(OSError) as exc_info:
+            atomic_write_bytes(path, b"payload", retries=2, backoff_s=0.001)
+        assert exc_info.value.errno == errno.ENOSPC
+        assert not path.exists()
+        assert list(tmp_path.glob(".*.tmp.*")) == []
+
+    def test_non_transient_fault_not_retried(self, tmp_path):
+        faults.activate(
+            FaultPlan([{"kind": "sink_write", "nth": 1, "errno": errno.EACCES}])
+        )
+        plan = faults.active()
+        with pytest.raises(OSError):
+            atomic_write_bytes(tmp_path / "out.bin", b"x", backoff_s=0.001)
+        assert plan.sink_writes == 1  # one attempt, no retry
+
+
+class TestRotationArchive:
+    def test_writes_parts_and_manifest(self, tmp_path):
+        archive = RotationArchive(tmp_path / "arch", ".bin")
+        archive.write(0, b"aaa", records=1)
+        archive.write(0, b"bbb", records=2)
+        archive.write(3, b"ccc", records=3)
+        archive.finalize({3})
+        root = tmp_path / "arch"
+        assert (root / "rotation-000000-00.bin").read_bytes() == b"aaa"
+        assert (root / "rotation-000000-01.bin").read_bytes() == b"bbb"
+        assert (root / "rotation-000003-00.bin").read_bytes() == b"ccc"
+        manifest = json.loads((root / "MANIFEST.json").read_text())
+        assert manifest["complete"] is True
+        assert manifest["degraded"] == [3]
+        flags = {f["file"]: f["degraded"] for f in manifest["files"]}
+        assert flags == {
+            "rotation-000000-00.bin": False,
+            "rotation-000000-01.bin": False,
+            "rotation-000003-00.bin": True,
+        }
+
+    def test_abort_removes_only_temp_strays(self, tmp_path):
+        archive = RotationArchive(tmp_path / "arch", ".bin")
+        archive.write(0, b"whole")
+        stray = tmp_path / "arch" / f".rotation-000001-00.bin.tmp.{os.getpid()}"
+        stray.write_bytes(b"partial")
+        archive.abort()
+        assert not stray.exists()
+        assert (tmp_path / "arch" / "rotation-000000-00.bin").exists()
+        assert not (tmp_path / "arch" / "MANIFEST.json").exists()
+
+
+class TestTextSinkDurability:
+    def test_close_is_idempotent(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        sink = TextSink("jsonl", path=str(path))
+        sink.emit(records(0), 0, 0.0)
+        sink.close()
+        first = path.read_text()
+        sink.close()  # the daemon's finally path may close again
+        assert path.read_text() == first
+
+    def test_abort_after_failed_emit_writes_nothing(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        sink = TextSink("jsonl", path=str(path))
+        sink.emit(records(0), 0, 0.0)
+        sink.abort()
+        assert not path.exists()
+        sink.close()  # abort settled the sink: close is now a no-op
+        assert not path.exists()
+
+    def test_archive_mode_writes_rotation_files(self, tmp_path):
+        directory = tmp_path / "arch"
+        sink = TextSink("csv", directory=str(directory))
+        sink.emit(records(0), 0, 0.0)
+        sink.emit(records(1), 1, 1.0)
+        sink.flag_degraded(1)
+        sink.close()
+        part = (directory / "rotation-000000-00.csv").read_text()
+        assert part.startswith(",".join(TextSink.CSV_COLUMNS))
+        manifest = json.loads((directory / "MANIFEST.json").read_text())
+        assert manifest["degraded"] == [1]
+        assert sink.summary()["files"] == 2
+        assert sink.summary()["degraded"] == [1]
+
+    def test_clean_summary_has_no_degraded_key(self):
+        sink = TextSink("jsonl")
+        sink.emit(records(0), 0, 0.0)
+        assert "degraded" not in sink.summary()
+
+
+class TestNetFlowSinkDurability:
+    def test_close_and_abort_idempotent(self, tmp_path):
+        sink = NetFlowV5Sink(directory=str(tmp_path / "arch"))
+        sink.emit(records(0), 0, 0.0)
+        sink.close()
+        manifest = tmp_path / "arch" / "MANIFEST.json"
+        stamp = manifest.stat().st_mtime_ns
+        sink.close()
+        sink.abort()  # after close: both are no-ops
+        assert manifest.stat().st_mtime_ns == stamp
+
+    def test_archive_round_trips_datagrams(self, tmp_path):
+        from repro.export.netflow_v5 import parse_stream, split_stream
+
+        directory = tmp_path / "arch"
+        sink = NetFlowV5Sink(directory=str(directory))
+        sink.emit(records(0), 0, 0.0)
+        sink.emit(records(1), 1, 1.0)
+        sink.close()
+        names = sorted(
+            f["file"]
+            for f in json.loads((directory / "MANIFEST.json").read_text())["files"]
+        )
+        datagrams = []
+        for name in names:
+            datagrams.extend(split_stream((directory / name).read_bytes()))
+        merged = parse_stream(iter(datagrams))
+        assert merged == {r.key: r.packets for r in records(0) + records(1)}
+
+    def test_abort_leaves_whole_files_only(self, tmp_path):
+        directory = tmp_path / "arch"
+        sink = NetFlowV5Sink(directory=str(directory))
+        sink.emit(records(0), 0, 0.0)
+        sink.abort()
+        listing = sorted(p.name for p in directory.iterdir())
+        assert listing == ["rotation-000000-00.nfv5"]  # whole, no manifest
+
+    def test_memory_mode_summary_unchanged(self):
+        sink = NetFlowV5Sink()
+        sink.emit(records(0), 0, 0.0)
+        sink.close()
+        assert set(sink.summary()) == {"datagrams", "records", "bytes"}
