@@ -355,6 +355,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the daemon's ServeSpec to a JSON file",
     )
 
+    query = sub.add_parser(
+        "query",
+        help="query a flow store: ingest archives, merge the hierarchy, "
+        "answer topk/lookup/cardinality from summaries",
+    )
+    query.add_argument(
+        "action",
+        choices=("ingest", "merge", "topk", "lookup", "cardinality", "ls"),
+        help="what to do against the store",
+    )
+    query.add_argument(
+        "--store",
+        metavar="DIR",
+        required=True,
+        help="flow store root directory (created on first ingest)",
+    )
+    query.add_argument(
+        "--vantage",
+        metavar="NAME",
+        action="append",
+        default=None,
+        help="vantage to ingest into / query over (repeatable for "
+        "queries; default: every vantage in the store)",
+    )
+    query.add_argument(
+        "--archive",
+        metavar="DIR",
+        default=None,
+        help="ingest: a durable rotation-archive directory (MANIFEST.json)",
+    )
+    query.add_argument(
+        "--nfv5",
+        metavar="FILE",
+        default=None,
+        help="ingest: a raw concatenated NetFlow v5 capture (one window)",
+    )
+    query.add_argument(
+        "--append",
+        action="store_true",
+        help="ingest: place new windows after the vantage's existing ones",
+    )
+    query.add_argument(
+        "-k", type=int, default=10, help="topk: result size (default 10)"
+    )
+    query.add_argument(
+        "--key",
+        metavar="KEY",
+        default=None,
+        help="lookup: packed flow key, or SRCIP:SPORT-DSTIP:DPORT/PROTO",
+    )
+    query.add_argument(
+        "--last",
+        type=int,
+        default=None,
+        metavar="N",
+        help="answer over each vantage's most recent N windows",
+    )
+    query.add_argument(
+        "--start", type=int, default=None, help="lowest window index included"
+    )
+    query.add_argument(
+        "--stop", type=int, default=None, help="highest window index, inclusive"
+    )
+    query.add_argument(
+        "--merge",
+        choices=("max", "sum"),
+        default="max",
+        help="cross-vantage merge: max (duplicate sightings, default) "
+        "or sum (disjoint shares)",
+    )
+    query.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw JSON result instead of a table",
+    )
+
     sub.add_parser(
         "kernels",
         help="report kernel-tier availability: compiler, build cache, library",
@@ -408,6 +484,16 @@ def _parse_sink(text: str) -> dict:
         if not arg:
             raise SystemExit("--sink heavy_hitters needs a threshold (heavy_hitters:T)")
         return {"kind": "heavy_hitters", "params": {"threshold": int(arg)}}
+    if name == "store":
+        if not arg:
+            raise SystemExit(
+                "--sink store needs a root directory (store:DIR[,VANTAGE])"
+            )
+        root, _, vantage = arg.partition(",")
+        params = {"root": root}
+        if vantage:
+            params["vantage"] = vantage
+        return {"kind": "store", "params": params}
     raise SystemExit(f"unknown sink {text!r}")
 
 
@@ -682,6 +768,142 @@ def run_stream(args) -> int:
     return 0
 
 
+def _parse_flow_key(text: str) -> int:
+    """Parse a ``--key`` value: packed int or SRCIP:SPORT-DSTIP:DPORT/PROTO."""
+    try:
+        return int(text, 0)
+    except ValueError:
+        pass
+    try:
+        endpoints, _, proto = text.rpartition("/")
+        src, _, dst = endpoints.partition("-")
+        src_ip, _, src_port = src.rpartition(":")
+        dst_ip, _, dst_port = dst.rpartition(":")
+        from repro.flow.key import FlowKey
+
+        return FlowKey.from_text(
+            src_ip, dst_ip, int(src_port), int(dst_port), int(proto)
+        ).pack()
+    except (ValueError, TypeError):
+        raise SystemExit(
+            f"bad --key {text!r} (expected a packed integer or "
+            "SRCIP:SPORT-DSTIP:DPORT/PROTO)"
+        )
+
+
+def run_query(args) -> int:
+    """Run one flow-store action: ingest/merge or a summary query."""
+    import json as _json
+
+    from repro.flowdb import FlowStore, QuerySpec, StoreError, execute
+    from repro.stream.durable import ArchiveError
+
+    try:
+        store = FlowStore(args.store)
+    except (SpecError, StoreError, OSError) as exc:
+        print(f"cannot open store: {exc}", file=sys.stderr)
+        return 2
+    vantages = args.vantage or []
+
+    try:
+        if args.action == "ingest":
+            if bool(args.archive) == bool(args.nfv5):
+                raise SystemExit("ingest needs exactly one of --archive / --nfv5")
+            vantage = vantages[0] if vantages else "default"
+            if args.archive:
+                windows = store.ingest_archive(vantage, args.archive, args.append)
+            else:
+                windows = store.ingest_netflow_file(vantage, args.nfv5, args.append)
+            print(
+                f"# ingested {len(windows)} windows into "
+                f"{vantage!r}: {windows}"
+            )
+            return 0
+        if args.action == "merge":
+            for vantage in vantages or store.vantages():
+                written = store.merge_up(vantage)
+                levels = sorted({ref.level for ref in written})
+                print(
+                    f"# merged {vantage!r}: {len(written)} parent nodes "
+                    f"at levels {levels or '(up to date)'}"
+                )
+            return 0
+        if args.action == "ls":
+            info = store.describe()
+            if args.json:
+                print(_json.dumps(info, sort_keys=True))
+                return 0
+            print(f"# store {info['root']} (fanout {info['fanout']})")
+            for vantage, detail in info["vantages"].items():
+                windows = detail["windows"]
+                span = (
+                    f"{windows[0]}..{windows[-1]}" if windows else "(empty)"
+                )
+                degraded = detail["degraded_windows"]
+                print(
+                    f"{vantage:16s} windows {span} ({len(windows)}), "
+                    f"levels {sorted(detail['levels'])}"
+                    + (f", degraded {degraded}" if degraded else "")
+                )
+            return 0
+
+        spec = QuerySpec(
+            op=args.action,
+            k=args.k,
+            key=None if args.key is None else _parse_flow_key(args.key),
+            vantages=tuple(vantages),
+            last=args.last,
+            start=args.start,
+            stop=args.stop,
+            merge=args.merge,
+        )
+        answer = execute(store, spec)
+    except (ArchiveError, StoreError, SpecError, OSError) as exc:
+        print(f"query failed: {exc}", file=sys.stderr)
+        return 1
+
+    if args.json:
+        print(_json.dumps(answer, sort_keys=True))
+        return 0
+    covered = {v: p["windows"] for v, p in answer["vantages"].items()}
+    print(f"# {spec.op} over {covered} (merge={spec.merge})")
+    if answer["degraded"]:
+        tainted = {
+            v: p["degraded_windows"]
+            for v, p in answer["vantages"].items()
+            if p["degraded_windows"]
+        }
+        print(f"# WARNING degraded windows covered: {tainted}")
+    table = ExperimentResult(
+        experiment_id="query",
+        title=f"flow store {spec.op}",
+        columns=["metric", "value"],
+        params={"store": args.store, "op": spec.op},
+    )
+    if spec.op == "topk":
+        table.columns = ["rank", "flow", "packets"]
+        for rank, row in enumerate(answer["results"], 1):
+            table.add_row(rank=rank, flow=row["flow"], packets=row["packets"])
+    elif spec.op == "lookup":
+        table.add_row(metric="flow", value=answer["flow"])
+        table.add_row(metric="found", value=answer["found"])
+        table.add_row(metric="packets", value=answer["packets"])
+        table.add_row(metric="octets", value=answer["octets"])
+        for vantage, detail in answer["by_vantage"].items():
+            table.add_row(metric=f"{vantage}.packets", value=detail["packets"])
+            for point in detail["series"]:
+                table.add_row(
+                    metric=f"{vantage}.w{point['window']}",
+                    value=point["packets"],
+                )
+    else:
+        table.add_row(metric="flows", value=answer["flows"])
+        for vantage, flows in answer["by_vantage"].items():
+            table.add_row(metric=f"{vantage}.flows", value=flows)
+    print(render_table(table))
+    return 0
+
+
 def run_experiment(
     name: str,
     scale: float | None,
@@ -850,6 +1072,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_stream(args)
     if args.command == "serve":
         return run_serve(args)
+    if args.command == "query":
+        return run_query(args)
     if args.command == "sweep":
         if args.experiment not in EXPERIMENTS:
             print(f"unknown experiment {args.experiment!r}", file=sys.stderr)

@@ -12,7 +12,9 @@ from repro.export.netflow_v5 import (
     parse_datagram,
     parse_datagram_partial,
     parse_stream,
+    parse_stream_records,
     split_datagram,
+    split_stream,
 )
 from repro.export.text import (
     records_from_csv,
@@ -33,7 +35,9 @@ __all__ = [
     "parse_datagram",
     "parse_datagram_partial",
     "parse_stream",
+    "parse_stream_records",
     "split_datagram",
+    "split_stream",
     "records_from_csv",
     "records_from_jsonl",
     "records_to_csv",

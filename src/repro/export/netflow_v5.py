@@ -442,3 +442,31 @@ def parse_stream(datagrams: Iterator[bytes]) -> dict[int, int]:
         for record in records:
             merged[record.key] = merged.get(record.key, 0) + record.packets
     return merged
+
+
+def parse_stream_records(datagrams: Iterator[bytes]) -> list[NetFlowV5Record]:
+    """Parse a sequence of datagrams into full records, merged per flow.
+
+    Like :func:`parse_stream` but keeps the whole record, not just the
+    packet count — dOctets sum alongside dPkts and the time bounds
+    widen to min(first)/max(last), which is what a summary store needs
+    when it ingests archived exports (packets-only parsing is where
+    byte counts used to silently vanish).  Records come back in packed
+    flow-key order.
+    """
+    merged: dict[int, NetFlowV5Record] = {}
+    for datagram in datagrams:
+        _, records = parse_datagram(datagram)
+        for record in records:
+            prior = merged.get(record.key)
+            if prior is None:
+                merged[record.key] = record
+            else:
+                merged[record.key] = NetFlowV5Record(
+                    key=record.key,
+                    packets=prior.packets + record.packets,
+                    octets=prior.octets + record.octets,
+                    first_ms=min(prior.first_ms, record.first_ms),
+                    last_ms=max(prior.last_ms, record.last_ms),
+                )
+    return [merged[key] for key in sorted(merged)]

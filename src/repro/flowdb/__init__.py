@@ -1,0 +1,51 @@
+"""Hierarchical flow query layer: vantage × time-window summary store.
+
+The daemon's first consumer (ROADMAP "Network-wide hierarchical query
+layer"): rotation archives — durable sink directories, in-memory
+pipeline archives, raw NetFlow v5 captures — ingest into an on-disk
+:class:`FlowStore` of exact, canonically-sorted
+:class:`FlowSummary` leaves indexed by vantage and time window, with a
+fan-out hierarchy of pre-merged parents above them.  Top-k heavy
+hitters, per-key drill-down, cardinality, and cross-vantage
+aggregation over "the last N windows" all answer from summaries —
+never by replaying traces — with the bit-identity contract that the
+answers equal the offline pipeline's (DESIGN §12).
+
+Quickstart::
+
+    from repro.flowdb import FlowStore, QuerySpec, execute
+
+    store = FlowStore("/tmp/flowstore")
+    store.ingest_archive("pop-a", "/var/run/archives/pop-a")
+    store.merge_up("pop-a")
+    answer = execute(store, QuerySpec(op="topk", k=10, last=8))
+"""
+
+from repro.flowdb.query import MERGE_MODES, OPS, QuerySpec, execute
+from repro.flowdb.sink import FlowStoreSink
+from repro.flowdb.store import (
+    DEFAULT_FANOUT,
+    STORE_SCHEMA,
+    FlowStore,
+    NodeRef,
+    StoreError,
+    StoreSpec,
+)
+from repro.flowdb.summary import UNMEASURED, FlowSummary, merge_summaries
+
+__all__ = [
+    "DEFAULT_FANOUT",
+    "FlowStore",
+    "FlowStoreSink",
+    "FlowSummary",
+    "MERGE_MODES",
+    "NodeRef",
+    "OPS",
+    "QuerySpec",
+    "STORE_SCHEMA",
+    "StoreError",
+    "StoreSpec",
+    "UNMEASURED",
+    "execute",
+    "merge_summaries",
+]

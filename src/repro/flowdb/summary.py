@@ -1,0 +1,264 @@
+"""Vectorized flow summaries: the leaf unit of the flowdb store.
+
+A :class:`FlowSummary` is one window's (or one merged span's) flow
+table flattened into sorted numpy arrays — the Flowyager insight
+(PAPERS.md) applied to HashFlow exports: once a rotation's records are
+canonically sorted by flow key, every query the store answers (top-k,
+per-key lookup, cardinality, cross-window/cross-vantage merges)
+becomes an array scan or a ``searchsorted``, and merging two summaries
+is a concatenate + lexsort + ``reduceat``, never a Python-dict walk.
+
+Counts are exact, not sketched: the store's bit-identity contract
+(DESIGN §12) says querying merged summaries returns *exactly* what
+replaying the underlying traces offline would, so packets are plain
+``int64`` sums and merge semantics mirror :mod:`repro.netwide.merge`
+(``sum`` for disjoint observation shares, ``max`` for multi-switch
+duplicate sightings).
+
+Octets carry an ``UNMEASURED`` sentinel (−1): pipelines without
+measured byte counts export synthesized dOctets, and a merge where any
+participant is unmeasured poisons the group to −1 rather than mixing
+real and synthetic bytes into a number nobody can trust.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.hashing.mixers import MASK64
+
+#: Octet-count sentinel: this summary never measured byte counts for
+#: the flow.  Propagates through merges (any −1 in a group → −1).
+UNMEASURED = -1
+
+
+def _empty_u64() -> np.ndarray:
+    return np.empty(0, dtype=np.uint64)
+
+
+def _empty_i64() -> np.ndarray:
+    return np.empty(0, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class FlowSummary:
+    """One window's flows as canonically-sorted columnar arrays.
+
+    Invariants (enforced by the constructors, assumed everywhere):
+
+    * ``lo``/``hi`` are ``uint64`` halves of the packed 104-bit flow
+      key, sorted ascending by the full key (``np.lexsort((lo, hi))``
+      order) with no duplicates;
+    * ``packets``/``octets`` are ``int64`` aligned with the keys;
+      octets may be :data:`UNMEASURED`;
+    * ``degraded_windows`` lists the leaf window indices whose content
+      a fault made incomplete (propagated from archive manifests, PR 9)
+      — empty means every contributing window was whole.
+
+    Attributes:
+        lo: low 64 bits of each flow key.
+        hi: high 40 bits of each flow key (in a uint64).
+        packets: exact packet count per flow.
+        octets: exact byte count per flow, or :data:`UNMEASURED`.
+        degraded_windows: contributing leaf windows flagged degraded.
+    """
+
+    lo: np.ndarray = field(default_factory=_empty_u64)
+    hi: np.ndarray = field(default_factory=_empty_u64)
+    packets: np.ndarray = field(default_factory=_empty_i64)
+    octets: np.ndarray = field(default_factory=_empty_i64)
+    degraded_windows: tuple[int, ...] = ()
+
+    def __post_init__(self):
+        n = len(self.lo)
+        if not (len(self.hi) == len(self.packets) == len(self.octets) == n):
+            raise ValueError("summary columns disagree on length")
+
+    def __len__(self) -> int:
+        return len(self.lo)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any contributing window was flagged incomplete."""
+        return bool(self.degraded_windows)
+
+    @property
+    def total_packets(self) -> int:
+        return int(self.packets.sum())
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def from_counts(
+        cls,
+        counts: dict[int, int],
+        octets: dict[int, int] | None = None,
+        degraded_windows: Iterable[int] = (),
+    ) -> "FlowSummary":
+        """Build from a ``{key: packets}`` dict (and optional octets)."""
+        keys = sorted(counts)
+        n = len(keys)
+        lo = np.fromiter((k & MASK64 for k in keys), np.uint64, count=n)
+        hi = np.fromiter((k >> 64 for k in keys), np.uint64, count=n)
+        pkts = np.fromiter((counts[k] for k in keys), np.int64, count=n)
+        if octets is None:
+            octs = np.full(n, UNMEASURED, dtype=np.int64)
+        else:
+            octs = np.fromiter(
+                (octets.get(k, UNMEASURED) for k in keys), np.int64, count=n
+            )
+        return cls(lo, hi, pkts, octs, tuple(sorted(set(map(int, degraded_windows)))))
+
+    @classmethod
+    def from_records(
+        cls, records: Iterable[Any], degraded_windows: Iterable[int] = ()
+    ) -> "FlowSummary":
+        """Build from record objects exposing ``key``/``packets``/``octets``.
+
+        Accepts :class:`~repro.stream.records.FlowRecord` and
+        :class:`~repro.export.netflow_v5.NetFlowV5Record` alike.
+        Duplicate keys sum (several exports of one flow in a window);
+        a missing/None octet count marks the flow :data:`UNMEASURED`.
+        """
+        counts: dict[int, int] = {}
+        octets: dict[int, int] = {}
+        for record in records:
+            key = int(record.key)
+            counts[key] = counts.get(key, 0) + int(record.packets)
+            measured = getattr(record, "octets", None)
+            if measured is None or octets.get(key, 0) == UNMEASURED:
+                octets[key] = UNMEASURED
+            else:
+                octets[key] = octets.get(key, 0) + int(measured)
+        return cls.from_counts(counts, octets, degraded_windows)
+
+    # -- scalar views (tests, text output) ----------------------------
+
+    def keys(self) -> Iterator[int]:
+        """Packed flow keys, ascending."""
+        for lo, hi in zip(self.lo.tolist(), self.hi.tolist()):
+            yield (hi << 64) | lo
+
+    def counts(self) -> dict[int, int]:
+        """``{key: packets}`` — the shape netwide/merge and tests speak."""
+        return dict(zip(self.keys(), self.packets.tolist()))
+
+    def octet_counts(self) -> dict[int, int]:
+        """``{key: octets}`` with :data:`UNMEASURED` sentinels intact."""
+        return dict(zip(self.keys(), self.octets.tolist()))
+
+    # -- queries ------------------------------------------------------
+
+    def lookup(self, key: int) -> tuple[int, int] | None:
+        """Exact-key lookup: ``(packets, octets)`` or None.
+
+        Two ``searchsorted`` probes — the hi half bounds a slice, the
+        lo half resolves within it; no hashing, no Python scan.
+        """
+        key = int(key)
+        lo = np.uint64(key & MASK64)
+        hi = np.uint64(key >> 64)
+        left = int(np.searchsorted(self.hi, hi, side="left"))
+        right = int(np.searchsorted(self.hi, hi, side="right"))
+        if left == right:
+            return None
+        idx = left + int(np.searchsorted(self.lo[left:right], lo, side="left"))
+        if idx >= right or self.lo[idx] != lo:
+            return None
+        return int(self.packets[idx]), int(self.octets[idx])
+
+    def top_k(self, k: int) -> list[tuple[int, int]]:
+        """The ``k`` heaviest flows as ``(key, packets)``, deterministic.
+
+        Order is descending packets with ascending key breaking ties —
+        exactly ``sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))``,
+        so CLI output and offline ground truth compare bit-for-bit.
+        A partition pass bounds the candidate set before the full sort
+        touches only ~k rows.
+        """
+        n = len(self)
+        k = int(k)
+        if k <= 0 or n == 0:
+            return []
+        if k < n:
+            threshold = np.partition(self.packets, n - k)[n - k]
+            candidates = np.flatnonzero(self.packets >= threshold)
+        else:
+            candidates = np.arange(n)
+        order = np.lexsort(
+            (self.lo[candidates], self.hi[candidates], -self.packets[candidates])
+        )
+        chosen = candidates[order[:k]]
+        keys_hi = self.hi[chosen].tolist()
+        keys_lo = self.lo[chosen].tolist()
+        pkts = self.packets[chosen].tolist()
+        return [
+            ((hi << 64) | lo, int(p)) for lo, hi, p in zip(keys_lo, keys_hi, pkts)
+        ]
+
+    def cardinality(self) -> int:
+        """Distinct flows (exact — the summary is deduplicated)."""
+        return len(self)
+
+
+def merge_summaries(
+    summaries: Sequence[FlowSummary], mode: str = "sum"
+) -> FlowSummary:
+    """Merge summaries into one, exactly.
+
+    Args:
+        summaries: any number of summaries (zero → empty summary).
+        mode: ``"sum"`` for disjoint observation shares (windows of one
+            vantage, sharded workers) or ``"max"`` for multi-vantage
+            duplicate sightings — the two semantics of
+            :mod:`repro.netwide.merge`, vectorized.
+
+    Packet counts group by flow key via one lexsort + ``reduceat``;
+    octets follow the same grouping but any :data:`UNMEASURED`
+    participant poisons its group.  Degraded-window provenance is the
+    union of the inputs'.
+    """
+    if mode not in ("sum", "max"):
+        raise ValueError(f"unknown merge mode {mode!r}; use 'sum' or 'max'")
+    summaries = [s for s in summaries if s is not None]
+    degraded: set[int] = set()
+    for summary in summaries:
+        degraded.update(summary.degraded_windows)
+    nonempty = [s for s in summaries if len(s)]
+    if not nonempty:
+        return FlowSummary(degraded_windows=tuple(sorted(degraded)))
+    if len(nonempty) == 1:
+        only = nonempty[0]
+        return FlowSummary(
+            only.lo, only.hi, only.packets, only.octets, tuple(sorted(degraded))
+        )
+    lo = np.concatenate([s.lo for s in nonempty])
+    hi = np.concatenate([s.hi for s in nonempty])
+    packets = np.concatenate([s.packets for s in nonempty])
+    octets = np.concatenate([s.octets for s in nonempty])
+    order = np.lexsort((lo, hi))
+    lo, hi, packets, octets = lo[order], hi[order], packets[order], octets[order]
+    boundary = np.empty(len(lo), dtype=bool)
+    boundary[0] = True
+    np.logical_or(lo[1:] != lo[:-1], hi[1:] != hi[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    if mode == "sum":
+        merged_packets = np.add.reduceat(packets, starts)
+        merged_octets = np.add.reduceat(octets, starts)
+    else:
+        merged_packets = np.maximum.reduceat(packets, starts)
+        merged_octets = np.maximum.reduceat(octets, starts)
+    # Any unmeasured participant poisons its group's octet count: the
+    # group minimum is UNMEASURED exactly when one member is.
+    poisoned = np.minimum.reduceat(octets, starts) == UNMEASURED
+    merged_octets[poisoned] = UNMEASURED
+    return FlowSummary(
+        lo[starts],
+        hi[starts],
+        merged_packets,
+        merged_octets,
+        tuple(sorted(degraded)),
+    )

@@ -30,6 +30,13 @@ from repro.stream.pipeline import (
     StreamFeeder,
     run_pipelines,
 )
+from repro.stream.durable import (
+    ArchiveError,
+    ArchiveView,
+    RotationArchive,
+    iter_manifest,
+    read_archive,
+)
 from repro.stream.records import FlowRecord, merge_flow_records
 from repro.stream.rotation import (
     ROTATIONS,
@@ -70,7 +77,9 @@ from repro.stream.spec import (
 
 __all__ = [
     "AnomalyTap",
+    "ArchiveError",
     "ArchiveSink",
+    "ArchiveView",
     "CardinalityTap",
     "CountRotation",
     "DEFAULT_PACKET_RATE",
@@ -84,6 +93,7 @@ __all__ = [
     "PipelineResult",
     "PipelineSpec",
     "ROTATIONS",
+    "RotationArchive",
     "RotationPolicy",
     "SINKS",
     "SOURCES",
@@ -99,8 +109,10 @@ __all__ = [
     "build_sink",
     "build_source",
     "export_and_reset",
+    "iter_manifest",
     "load_pipeline_spec",
     "merge_flow_records",
+    "read_archive",
     "run_pipelines",
     "save_pipeline_spec",
 ]

@@ -27,9 +27,11 @@ from __future__ import annotations
 import errno
 import json
 import os
+import re
 import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterator
 
 #: OSError errnos worth retrying: interrupted call, transient
 #: resource pressure, and disk-full (an operator-clearable condition).
@@ -124,6 +126,20 @@ def atomic_write_text(path, text: str, **kwargs) -> None:
     atomic_write_bytes(path, text.encode("utf-8"), **kwargs)
 
 
+#: Manifest schema version written by :meth:`RotationArchive.finalize`.
+#: Bumped on any incompatible layout change; readers reject unknown
+#: versions instead of guessing.  Manifests written before the field
+#: existed are read as version 1 (their layout is identical).
+MANIFEST_SCHEMA = 1
+
+#: Rotation-file naming discipline: ``rotation-RRRRRR-PP<suffix>``.
+_ROTATION_FILE_RE = re.compile(r"^rotation-(\d{6,})-(\d{2,})(\.[A-Za-z0-9_.]+)$")
+
+
+class ArchiveError(ValueError):
+    """A rotation archive failed validation (missing/partial/foreign)."""
+
+
 class RotationArchive:
     """One directory of per-rotation archive files plus a manifest.
 
@@ -166,6 +182,7 @@ class RotationArchive:
     def finalize(self, degraded: set[int] = frozenset()) -> None:
         """Write the manifest: every file, every degraded rotation."""
         manifest = {
+            "schema": MANIFEST_SCHEMA,
             "complete": True,
             "suffix": self.suffix,
             "degraded": sorted(int(r) for r in degraded),
@@ -194,3 +211,171 @@ class RotationArchive:
                 stray.unlink()
             except OSError:  # pragma: no cover - best effort
                 pass
+
+
+@dataclass(frozen=True)
+class ArchiveView:
+    """A validated, read-only view of one rotation-archive directory.
+
+    What :func:`read_archive` returns: the manifest's claims, checked
+    against the directory (see :func:`iter_manifest` for the rules),
+    with the degraded-window flags the writer recorded — the flags the
+    raw rotation files themselves cannot carry, which is why readers
+    must come through here rather than globbing ``rotation-*`` files
+    (the silent-drop bug this type exists to close).
+
+    Attributes:
+        directory: the archive directory.
+        suffix: rotation-file suffix (``".nfv5"`` / ``".jsonl"`` / ...).
+        degraded: rotation indices the writer flagged degraded.
+        files: validated manifest file entries, manifest order.
+    """
+
+    directory: Path
+    suffix: str
+    degraded: frozenset[int]
+    files: tuple = ()
+
+    def rotations(self) -> Iterator[tuple[int, list[bytes], bool]]:
+        """Yield ``(rotation, payloads, degraded)`` per rotation, ascending.
+
+        ``payloads`` holds every part file's bytes in part order (a
+        multi-worker daemon writes one part per worker export of the
+        same window); ``degraded`` is the writer's taint flag for that
+        rotation, so downstream stores can mark the window instead of
+        treating a known-incomplete rotation as whole truth.
+        """
+        by_rotation: dict[int, list[str]] = {}
+        for entry in self.files:
+            by_rotation.setdefault(int(entry["rotation"]), []).append(entry["file"])
+        for rotation in sorted(by_rotation):
+            payloads = [
+                (self.directory / name).read_bytes()
+                for name in sorted(by_rotation[rotation])
+            ]
+            yield rotation, payloads, rotation in self.degraded
+
+
+def iter_manifest(directory, verify_sizes: bool = True) -> Iterator[dict[str, Any]]:
+    """Validate an archive's ``MANIFEST.json`` and yield its file entries.
+
+    Each yielded entry is the manifest's dict for one rotation file
+    (``file`` / ``rotation`` / ``bytes`` plus writer metadata) with the
+    per-file ``degraded`` flag guaranteed present.  Validation is
+    strict — an archive a crashed or foreign writer left behind fails
+    loudly instead of feeding a reader partial data:
+
+    * the manifest must exist, parse, carry a known ``schema`` version
+      (absent means 1, the pre-versioning layout), and be ``complete``;
+    * every entry must name a plain ``rotation-RRRRRR-PP<suffix>`` file
+      (no path separators, no ``.tmp.`` strays) that exists in the
+      directory with exactly the recorded byte size (a size mismatch is
+      a partial or tampered file the atomic-write discipline should
+      have made impossible).
+
+    Args:
+        directory: the archive directory.
+        verify_sizes: also stat every file and compare sizes (on by
+            default; off spares the stats when a caller will read the
+            files anyway and can tolerate late failure).
+
+    Raises:
+        ArchiveError: on any validation failure.
+    """
+    directory = Path(directory)
+    manifest_path = directory / RotationArchive.MANIFEST_NAME
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ArchiveError(
+            f"no {RotationArchive.MANIFEST_NAME} in {directory} — not a "
+            "finalized rotation archive (the writer crashed before "
+            "finalize, or this is not an archive directory)"
+        ) from None
+    except (OSError, ValueError) as exc:
+        raise ArchiveError(f"unreadable manifest {manifest_path}: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise ArchiveError(f"manifest {manifest_path} is not a JSON object")
+    schema = manifest.get("schema", 1)
+    if schema != MANIFEST_SCHEMA:
+        raise ArchiveError(
+            f"manifest {manifest_path} has schema {schema!r}; this reader "
+            f"understands {MANIFEST_SCHEMA}"
+        )
+    if manifest.get("complete") is not True:
+        raise ArchiveError(f"manifest {manifest_path} is not marked complete")
+    suffix = manifest.get("suffix")
+    if not isinstance(suffix, str) or not suffix:
+        raise ArchiveError(f"manifest {manifest_path} has no suffix")
+    files = manifest.get("files")
+    if not isinstance(files, list):
+        raise ArchiveError(f"manifest {manifest_path} has no file list")
+    for entry in files:
+        if not isinstance(entry, dict):
+            raise ArchiveError(f"malformed manifest entry {entry!r}")
+        name = entry.get("file")
+        if not isinstance(name, str) or "/" in name or os.sep in name:
+            raise ArchiveError(f"manifest entry names a non-local file {name!r}")
+        if ".tmp." in name or name.startswith("."):
+            raise ArchiveError(
+                f"manifest entry names a temp stray {name!r} — the archive "
+                "was finalized around an interrupted write"
+            )
+        match = _ROTATION_FILE_RE.match(name)
+        if match is None or not name.endswith(suffix):
+            raise ArchiveError(
+                f"manifest entry {name!r} does not follow the "
+                f"rotation-RRRRRR-PP{suffix} naming discipline"
+            )
+        rotation = entry.get("rotation")
+        if not isinstance(rotation, int) or rotation != int(match.group(1)):
+            raise ArchiveError(
+                f"manifest entry {name!r} disagrees with its recorded "
+                f"rotation {rotation!r}"
+            )
+        size = entry.get("bytes")
+        if not isinstance(size, int) or size < 0:
+            raise ArchiveError(f"manifest entry {name!r} has no byte size")
+        if verify_sizes:
+            try:
+                actual = (directory / name).stat().st_size
+            except FileNotFoundError:
+                raise ArchiveError(
+                    f"manifest names {name!r} but the file is missing from "
+                    f"{directory}"
+                ) from None
+            if actual != size:
+                raise ArchiveError(
+                    f"{name!r} is {actual} bytes but the manifest recorded "
+                    f"{size} — a partial or tampered rotation file"
+                )
+        yield {**entry, "degraded": bool(entry.get("degraded", False))}
+
+
+def read_archive(directory) -> ArchiveView:
+    """Open a finalized rotation archive for reading, validated.
+
+    The reader half of :class:`RotationArchive`: validates the manifest
+    (see :func:`iter_manifest`) and returns an :class:`ArchiveView`
+    whose :meth:`~ArchiveView.rotations` iterator surfaces the
+    degraded-window flags next to each rotation's payload bytes —
+    callers (e.g. :mod:`repro.flowdb` ingest) never hand-parse
+    ``MANIFEST.json`` or silently lose taint flags again.
+
+    Raises:
+        ArchiveError: if the directory is not a whole, finalized archive.
+    """
+    directory = Path(directory)
+    files = tuple(iter_manifest(directory))
+    manifest = json.loads(
+        (directory / RotationArchive.MANIFEST_NAME).read_text(encoding="utf-8")
+    )
+    degraded = frozenset(int(r) for r in manifest.get("degraded", []))
+    return ArchiveView(
+        directory=directory,
+        suffix=str(manifest["suffix"]),
+        degraded=degraded | frozenset(
+            int(e["rotation"]) for e in files if e["degraded"]
+        ),
+        files=files,
+    )

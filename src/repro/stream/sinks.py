@@ -505,11 +505,20 @@ class AnomalyTap(Sink):
         }
 
 
+def _build_store_sink(**params: Any) -> Sink:
+    """Lazily construct a flow-store sink (flowdb imports stream, so
+    the registry must not import flowdb at module load)."""
+    from repro.flowdb.sink import FlowStoreSink
+
+    return FlowStoreSink(**params)
+
+
 #: Registered sink kinds (text formats register per format name).
 SINKS: dict[str, Any] = {
     NetFlowV5Sink.kind: NetFlowV5Sink,
     "jsonl": lambda **params: TextSink(fmt="jsonl", **params),
     "csv": lambda **params: TextSink(fmt="csv", **params),
+    "store": _build_store_sink,
     ArchiveSink.kind: ArchiveSink,
     HeavyHitterTap.kind: HeavyHitterTap,
     CardinalityTap.kind: CardinalityTap,

@@ -194,3 +194,171 @@ class TestNetFlowSinkDurability:
         sink.emit(records(0), 0, 0.0)
         sink.close()
         assert set(sink.summary()) == {"datagrams", "records", "bytes"}
+
+
+class TestArchiveReader:
+    """read_archive / iter_manifest: validated, degraded-flag-preserving."""
+
+    def _write(self, directory, degraded=frozenset()):
+        sink = NetFlowV5Sink(directory=str(directory))
+        sink.emit(records(0), 0, 0.0)
+        sink.emit(records(1), 1, 1.0)
+        sink.emit(records(1, n=2), 1, 1.1)  # second part, same rotation
+        for rotation in degraded:
+            sink.flag_degraded(rotation)
+        sink.close()
+        return sink
+
+    def test_read_archive_round_trips_rotations(self, tmp_path):
+        from repro.export.netflow_v5 import parse_stream, split_stream
+        from repro.stream.durable import read_archive
+
+        directory = tmp_path / "arch"
+        self._write(directory)
+        view = read_archive(directory)
+        assert view.suffix == ".nfv5"
+        assert view.degraded == frozenset()
+        seen = {}
+        for rotation, payloads, tainted in view.rotations():
+            assert not tainted
+            datagrams = []
+            for payload in payloads:
+                datagrams.extend(split_stream(payload))
+            seen[rotation] = parse_stream(iter(datagrams))
+        assert seen[0] == {r.key: r.packets for r in records(0)}
+        expected: dict[int, int] = {}
+        for r in records(1) + records(1, n=2):  # parts share keys -> sum
+            expected[r.key] = expected.get(r.key, 0) + r.packets
+        assert seen[1] == expected
+
+    def test_degraded_flags_surface_to_callers(self, tmp_path):
+        from repro.stream.durable import read_archive
+
+        directory = tmp_path / "arch"
+        self._write(directory, degraded={1})
+        view = read_archive(directory)
+        assert view.degraded == frozenset({1})
+        flags = {rot: tainted for rot, _, tainted in view.rotations()}
+        assert flags == {0: False, 1: True}
+        by_file = {e["file"]: e["degraded"] for e in view.files}
+        assert by_file["rotation-000000-00.nfv5"] is False
+        assert by_file["rotation-000001-00.nfv5"] is True
+        assert by_file["rotation-000001-01.nfv5"] is True
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        from repro.stream.durable import ArchiveError, read_archive
+
+        directory = tmp_path / "arch"
+        sink = self._write(directory)
+        (directory / RotationArchive.MANIFEST_NAME).unlink()
+        with pytest.raises(ArchiveError, match="not a finalized"):
+            read_archive(directory)
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        from repro.stream.durable import ArchiveError, read_archive
+
+        directory = tmp_path / "arch"
+        self._write(directory)
+        path = directory / RotationArchive.MANIFEST_NAME
+        manifest = json.loads(path.read_text())
+        manifest["schema"] = 999
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(ArchiveError, match="schema 999"):
+            read_archive(directory)
+
+    def test_legacy_manifest_without_schema_is_version_1(self, tmp_path):
+        from repro.stream.durable import read_archive
+
+        directory = tmp_path / "arch"
+        self._write(directory)
+        path = directory / RotationArchive.MANIFEST_NAME
+        manifest = json.loads(path.read_text())
+        del manifest["schema"]  # pre-versioning writer
+        path.write_text(json.dumps(manifest))
+        assert read_archive(directory).suffix == ".nfv5"
+
+    def test_partial_file_rejected_by_size(self, tmp_path):
+        from repro.stream.durable import ArchiveError, read_archive
+
+        directory = tmp_path / "arch"
+        self._write(directory)
+        victim = directory / "rotation-000000-00.nfv5"
+        victim.write_bytes(victim.read_bytes()[:-7])  # truncate
+        with pytest.raises(ArchiveError, match="partial or tampered"):
+            read_archive(directory)
+
+    def test_missing_file_rejected(self, tmp_path):
+        from repro.stream.durable import ArchiveError, read_archive
+
+        directory = tmp_path / "arch"
+        self._write(directory)
+        (directory / "rotation-000001-00.nfv5").unlink()
+        with pytest.raises(ArchiveError, match="missing"):
+            read_archive(directory)
+
+    def test_temp_stray_entry_rejected(self, tmp_path):
+        from repro.stream.durable import ArchiveError, iter_manifest
+
+        directory = tmp_path / "arch"
+        self._write(directory)
+        path = directory / RotationArchive.MANIFEST_NAME
+        manifest = json.loads(path.read_text())
+        manifest["files"].append(
+            {"file": ".rotation-000009-00.nfv5.tmp.123", "rotation": 9, "bytes": 1}
+        )
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(ArchiveError, match="temp stray"):
+            list(iter_manifest(directory))
+
+    def test_foreign_path_entry_rejected(self, tmp_path):
+        from repro.stream.durable import ArchiveError, iter_manifest
+
+        directory = tmp_path / "arch"
+        self._write(directory)
+        path = directory / RotationArchive.MANIFEST_NAME
+        manifest = json.loads(path.read_text())
+        manifest["files"].append(
+            {"file": "../evil.nfv5", "rotation": 0, "bytes": 1}
+        )
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(ArchiveError, match="non-local"):
+            list(iter_manifest(directory))
+
+    def test_incomplete_manifest_rejected(self, tmp_path):
+        from repro.stream.durable import ArchiveError, read_archive
+
+        directory = tmp_path / "arch"
+        self._write(directory)
+        path = directory / RotationArchive.MANIFEST_NAME
+        manifest = json.loads(path.read_text())
+        manifest["complete"] = False
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(ArchiveError, match="not marked complete"):
+            read_archive(directory)
+
+    def test_rotation_name_mismatch_rejected(self, tmp_path):
+        from repro.stream.durable import ArchiveError, iter_manifest
+
+        directory = tmp_path / "arch"
+        self._write(directory)
+        path = directory / RotationArchive.MANIFEST_NAME
+        manifest = json.loads(path.read_text())
+        manifest["files"][0]["rotation"] = 42  # disagrees with the name
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(ArchiveError, match="disagrees"):
+            list(iter_manifest(directory))
+
+    def test_text_archive_reads_back(self, tmp_path):
+        from repro.stream.durable import read_archive
+
+        directory = tmp_path / "arch"
+        sink = TextSink(fmt="jsonl", directory=str(directory))
+        sink.emit(records(0), 0, 0.0)
+        sink.flag_degraded(0)
+        sink.close()
+        view = read_archive(directory)
+        assert view.suffix == ".jsonl"
+        ((rotation, payloads, tainted),) = list(view.rotations())
+        assert (rotation, tainted) == (0, True)
+        rows = [json.loads(line) for line in payloads[0].decode().splitlines()]
+        assert [row["packets"] for row in rows] == [1, 2, 3]
